@@ -1,0 +1,125 @@
+"""Helpers shared by the benchmark modules.
+
+The benches reproduce the paper's figures at reduced scale; this module
+holds the common sweep/formatting logic so every figure prints consistent
+series.  Two throughput columns appear everywhere (see
+:mod:`repro.eval.timing` for why):
+
+* ``model QPS`` — work-model throughput (hardware/runtime neutral; the
+  number whose *shape* should match the paper's figures);
+* ``wall QPS`` — wall-clock throughput of this Python process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.workload import make_workload
+from repro.eval.pareto import epsilon_sweep, throughput_at_recall
+from repro.eval.runner import (
+    MethodSuite,
+    bsbf_run_fn,
+    mbi_run_fn,
+    sf_run_fn,
+)
+from repro.eval.timing import run_workload
+
+# A coarse epsilon grid keeps fraction sweeps affordable; Figure 6 uses the
+# paper's full 21-point grid.
+COARSE_EPSILONS = (1.0, 1.04, 1.1, 1.16, 1.24, 1.32, 1.4)
+
+# Window fractions approximating the paper's 1%-95% x-axis.
+FRACTIONS = (0.01, 0.05, 0.15, 0.3, 0.5, 0.8, 0.95)
+
+RECALL_TARGET = 0.95
+QUERIES_PER_CELL = 40
+
+
+def method_factory(suite: MethodSuite, method: str, mbi_index=None):
+    """A ``epsilon -> RunQueryFn`` factory for an approximate method."""
+    base = suite.profile.search
+    index = mbi_index if mbi_index is not None else suite.mbi
+    if method == "mbi":
+        return lambda eps: mbi_run_fn(index, base.with_epsilon(eps))
+    if method == "sf":
+        return lambda eps: sf_run_fn(suite.sf, base.with_epsilon(eps))
+    raise ValueError(f"unknown approximate method {method!r}")
+
+
+def measure_cell(
+    suite: MethodSuite,
+    method: str,
+    fraction: float,
+    truth_cache,
+    k: int = 10,
+    seed: int = 0,
+    recall_target: float = RECALL_TARGET,
+    epsilons=COARSE_EPSILONS,
+    mbi_index=None,
+    n_queries: int = QUERIES_PER_CELL,
+):
+    """One (method, fraction) cell: the operating point at the recall target.
+
+    Returns ``None`` when no epsilon on the grid reaches the target.
+    BSBF is exact and measured directly.
+    """
+    workload = make_workload(
+        suite.dataset, k, fraction, n_queries=n_queries, seed=seed
+    )
+    truth = truth_cache.get(suite.dataset, workload)
+    if method == "bsbf":
+        measurement = run_workload(
+            bsbf_run_fn(suite.bsbf),
+            workload,
+            truth,
+            metric=suite.metric_name,
+            dim=suite.dim,
+        )
+        from repro.eval.pareto import OperatingPoint
+
+        return OperatingPoint(epsilon=float("nan"), measurement=measurement)
+    points = epsilon_sweep(
+        method_factory(suite, method, mbi_index=mbi_index),
+        workload,
+        truth,
+        epsilons=epsilons,
+        metric=suite.metric_name,
+        dim=suite.dim,
+    )
+    return throughput_at_recall(points, recall_target)
+
+
+def qps_series(
+    suite: MethodSuite,
+    methods: tuple[str, ...],
+    fractions: tuple[float, ...],
+    truth_cache,
+    k: int = 10,
+    seed: int = 0,
+    **kwargs,
+):
+    """Model-QPS and wall-QPS series per method across window fractions."""
+    model: dict[str, list[float]] = {m: [] for m in methods}
+    wall: dict[str, list[float]] = {m: [] for m in methods}
+    for i, fraction in enumerate(fractions):
+        for method in methods:
+            point = measure_cell(
+                suite,
+                method,
+                fraction,
+                truth_cache,
+                k=k,
+                seed=seed + i,
+                **kwargs,
+            )
+            model[method].append(point.model_qps if point else float("nan"))
+            wall[method].append(point.qps if point else float("nan"))
+    return model, wall
+
+
+def loglog_slope(xs, ys) -> float:
+    """Least-squares slope of log(y) vs log(x) — the paper's Figure 7 slope."""
+    xs = np.log(np.asarray(xs, dtype=float))
+    ys = np.log(np.asarray(ys, dtype=float))
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)

@@ -1,0 +1,83 @@
+"""Shared infrastructure for the benchmark suite.
+
+* ``suites`` — a session-scoped cache of built :class:`MethodSuite` objects
+  so every bench module shares one expensive build per dataset;
+* ``report`` — collects the tables/series each bench prints; everything is
+  echoed in the terminal summary (outside pytest's capture) and appended to
+  ``benchmarks/results/latest.txt`` for the record.
+
+Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import MBIConfig
+from repro.datasets.ground_truth import GroundTruthCache
+from repro.eval.runner import MethodSuite, build_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+class SuiteCache:
+    """Builds each dataset's method suite at most once per session."""
+
+    def __init__(self) -> None:
+        self._cache: dict[str, MethodSuite] = {}
+        self.truth = GroundTruthCache()
+
+    def get(
+        self,
+        dataset_name: str,
+        max_items: int | None = None,
+        config: MBIConfig | None = None,
+    ) -> MethodSuite:
+        key = f"{dataset_name}:{max_items}:{id(config) if config else 0}"
+        if key not in self._cache:
+            self._cache[key] = build_suite(
+                dataset_name, max_items=max_items, config=config
+            )
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def suites() -> SuiteCache:
+    """Session-wide cache of built method suites."""
+    return SuiteCache()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Register a titled text block for the end-of-run report."""
+
+    def add(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Echo every registered report after the pytest summary."""
+    if not _REPORTS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "latest.txt"
+    chunks = []
+    for title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("=" * 78)
+        terminalreporter.write_line(title)
+        terminalreporter.write_line("=" * 78)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+        chunks.append(f"{'=' * 78}\n{title}\n{'=' * 78}\n{text}\n")
+    out_path.write_text("\n".join(chunks))
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"(reports saved to {out_path})")

@@ -1,0 +1,98 @@
+"""Extension — pre-computed per-interval tau (paper Section 5.4.2).
+
+The paper suggests computing the optimal tau per query interval beforehand
+and using it at run time.  This bench calibrates a :class:`TauTuner` on the
+SIFT stand-in and compares its query cost against every fixed tau across
+window fractions.  The shape to observe: the tuned index matches the best
+fixed tau in each regime (short windows favour high tau, long windows low
+tau), without per-dataset hand-tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tuning import TauTuner
+from repro.datasets import make_workload
+from repro.eval import format_series
+from repro.eval.runner import _with_tau
+from repro.eval.timing import run_workload
+
+FIXED_TAUS = (0.1, 0.3, 0.5)
+FRACTIONS = (0.03, 0.1, 0.3, 0.7)
+
+
+def test_tau_tuner_tracks_best_fixed_tau(benchmark, report, suites):
+    suite = suites.get("sift-sim")
+    tuner = TauTuner(suite.mbi, candidates=FIXED_TAUS)
+    calibration = tuner.calibrate(
+        queries_per_bucket=12, rng=np.random.default_rng(31)
+    )
+
+    def tuned_run(query):
+        return tuner.search(
+            query.vector, query.k, query.t_start, query.t_end,
+            rng=np.random.default_rng(0),
+        )
+
+    series: dict[str, list[float]] = {"tuned": []}
+    for tau in FIXED_TAUS:
+        series[f"tau={tau}"] = []
+    for i, fraction in enumerate(FRACTIONS):
+        workload = make_workload(
+            suite.dataset, 10, fraction, n_queries=40, seed=400 + i
+        )
+        truth = suites.truth.get(suite.dataset, workload)
+        tuned = run_workload(
+            tuned_run, workload, truth,
+            metric=suite.metric_name, dim=suite.dim,
+        )
+        series["tuned"].append(tuned.evals_per_query)
+        for tau in FIXED_TAUS:
+            fixed_index = _with_tau(suite.mbi, tau)
+            from repro.eval.runner import mbi_run_fn
+
+            fixed = run_workload(
+                mbi_run_fn(fixed_index, suite.profile.search),
+                workload,
+                truth,
+                metric=suite.metric_name,
+                dim=suite.dim,
+            )
+            series[f"tau={tau}"].append(fixed.evals_per_query)
+
+    text = format_series(
+        "fraction",
+        list(FRACTIONS),
+        series,
+        title=(
+            "Extension (Sec. 5.4.2): distance evals/query — calibrated "
+            "per-interval tau vs fixed taus (sift-sim)"
+        ),
+    )
+    text += "\ncalibrated taus per bucket: " + ", ".join(
+        f"(<= {edge:.0%}) -> {tau}"
+        for edge, tau in zip(
+            (*calibration.bucket_edges, 1.0), calibration.taus
+        )
+    )
+    report("Extension — per-interval tau tuner", text)
+
+    # The tuned index should be within 25% of the best fixed tau at every
+    # fraction (calibration noise allowed), and strictly better than the
+    # worst fixed tau somewhere.
+    beat_worst = False
+    for i in range(len(FRACTIONS)):
+        best_fixed = min(series[f"tau={tau}"][i] for tau in FIXED_TAUS)
+        worst_fixed = max(series[f"tau={tau}"][i] for tau in FIXED_TAUS)
+        assert series["tuned"][i] <= best_fixed * 1.25, (
+            f"fraction {FRACTIONS[i]}: tuned {series['tuned'][i]:.0f} vs "
+            f"best fixed {best_fixed:.0f}"
+        )
+        if series["tuned"][i] < worst_fixed * 0.9:
+            beat_worst = True
+    assert beat_worst
+
+    workload = make_workload(suite.dataset, 10, 0.1, n_queries=1, seed=77)
+    query = workload[0]
+    benchmark(lambda: tuned_run(query))

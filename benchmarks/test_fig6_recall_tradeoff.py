@@ -1,0 +1,85 @@
+"""Figure 6 — recall@10 vs QPS trade-off curves on the COMS stand-in.
+
+The paper sweeps epsilon over the full 1.0-1.4 grid at window ratios of
+10%, 30%, and 80% and plots the recall/QPS curve for MBI, BSBF (a single
+point — it is exact), and SF.  The shape to reproduce: MBI's curve
+dominates SF's at 10% (short windows), the two converge by 80%, and BSBF
+sits at recall 1.0 with throughput that falls as the window grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_helpers import method_factory
+from repro.datasets import make_workload
+from repro.eval import (
+    PAPER_EPSILONS,
+    epsilon_sweep,
+    format_table,
+    pareto_frontier,
+)
+from repro.eval.runner import bsbf_run_fn
+from repro.eval.timing import run_workload
+
+
+@pytest.mark.parametrize("fraction", [0.1, 0.3, 0.8])
+def test_fig6_recall_vs_qps(benchmark, report, suites, fraction):
+    suite = suites.get("coms-sim")
+    workload = make_workload(
+        suite.dataset, 10, fraction, n_queries=40, seed=int(fraction * 100)
+    )
+    truth = suites.truth.get(suite.dataset, workload)
+
+    rows = []
+    curves = {}
+    for method in ("mbi", "sf"):
+        points = epsilon_sweep(
+            method_factory(suite, method),
+            workload,
+            truth,
+            epsilons=PAPER_EPSILONS,
+            metric=suite.metric_name,
+            dim=suite.dim,
+        )
+        frontier = pareto_frontier(points)
+        curves[method] = frontier
+        for point in frontier:
+            rows.append(
+                [
+                    method.upper(),
+                    point.epsilon,
+                    f"{point.recall:.3f}",
+                    f"{point.model_qps:,.0f}",
+                    f"{point.qps:,.0f}",
+                ]
+            )
+    bsbf = run_workload(
+        bsbf_run_fn(suite.bsbf),
+        workload,
+        truth,
+        metric=suite.metric_name,
+        dim=suite.dim,
+    )
+    rows.append(
+        ["BSBF", "-", f"{bsbf.recall:.3f}", f"{bsbf.model_qps:,.0f}",
+         f"{bsbf.qps:,.0f}"]
+    )
+    table = format_table(
+        ["method", "epsilon", "recall@10", "model QPS", "wall QPS"],
+        rows,
+        title=(
+            f"Figure 6 (coms-sim, window {fraction:.0%}): "
+            "recall@10 vs QPS Pareto frontiers"
+        ),
+    )
+    report(f"Figure 6 — coms-sim window {fraction:.0%}", table)
+
+    assert bsbf.recall == 1.0
+    # MBI reaches high recall somewhere on the grid at every fraction.
+    assert max(p.recall for p in curves["mbi"]) >= 0.95
+
+    query = workload[0]
+    benchmark(
+        lambda: suite.mbi.search(query.vector, 10, query.t_start, query.t_end)
+    )

@@ -1,0 +1,99 @@
+"""Figure 8 — effect of the leaf size S_L on the MovieLens stand-in.
+
+(a) cumulative indexing time as vectors stream in, for three leaf sizes —
+    smaller leaves cost slightly more (more blocks), with the growth
+    approximating ``n^1.14 log n``;
+(b) query throughput measured as the index grows, with window sizes drawn
+    from 5%-95% of the current data — near-flat, with the zigzag the paper
+    attributes to tree-completion points.
+
+Uses the library's query-while-insert protocol
+(:func:`repro.eval.measure_streaming`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MultiLevelBlockIndex
+from repro.datasets import get_profile, load_dataset
+from repro.eval import format_series, format_table, measure_streaming
+
+LEAF_SIZES = (180, 360, 720)
+CHECKPOINTS = (1_440, 2_880, 4_320, 5_760)
+
+
+def test_fig8_leaf_size_effect(benchmark, report):
+    profile = get_profile("movielens-sim")
+    dataset = load_dataset("movielens-sim")
+
+    growth = {}
+    for leaf_size in LEAF_SIZES:
+        config = profile.mbi_config(leaf_size=leaf_size)
+        index = MultiLevelBlockIndex(
+            dataset.spec.dim, dataset.metric_name, config
+        )
+        growth[leaf_size] = measure_streaming(
+            index,
+            dataset.vectors,
+            dataset.timestamps,
+            CHECKPOINTS,
+            dataset.queries,
+            k=10,
+            queries_per_checkpoint=30,
+            seed=8,
+        )
+
+    text = format_series(
+        "n inserted",
+        list(CHECKPOINTS),
+        {
+            f"S_L={ls} build(s)": [
+                p.cumulative_seconds for p in growth[ls]
+            ]
+            for ls in LEAF_SIZES
+        },
+        title="Figure 8a: cumulative indexing time vs inserted vectors",
+    )
+    text += "\n\n" + format_series(
+        "n inserted",
+        list(CHECKPOINTS),
+        {f"S_L={ls} QPS": [p.qps for p in growth[ls]] for ls in LEAF_SIZES},
+        title="Figure 8b: query throughput while growing (5%-95% windows)",
+    )
+
+    # Growth-model fit, as the paper annotates (C0 * n^1.14 log n + C1).
+    n = np.array(CHECKPOINTS, dtype=float)
+    model = n**1.14 * np.log(n)
+    fits = []
+    for leaf_size in LEAF_SIZES:
+        y = np.array([p.cumulative_seconds for p in growth[leaf_size]])
+        scale = float((model @ y) / (model @ model))
+        residual = float(
+            np.linalg.norm(y - scale * model) / np.linalg.norm(y)
+        )
+        fits.append([leaf_size, f"{scale:.3e}", f"{residual:.2%}"])
+    text += "\n\n" + format_table(
+        ["S_L", "fit C in C*n^1.14*log n", "relative residual"],
+        fits,
+        title="Fit of cumulative build time to the paper's growth model",
+    )
+    report("Figure 8 — leaf size S_L", text)
+
+    # Shape assertions: build time increases as S_L decreases; query speed
+    # within a small band across leaf sizes (paper: "almost negligible").
+    final_times = [growth[ls][-1].cumulative_seconds for ls in LEAF_SIZES]
+    assert final_times[0] >= final_times[-1] * 0.8
+    final_speeds = [growth[ls][-1].qps for ls in LEAF_SIZES]
+    assert max(final_speeds) / min(final_speeds) < 3.0
+
+    # Benchmark one growth-time query at the default leaf size.
+    config = profile.mbi_config()
+    index = MultiLevelBlockIndex(dataset.spec.dim, dataset.metric_name, config)
+    index.extend(dataset.vectors[:2000], dataset.timestamps[:2000])
+    ts = index.store.timestamps
+    benchmark(
+        lambda: index.search(
+            dataset.queries[0], 10, float(ts[100]), float(ts[1800])
+        )
+    )

@@ -1,0 +1,94 @@
+"""Figure 9 — effect of the block-selection threshold tau.
+
+Sweeps tau from 0.1 to 0.9 on the SIFT stand-in and reports model QPS at
+the recall target across window fractions, with BSBF and SF for reference.
+The shape to reproduce:
+
+* tau > 0.5 degrades as tau grows (more blocks searched);
+* with tau <= 0.5 at most two blocks are used (Lemma 4.1): high tau wins
+  on short windows, low tau on long windows;
+* tau ~ 0.5 is a good default everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_helpers import measure_cell
+from repro.eval import format_series
+from repro.eval.runner import _with_tau
+
+TAUS = (0.1, 0.3, 0.5, 0.7, 0.9)
+FRACTIONS = (0.05, 0.15, 0.4, 0.8)
+
+
+def test_fig9_tau_sweep(benchmark, report, suites):
+    suite = suites.get("sift-sim")
+    series: dict[str, list[float]] = {}
+    blocks_used: dict[float, float] = {}
+
+    for tau in TAUS:
+        tuned = _with_tau(suite.mbi, tau)
+        qps = []
+        for i, fraction in enumerate(FRACTIONS):
+            point = measure_cell(
+                suite,
+                "mbi",
+                fraction,
+                suites.truth,
+                seed=900 + i,
+                mbi_index=tuned,
+            )
+            qps.append(point.model_qps if point else float("nan"))
+        series[f"tau={tau}"] = qps
+        # Blocks searched on a mid-length window, for the Lemma 4.1 check.
+        from repro.datasets import make_workload
+
+        workload = make_workload(suite.dataset, 10, 0.4, n_queries=20, seed=7)
+        counts = [
+            tuned.search(
+                q.vector, q.k, q.t_start, q.t_end
+            ).stats.blocks_searched
+            for q in workload
+        ]
+        blocks_used[tau] = max(counts)
+
+    for method in ("bsbf", "sf"):
+        qps = []
+        for i, fraction in enumerate(FRACTIONS):
+            point = measure_cell(
+                suite, method, fraction, suites.truth, seed=900 + i
+            )
+            qps.append(point.model_qps if point else float("nan"))
+        series[method.upper()] = qps
+
+    text = format_series(
+        "fraction",
+        list(FRACTIONS),
+        series,
+        title=(
+            "Figure 9 (sift-sim): window fraction vs model QPS at the "
+            "recall target, tau in {0.1..0.9}"
+        ),
+    )
+    text += "\nmax blocks searched per query (40% windows): " + ", ".join(
+        f"tau={tau}: {int(blocks_used[tau])}" for tau in TAUS
+    )
+    report("Figure 9 — tau effect", text)
+
+    # Lemma 4.1: at most two blocks when tau <= 0.5.
+    for tau in (0.1, 0.3, 0.5):
+        assert blocks_used[tau] <= 2, f"tau={tau} used {blocks_used[tau]}"
+    # tau > 0.5 uses more blocks than tau <= 0.5 on mid windows.
+    assert blocks_used[0.9] > 2
+
+    # tau=0.5 must reach the target everywhere (the recommended default).
+    assert all(not math.isnan(q) for q in series["tau=0.5"])
+
+    tuned = _with_tau(suite.mbi, 0.5)
+    from repro.datasets import make_workload
+
+    query = make_workload(suite.dataset, 10, 0.4, n_queries=1, seed=1)[0]
+    benchmark(
+        lambda: tuned.search(query.vector, 10, query.t_start, query.t_end)
+    )

@@ -1,0 +1,63 @@
+"""Table 3 — default parameters.
+
+Prints the reproduction's per-dataset parameters next to the paper's
+(graph degree, M_C, epsilon range, k values, tau candidates, S_L).  The
+benchmark measures config construction/validation, the only computation
+this table involves.
+"""
+
+from __future__ import annotations
+
+from repro import MBIConfig
+from repro.datasets import available_datasets, get_profile
+from repro.eval import format_table
+
+# Table 3 of the paper, for side-by-side display.
+PAPER_TABLE3 = {
+    "movielens-sim": ("96", "192", "0.5", "3550"),
+    "coms-sim": ("256", "256", "0.2, 0.4", "1000"),
+    "glove-sim": ("256", "256", "0.2, 0.7", "36000"),
+    "sift-sim": ("128", "128", "0.3, 0.5", "15625"),
+    "gist-sim": ("512", "512", "0.3, 0.5", "15625"),
+    "deep-sim": ("64", "64", "0.2, 0.5", "78000"),
+}
+
+
+def test_table3_default_parameters(benchmark, report):
+    rows = []
+    for name in available_datasets():
+        profile = get_profile(name)
+        paper = PAPER_TABLE3[name]
+        rows.append(
+            [
+                name,
+                f"{profile.graph.n_neighbors} ({paper[0]})",
+                f"{profile.search.max_candidates} ({paper[1]})",
+                "1.0-1.4 (same)",
+                "10, 50, 100 (same)",
+                f"{', '.join(str(t) for t in profile.tau_candidates)} "
+                f"({paper[2]})",
+                f"{profile.leaf_size} ({paper[3]})",
+            ]
+        )
+    table = format_table(
+        [
+            "dataset",
+            "# neighbors",
+            "M_C",
+            "epsilon",
+            "k",
+            "tau",
+            "S_L",
+        ],
+        rows,
+        title=(
+            "Table 3: default parameters — reproduction value "
+            "(paper value in parentheses)"
+        ),
+    )
+    report("Table 3 — default parameters", table)
+
+    profile = get_profile("sift-sim")
+    config = benchmark(lambda: profile.mbi_config(tau=0.3))
+    assert isinstance(config, MBIConfig)

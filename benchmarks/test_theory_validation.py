@@ -1,0 +1,121 @@
+"""Section 4.4 — empirical validation of MBI's theoretical analysis.
+
+* index size is O(n log n): per-vector graph bytes grow with log n
+  (Section 4.4.1);
+* amortised insertion work grows sublinearly, ~ n^0.14 log n
+  (Section 4.4.2);
+* with tau <= 0.5 a query touches at most two blocks (Lemma 4.1) and its
+  work scales with log(window)/tau + k/tau rather than with the window
+  size (Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_helpers import loglog_slope
+from repro import MultiLevelBlockIndex
+from repro.datasets import get_profile, load_dataset, make_workload
+from repro.eval import format_table
+
+
+def test_theory_index_size_and_insert_work(benchmark, report):
+    profile = get_profile("sift-sim")
+    dataset = load_dataset("sift-sim")
+    sizes = (1_250, 2_500, 5_000, 10_000)
+    rows = []
+    per_vector_bytes = []
+    per_vector_evals = []
+    for n in sizes:
+        index = MultiLevelBlockIndex(
+            dataset.spec.dim, dataset.metric_name, profile.mbi_config()
+        )
+        index.extend(dataset.vectors[:n], dataset.timestamps[:n])
+        graphs = index.memory_usage()["graphs"]
+        per_vector_bytes.append(graphs / n)
+        per_vector_evals.append(index.total_distance_evaluations / n)
+        rows.append(
+            [
+                f"{n:,}",
+                f"{graphs / n:.0f} B",
+                f"{index.total_distance_evaluations / n:,.0f}",
+                int(np.log2(max(1, index.num_leaves))) + 1,
+            ]
+        )
+    table = format_table(
+        ["n", "graph bytes / vector", "build evals / vector", "tree levels"],
+        rows,
+        title=(
+            "Section 4.4.1/4.4.2: per-vector index size and amortised "
+            "insertion work grow with the number of levels (log n)"
+        ),
+    )
+    report("Theory — index size and insertion work", table)
+
+    # O(n log n) size: per-vector bytes increase, but sublinearly in n.
+    assert per_vector_bytes[-1] > per_vector_bytes[0]
+    slope = loglog_slope(sizes, per_vector_bytes)
+    assert 0.0 < slope < 0.5, f"per-vector size slope {slope:.2f}"
+    # Amortised insert work n^0.14 log n: sublinear growth per vector.
+    work_slope = loglog_slope(sizes, per_vector_evals)
+    assert 0.0 < work_slope < 0.6, f"per-vector work slope {work_slope:.2f}"
+
+    index = MultiLevelBlockIndex(
+        dataset.spec.dim, dataset.metric_name, profile.mbi_config()
+    )
+    index.extend(dataset.vectors[:1250], dataset.timestamps[:1250])
+    benchmark(index.memory_usage)
+
+
+def test_theory_query_work_scales_with_log_window(benchmark, report, suites):
+    suite = suites.get("sift-sim")
+    fractions = (0.02, 0.05, 0.1, 0.2, 0.4, 0.8)
+    rows = []
+    evals = []
+    window_sizes = []
+    for i, fraction in enumerate(fractions):
+        workload = make_workload(
+            suite.dataset, 10, fraction, n_queries=30, seed=70 + i
+        )
+        cell_evals = []
+        cell_blocks = []
+        for query in workload:
+            result = suite.mbi.search(
+                query.vector, query.k, query.t_start, query.t_end
+            )
+            cell_evals.append(result.stats.distance_evaluations)
+            cell_blocks.append(result.stats.blocks_searched)
+        mean_window = fraction * len(suite.dataset)
+        evals.append(float(np.mean(cell_evals)))
+        window_sizes.append(mean_window)
+        rows.append(
+            [
+                f"{fraction:.0%}",
+                f"{mean_window:,.0f}",
+                f"{np.mean(cell_evals):,.0f}",
+                max(cell_blocks),
+            ]
+        )
+    table = format_table(
+        ["window", "vectors in window", "mean dist. evals", "max blocks"],
+        rows,
+        title=(
+            "Theorem 4.2: query work vs window size (tau = 0.5, at most "
+            "2 blocks; work should grow far slower than the window)"
+        ),
+    )
+    report("Theory — query work vs window size", table)
+
+    # Work grows much slower than the window: a 40x larger window must not
+    # cost anywhere near 40x the work.
+    growth = evals[-1] / evals[0]
+    window_growth = window_sizes[-1] / window_sizes[0]
+    assert growth < window_growth / 4, (
+        f"work grew {growth:.1f}x for a {window_growth:.0f}x larger window"
+    )
+
+    workload = make_workload(suite.dataset, 10, 0.2, n_queries=1, seed=3)
+    query = workload[0]
+    benchmark(
+        lambda: suite.mbi.search(query.vector, 10, query.t_start, query.t_end)
+    )

@@ -1,0 +1,127 @@
+"""Movie catalogue: "which 5 movies released between 1980 and 1995 are most
+similar to Zootopia?" — the paper's first motivating query.
+
+Uses the MovieLens-like registry dataset (32-d angular embeddings from a
+matrix-factorisation model, release years as timestamps with heavy ties)
+and compares all three methods of Section 5 on the same query.
+
+Run with:  python examples/movie_catalog.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BSBFIndex, MultiLevelBlockIndex, SFIndex
+from repro.datasets import get_profile, load_dataset
+from repro.eval import format_table
+
+
+def year_of(timestamp: float) -> float:
+    """The dataset's timeline spans [0, 1000) ~ release years 1930-2026."""
+    return 1930.0 + timestamp * (2026.0 - 1930.0) / 1000.0
+
+
+def to_timestamp(year: float) -> float:
+    return (year - 1930.0) * 1000.0 / (2026.0 - 1930.0)
+
+
+def main() -> None:
+    profile = get_profile("movielens-sim")
+    dataset = load_dataset("movielens-sim")
+    print(
+        f"catalogue: {len(dataset)} movies, {dataset.spec.dim}-d angular "
+        f"embeddings, release years with ties "
+        f"({len(np.unique(dataset.timestamps))} distinct years)"
+    )
+
+    print("building MBI, BSBF, and SF indexes ...")
+    mbi = MultiLevelBlockIndex(
+        dataset.spec.dim, "angular", profile.mbi_config()
+    )
+    mbi.extend(dataset.vectors, dataset.timestamps)
+
+    bsbf = BSBFIndex(dataset.spec.dim, "angular")
+    bsbf.extend(dataset.vectors, dataset.timestamps)
+
+    sf = SFIndex(
+        dataset.spec.dim,
+        "angular",
+        graph_config=profile.graph,
+        search_params=profile.search,
+    )
+    sf.extend(dataset.vectors, dataset.timestamps)
+    sf.build()
+
+    # "Zootopia": a held-out movie embedding.
+    zootopia = dataset.queries[0]
+    t_start, t_end = to_timestamp(1980.0), to_timestamp(1996.0)
+
+    print("\nquery: 5 most similar movies released 1980-1995\n")
+    rows = []
+    reference: set[int] = set()
+    for name, run in (
+        ("BSBF (exact)", lambda: bsbf.search(zootopia, 5, t_start, t_end)),
+        ("MBI", lambda: mbi.search(zootopia, 5, t_start, t_end)),
+        ("SF", lambda: sf.search(zootopia, 5, t_start, t_end)),
+    ):
+        result = run()
+        if name.startswith("BSBF"):
+            reference = set(result.positions.tolist())
+        agreement = (
+            len(set(result.positions.tolist()) & reference) / 5
+            if reference
+            else float("nan")
+        )
+        for rank, (position, distance, ts) in enumerate(
+            zip(result.positions, result.distances, result.timestamps)
+        ):
+            rows.append(
+                [
+                    name if rank == 0 else "",
+                    rank + 1,
+                    f"movie #{position}",
+                    f"{year_of(ts):.0f}",
+                    distance,
+                ]
+            )
+        rows.append(
+            [
+                "",
+                "",
+                f"(recall vs exact: {agreement:.2f}, "
+                f"{result.stats.distance_evaluations} dist. evals)",
+                "",
+                "",
+            ]
+        )
+    print(
+        format_table(
+            ["method", "rank", "movie", "year", "distance"],
+            rows,
+        )
+    )
+
+    # Window sensitivity: the same query over one decade vs the full
+    # catalogue shows why MBI adapts where the baselines specialise.
+    print("\ncost by window length (distance evaluations per query):")
+    cost_rows = []
+    for label, years in (
+        ("3 years", (1990, 1993)),
+        ("15 years", (1980, 1995)),
+        ("full catalogue", (1930, 2026)),
+    ):
+        lo, hi = to_timestamp(years[0]), to_timestamp(years[1])
+        cost_rows.append(
+            [
+                label,
+                bsbf.search(zootopia, 5, lo, hi).stats.distance_evaluations,
+                mbi.search(zootopia, 5, lo, hi).stats.distance_evaluations,
+                sf.search(zootopia, 5, lo, hi).stats.distance_evaluations,
+            ]
+        )
+    print(format_table(["window", "BSBF", "MBI", "SF"], cost_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""Parameter tuning walkthrough: leaf size S_L, threshold tau, and epsilon.
+
+Reproduces, at demo scale, the methodology of the paper's Section 5.4: how
+``S_L`` trades indexing time for index size, how ``tau`` shifts the
+balance between few-large-blocks and many-small-blocks, and how the
+``epsilon`` sweep traces a recall/throughput Pareto frontier.
+
+Run with:  python examples/parameter_tuning.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import MBIConfig, MultiLevelBlockIndex, SearchParams
+from repro.datasets import (
+    GroundTruthCache,
+    SyntheticSpec,
+    generate,
+    make_workload,
+)
+from repro.eval import (
+    epsilon_sweep,
+    format_table,
+    mbi_run_fn,
+    pareto_frontier,
+)
+
+
+def main() -> None:
+    dataset = generate(
+        SyntheticSpec(
+            n_items=4_000,
+            n_queries=60,
+            dim=32,
+            metric="euclidean",
+            generator="drifting_clusters",
+            n_clusters=16,
+            seed=5,
+        ),
+        name="tuning-demo",
+    )
+    truth_cache = GroundTruthCache()
+
+    # ---------------------------------------------------------- leaf size
+    print("effect of leaf size S_L (Section 5.4.1)\n")
+    rows = []
+    indexes: dict[int, MultiLevelBlockIndex] = {}
+    for leaf_size in (125, 250, 500):
+        config = MBIConfig(leaf_size=leaf_size, tau=0.5)
+        index = MultiLevelBlockIndex(32, "euclidean", config)
+        started = time.perf_counter()
+        index.extend(dataset.vectors, dataset.timestamps)
+        build_seconds = time.perf_counter() - started
+        usage = index.memory_usage()
+        rows.append(
+            [
+                leaf_size,
+                index.num_leaves,
+                index.num_blocks,
+                f"{build_seconds:.1f}s",
+                f"{usage['graphs'] / 1e6:.1f} MB",
+            ]
+        )
+        indexes[leaf_size] = index
+    print(
+        format_table(
+            ["S_L", "leaves", "blocks", "build time", "graph bytes"], rows
+        )
+    )
+
+    # ----------------------------------------------------------------- tau
+    print("\neffect of tau on blocks searched (Section 5.4.2)\n")
+    index = indexes[250]
+    workload = make_workload(dataset, 10, 0.35, n_queries=40, seed=1)
+    rows = []
+    for tau in (0.1, 0.3, 0.5, 0.7, 0.9):
+        config = index.config.with_tau(tau)
+        tuned = MultiLevelBlockIndex.__new__(MultiLevelBlockIndex)
+        tuned.__dict__.update(index.__dict__)
+        tuned._config = config
+        blocks = []
+        evals = []
+        for query in workload:
+            result = tuned.search(
+                query.vector, query.k, query.t_start, query.t_end
+            )
+            blocks.append(result.stats.blocks_searched)
+            evals.append(result.stats.distance_evaluations)
+        rows.append(
+            [tau, f"{np.mean(blocks):.2f}", f"{np.mean(evals):.0f}"]
+        )
+    print(
+        format_table(
+            ["tau", "mean blocks searched", "mean distance evals"], rows
+        )
+    )
+    print("(tau <= 0.5 guarantees at most 2 blocks — Lemma 4.1)")
+
+    # ------------------------------------------------------------- epsilon
+    print("\nepsilon sweep and Pareto frontier (Section 5.1.3)\n")
+    truth = truth_cache.get(dataset, workload)
+    points = epsilon_sweep(
+        lambda eps: mbi_run_fn(
+            index, SearchParams(epsilon=eps, max_candidates=96)
+        ),
+        workload,
+        truth,
+        epsilons=(1.0, 1.05, 1.1, 1.2, 1.3, 1.4),
+        metric="euclidean",
+        dim=32,
+    )
+    frontier = pareto_frontier(points)
+    rows = [
+        [
+            p.epsilon,
+            f"{p.recall:.3f}",
+            f"{p.qps:.0f}",
+            f"{p.model_qps:.0f}",
+            "*" if p in frontier else "",
+        ]
+        for p in points
+    ]
+    print(
+        format_table(
+            ["epsilon", "recall@10", "wall QPS", "model QPS", "on frontier"],
+            rows,
+        )
+    )
+
+    # ------------------------------------------------- per-interval tau
+    print("\npre-computed per-interval tau (the paper's Sec. 5.4.2 idea)\n")
+    from repro import TauTuner
+
+    tuner = TauTuner(index, candidates=(0.1, 0.3, 0.5))
+    calibration = tuner.calibrate(queries_per_bucket=10)
+    edges = (*calibration.bucket_edges, 1.0)
+    rows = [
+        [f"<= {edge:.0%}", tau]
+        for edge, tau in zip(edges, calibration.taus)
+    ]
+    print(format_table(["window fraction bucket", "calibrated tau"], rows))
+    ts = dataset.timestamps
+    short = tuner.search(dataset.queries[0], 10, float(ts[100]), float(ts[250]))
+    long = tuner.search(dataset.queries[0], 10, float(ts[100]), float(ts[3500]))
+    print(
+        f"\nshort window: {short.stats.distance_evaluations} evals in "
+        f"{short.stats.blocks_searched} block(s); "
+        f"long window: {long.stats.distance_evaluations} evals in "
+        f"{long.stats.blocks_searched} block(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: index a stream of timestamped vectors and run TkNN queries.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MBIConfig, MultiLevelBlockIndex, SearchParams
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    dim = 32
+
+    # An MBI index: leaf blocks of 256 vectors, the paper's recommended
+    # tau = 0.5, Euclidean distance.
+    index = MultiLevelBlockIndex(
+        dim,
+        metric="euclidean",
+        config=MBIConfig(leaf_size=256, tau=0.5),
+    )
+
+    # Simulate a data stream: vectors arrive in timestamp order.  Here one
+    # vector per "minute" over ~5 days.
+    print("ingesting 8,000 vectors ...")
+    for minute in range(8_000):
+        vector = rng.standard_normal(dim).astype(np.float32)
+        index.insert(vector, timestamp=float(minute))
+    print(
+        f"index now holds {len(index)} vectors in {index.num_blocks} blocks "
+        f"({index.num_leaves} leaves)"
+    )
+
+    # A TkNN query: the 5 nearest vectors among those from minutes
+    # 1,000-3,000 (a ~25% time window).
+    query = rng.standard_normal(dim).astype(np.float32)
+    result = index.search(query, k=5, t_start=1_000.0, t_end=3_000.0)
+    print("\nTkNN over minutes [1000, 3000):")
+    for position, distance, timestamp in zip(
+        result.positions, result.distances, result.timestamps
+    ):
+        print(
+            f"  vector #{position}  distance={distance:.3f}  "
+            f"t={timestamp:.0f}"
+        )
+    print(
+        f"searched {result.stats.blocks_searched} block(s), "
+        f"{result.stats.distance_evaluations} distance evaluations"
+    )
+
+    # Unbounded window = classic kNN; tighter epsilon = faster, lower recall.
+    fast = index.search(
+        query, k=5, params=SearchParams(epsilon=1.0, max_candidates=64)
+    )
+    print(f"\nunrestricted kNN (fast settings): positions {fast.positions}")
+
+
+if __name__ == "__main__":
+    main()

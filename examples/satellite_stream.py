@@ -1,0 +1,114 @@
+"""Streaming satellite imagery: continuous ingest + periodic snapshots.
+
+Models the paper's COMS workload: a weather satellite produces an image
+embedding at a fixed cadence, forever.  The index must absorb the stream
+(Algorithm 3's incremental construction, optionally with parallel block
+merging) while answering "most similar weather pattern in <window>" queries
+at any moment.  Also demonstrates persistence: the operator snapshots the
+index and a fresh process resumes from it.
+
+Run with:  python examples/satellite_stream.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    GraphConfig,
+    MBIConfig,
+    MultiLevelBlockIndex,
+    SearchParams,
+    load_index,
+    save_index,
+)
+
+DIM = 128
+IMAGES_PER_DAY = 48  # one every 30 minutes
+
+
+def weather_embedding(rng, hour_of_year: float) -> np.ndarray:
+    """Embedding with daily and yearly periodicity plus weather noise."""
+    season = 2 * np.pi * hour_of_year / (24 * 365)
+    daily = 2 * np.pi * hour_of_year / 24
+    base = np.concatenate(
+        [
+            np.cos(season) * np.ones(DIM // 4),
+            np.sin(season) * np.ones(DIM // 4),
+            np.cos(daily) * np.ones(DIM // 4),
+            np.sin(daily) * np.ones(DIM // 4),
+        ]
+    )
+    return (base + 0.8 * rng.standard_normal(DIM)).astype(np.float32)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    config = MBIConfig(
+        leaf_size=IMAGES_PER_DAY * 7,  # one leaf per week
+        tau=0.4,
+        graph=GraphConfig(n_neighbors=12),
+        search=SearchParams(epsilon=1.1, max_candidates=128),
+        parallel=True,  # bottom-up merges build blocks concurrently
+    )
+    index = MultiLevelBlockIndex(DIM, metric="angular", config=config)
+
+    print("streaming ~4 months of imagery (one embedding per 30 min) ...")
+    started = time.perf_counter()
+    n_images = IMAGES_PER_DAY * 7 * 16  # 16 weeks
+    for i in range(n_images):
+        hour = i * 0.5
+        index.insert(weather_embedding(rng, hour), timestamp=hour)
+    ingest_seconds = time.perf_counter() - started
+    print(
+        f"ingested {n_images} images in {ingest_seconds:.1f}s "
+        f"({n_images / ingest_seconds:.0f} images/s); "
+        f"{index.num_blocks} blocks, "
+        f"graph build time {index.total_build_seconds:.1f}s"
+    )
+
+    # "Find the 5 most similar weather patterns within weeks 4-8."
+    query = weather_embedding(rng, hour_of_year=24 * 7 * 5.5)
+    t_start, t_end = 24 * 7 * 4.0, 24 * 7 * 8.0
+    result = index.search(query, k=5, t_start=t_start, t_end=t_end)
+    print("\nmost similar patterns in weeks 4-8:")
+    for position, distance, hour in zip(
+        result.positions, result.distances, result.timestamps
+    ):
+        print(
+            f"  image #{position}  week {hour / (24 * 7):.1f}  "
+            f"distance {distance:.3f}"
+        )
+
+    # Snapshot, reload, and keep ingesting — the operational cycle.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_index(index, Path(tmp) / "coms-index")
+        size_mb = path.stat().st_size / 1e6
+        print(f"\nsnapshot written: {path.name} ({size_mb:.1f} MB)")
+
+        resumed = load_index(path)
+        for i in range(n_images, n_images + IMAGES_PER_DAY):
+            hour = i * 0.5
+            resumed.insert(weather_embedding(rng, hour), timestamp=hour)
+        print(
+            f"resumed index ingested one more day; now {len(resumed)} images"
+        )
+        tail = resumed.search(
+            query, k=3, t_start=n_images * 0.5, t_end=float("inf")
+        )
+        print(f"3 nearest among the new day's images: {tail.positions}")
+
+    usage = index.memory_usage()
+    print(
+        f"\nmemory: vectors {usage['vectors'] / 1e6:.1f} MB, "
+        f"graphs {usage['graphs'] / 1e6:.1f} MB "
+        f"({usage['graphs'] / usage['vectors']:.2f}x data)"
+    )
+
+
+if __name__ == "__main__":
+    main()

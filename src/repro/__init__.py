@@ -1,0 +1,98 @@
+"""repro — Multi-level Block Indexing for time-restricted kNN search.
+
+A from-scratch Python reproduction of *"Efficient Proximity Search in
+Time-accumulating High-dimensional Data using Multi-level Block Indexing"*
+(Han, Kim & Park, EDBT 2024).
+
+Quick start::
+
+    import numpy as np
+    from repro import MultiLevelBlockIndex, MBIConfig
+
+    index = MultiLevelBlockIndex(dim=64, metric="angular",
+                                 config=MBIConfig(leaf_size=512))
+    for t, vector in enumerate(stream_of_vectors):
+        index.insert(vector, timestamp=float(t))
+    result = index.search(query_vector, k=10, t_start=100.0, t_end=900.0)
+
+The package is organised as:
+
+* :mod:`repro.core` — MBI itself (block tree, insertion, query processing);
+* :mod:`repro.baselines` — BSBF, SF, the exact oracle, and best-of(BSBF, SF);
+* :mod:`repro.graph` — the graph-ANN substrate (NNDescent, pruning, search);
+* :mod:`repro.storage` — timestamped append-only vector storage;
+* :mod:`repro.distances` — metrics and vectorised kernels;
+* :mod:`repro.datasets` — synthetic datasets, workloads, ground truth;
+* :mod:`repro.eval` — recall, timing, epsilon sweeps, experiment runners.
+"""
+
+from .baselines import BSBFIndex, BestOfBaselines, ExactOracle, SFIndex
+from .core import (
+    Block,
+    BlockBackend,
+    GraphBackend,
+    IVFConfig,
+    IVFPQConfig,
+    LSHParams,
+    MBIConfig,
+    MultiLevelBlockIndex,
+    QueryResult,
+    QueryStats,
+    SearchParams,
+    TauTuner,
+)
+from .core.persistence import load_index, save_index
+from .distances import Metric, available_metrics, resolve_metric
+from .exceptions import (
+    ConfigurationError,
+    DatasetError,
+    DimensionMismatchError,
+    EmptyIndexError,
+    InvalidQueryError,
+    PersistenceError,
+    ReproError,
+    TimestampOrderError,
+    UnknownMetricError,
+)
+from .graph import GraphConfig, NNDescentParams
+from .storage import TimeWindow, VectorStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSBFIndex",
+    "BestOfBaselines",
+    "Block",
+    "BlockBackend",
+    "ConfigurationError",
+    "DatasetError",
+    "DimensionMismatchError",
+    "EmptyIndexError",
+    "ExactOracle",
+    "GraphBackend",
+    "GraphConfig",
+    "IVFConfig",
+    "IVFPQConfig",
+    "InvalidQueryError",
+    "LSHParams",
+    "MBIConfig",
+    "Metric",
+    "MultiLevelBlockIndex",
+    "NNDescentParams",
+    "PersistenceError",
+    "QueryResult",
+    "QueryStats",
+    "ReproError",
+    "SFIndex",
+    "SearchParams",
+    "TauTuner",
+    "TimeWindow",
+    "TimestampOrderError",
+    "UnknownMetricError",
+    "VectorStore",
+    "available_metrics",
+    "load_index",
+    "resolve_metric",
+    "save_index",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Baseline TkNN methods the paper compares MBI against."""
+
+from .bsbf import BSBFIndex
+from .exact import ExactOracle, exact_tknn
+from .oracle import BestOfBaselines, BestOfOutcome
+from .postfilter import PostFilterIndex
+from .sf import SFIndex
+
+__all__ = [
+    "BSBFIndex",
+    "BestOfBaselines",
+    "BestOfOutcome",
+    "ExactOracle",
+    "PostFilterIndex",
+    "SFIndex",
+    "exact_tknn",
+]

@@ -1,0 +1,104 @@
+"""Binary Search and Brute-Force (BSBF) — the paper's Algorithm 1.
+
+BSBF's "index" is just the timestamp-sorted store: a query binary-searches
+the window boundaries (``O(log n)``) and scans every vector inside the
+window exactly (``O(m log k)``; here a vectorised scan plus ``argpartition``).
+It is exact, fast for short windows, and degrades linearly as the window
+grows — one of the two regimes MBI interpolates between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distances.metrics import Metric, resolve_metric
+from ..exceptions import EmptyIndexError, InvalidQueryError
+from ..storage.timeline import TimeWindow
+from ..storage.vector_store import VectorStore
+from ..core.brute import brute_force_topk
+from ..core.results import QueryResult, QueryStats
+
+
+class BSBFIndex:
+    """Exact TkNN via binary search plus brute force.
+
+    Args:
+        dim: Dimensionality of indexed vectors.
+        metric: Distance metric (name or :class:`Metric`).
+    """
+
+    def __init__(self, dim: int, metric: Metric | str = "euclidean") -> None:
+        self._metric = resolve_metric(metric)
+        self._store = VectorStore(dim)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of indexed vectors."""
+        return self._store.dim
+
+    @property
+    def metric(self) -> Metric:
+        """The index's distance metric."""
+        return self._metric
+
+    @property
+    def store(self) -> VectorStore:
+        """The underlying vector store."""
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def insert(self, vector: np.ndarray, timestamp: float) -> int:
+        """Append one timestamped vector; O(1) amortised."""
+        return self._store.append(vector, timestamp)
+
+    def extend(self, vectors: np.ndarray, timestamps: np.ndarray) -> range:
+        """Append a timestamp-sorted batch."""
+        return self._store.extend(vectors, timestamps)
+
+    def memory_usage(self) -> dict[str, int]:
+        """Bytes used: the sorted store is the entire index."""
+        vectors = self._store.nbytes()
+        return {"vectors": vectors, "graphs": 0, "total": vectors}
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        t_start: float = float("-inf"),
+        t_end: float = float("inf"),
+    ) -> QueryResult:
+        """Answer a TkNN query exactly (Algorithm 1).
+
+        Raises:
+            EmptyIndexError: If the index holds no vectors.
+            InvalidQueryError: If ``k < 1``, the window is inverted, or the
+                query dimension is wrong.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if len(self._store) == 0:
+            raise EmptyIndexError("cannot search an empty index")
+        if k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {k}")
+        if query.ndim != 1 or query.shape[0] != self.dim:
+            raise InvalidQueryError(
+                f"query must be a vector of dimension {self.dim}, "
+                f"got shape {query.shape}"
+            )
+        window = TimeWindow(float(t_start), float(t_end))
+        positions = self._store.resolve_window(window)
+        found_positions, found_dists = brute_force_topk(
+            self._store, self._metric, query, k, positions
+        )
+        stats = QueryStats(
+            blocks_searched=1,
+            distance_evaluations=positions.stop - positions.start,
+            window_size=positions.stop - positions.start,
+        )
+        return QueryResult(
+            positions=found_positions,
+            distances=found_dists,
+            timestamps=self._store.timestamps[found_positions],
+            stats=stats,
+        )

@@ -1,0 +1,46 @@
+"""Exact TkNN oracle used for ground truth and recall measurement.
+
+A thin wrapper over :class:`BSBFIndex` under a name that states its role:
+the true answer set ``A`` in the paper's ``recall@k`` definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distances.metrics import Metric
+from ..storage.vector_store import VectorStore
+from ..core.brute import brute_force_topk
+from ..core.results import QueryResult, QueryStats
+from ..storage.timeline import TimeWindow
+from .bsbf import BSBFIndex
+
+
+class ExactOracle(BSBFIndex):
+    """Exact TkNN answers; identical to BSBF (which is already exact)."""
+
+
+def exact_tknn(
+    store: VectorStore,
+    metric: Metric,
+    query: np.ndarray,
+    k: int,
+    t_start: float = float("-inf"),
+    t_end: float = float("inf"),
+) -> QueryResult:
+    """One-shot exact TkNN over an existing store (no index object needed)."""
+    window = TimeWindow(float(t_start), float(t_end))
+    positions = store.resolve_window(window)
+    found_positions, found_dists = brute_force_topk(
+        store, metric, query, k, positions
+    )
+    return QueryResult(
+        positions=found_positions,
+        distances=found_dists,
+        timestamps=store.timestamps[found_positions],
+        stats=QueryStats(
+            blocks_searched=1,
+            distance_evaluations=positions.stop - positions.start,
+            window_size=positions.stop - positions.start,
+        ),
+    )

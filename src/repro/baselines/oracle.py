@@ -1,0 +1,92 @@
+"""The hypothetical best-of(BSBF, SF) comparator.
+
+Section 5.2 compares MBI against "a hypothetical method that selects the
+faster of BSBF and SF" per query and reports MBI up to 10.88x faster than
+it.  This module provides that comparator: it runs both baselines and keeps
+the answer of whichever was cheaper, attributing only the winner's cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.results import QueryResult
+from .bsbf import BSBFIndex
+from .sf import SFIndex
+
+
+@dataclass(frozen=True)
+class BestOfOutcome:
+    """One best-of query: the winning result and per-method costs.
+
+    Attributes:
+        result: The winner's query result.
+        winner: ``"bsbf"`` or ``"sf"``.
+        bsbf_seconds: Wall-clock cost of the BSBF attempt.
+        sf_seconds: Wall-clock cost of the SF attempt.
+    """
+
+    result: QueryResult
+    winner: str
+    bsbf_seconds: float
+    sf_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """The cost attributed to the hypothetical method (the winner's)."""
+        return min(self.bsbf_seconds, self.sf_seconds)
+
+
+class BestOfBaselines:
+    """Run BSBF and SF side by side; per query, charge only the faster one.
+
+    Both wrapped indexes must be fed the same data (use :meth:`insert` /
+    :meth:`extend` on this object so they stay in sync).
+    """
+
+    def __init__(self, bsbf: BSBFIndex, sf: SFIndex) -> None:
+        if bsbf.dim != sf.dim:
+            raise ValueError(
+                f"dimension mismatch: BSBF has {bsbf.dim}, SF has {sf.dim}"
+            )
+        self.bsbf = bsbf
+        self.sf = sf
+
+    def insert(self, vector: np.ndarray, timestamp: float) -> int:
+        """Insert into both baselines; returns the (shared) position."""
+        position = self.bsbf.insert(vector, timestamp)
+        self.sf.insert(vector, timestamp)
+        return position
+
+    def extend(self, vectors: np.ndarray, timestamps: np.ndarray) -> range:
+        """Batch insert into both baselines."""
+        positions = self.bsbf.extend(vectors, timestamps)
+        self.sf.extend(vectors, timestamps)
+        return positions
+
+    def build(self) -> None:
+        """Build SF's graph (BSBF needs no build)."""
+        self.sf.build()
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        t_start: float = float("-inf"),
+        t_end: float = float("inf"),
+    ) -> BestOfOutcome:
+        """Answer with whichever baseline is faster on this query."""
+        started = time.perf_counter()
+        bsbf_result = self.bsbf.search(query, k, t_start, t_end)
+        bsbf_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        sf_result = self.sf.search(query, k, t_start, t_end)
+        sf_seconds = time.perf_counter() - started
+
+        if bsbf_seconds <= sf_seconds:
+            return BestOfOutcome(bsbf_result, "bsbf", bsbf_seconds, sf_seconds)
+        return BestOfOutcome(sf_result, "sf", bsbf_seconds, sf_seconds)

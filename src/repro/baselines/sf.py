@@ -1,0 +1,226 @@
+"""Search and Filtering (SF) — one global graph, time filtering at query time.
+
+SF builds a single graph index over the whole database, ignoring timestamps,
+and answers TkNN queries by running the time-filtered graph search
+(Algorithm 2) over it: exploration continues until ``k`` in-window results
+are found.  It is fast for long windows and degrades badly for short ones,
+because almost everything it visits gets filtered out — the second regime
+MBI interpolates between.
+
+Unlike MBI, SF as described in the paper is a *static* index: it has no
+incremental story, so :meth:`SFIndex.build` (re)builds the graph from the
+entire store.  An :meth:`insert` that marks the graph stale is provided for
+the scalability benches, which rebuild at measurement points.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..distances.metrics import Metric, resolve_metric
+from ..exceptions import EmptyIndexError, InvalidQueryError
+from ..graph.builder import GraphConfig, build_knn_graph
+from ..graph.knn_graph import KnnGraph
+from ..graph.search import graph_search
+from ..storage.timeline import TimeWindow
+from ..storage.vector_store import VectorStore
+from ..core.config import SearchParams
+from ..core.results import QueryResult, QueryStats
+
+
+class SFIndex:
+    """Approximate TkNN via a single global proximity graph.
+
+    Args:
+        dim: Dimensionality of indexed vectors.
+        metric: Distance metric (name or :class:`Metric`).
+        graph_config: Graph construction parameters.
+        search_params: Default query-time parameters.
+        seed: Base seed for graph construction and entry sampling.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        metric: Metric | str = "euclidean",
+        graph_config: GraphConfig | None = None,
+        search_params: SearchParams | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._metric = resolve_metric(metric)
+        self._graph_config = graph_config or GraphConfig()
+        self._search_params = search_params or SearchParams()
+        self._seed = seed
+        self._store = VectorStore(dim)
+        self._graph: KnnGraph | None = None
+        self._graph_size = 0  # store length the graph was built for
+        self._rng = np.random.default_rng(seed)
+        self._total_build_seconds = 0.0
+        self._total_distance_evaluations = 0
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of indexed vectors."""
+        return self._store.dim
+
+    @property
+    def metric(self) -> Metric:
+        """The index's distance metric."""
+        return self._metric
+
+    @property
+    def store(self) -> VectorStore:
+        """The underlying vector store."""
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether vectors were added since the graph was last built."""
+        return self._graph_size != len(self._store)
+
+    @property
+    def total_build_seconds(self) -> float:
+        """Cumulative wall-clock seconds spent building the graph."""
+        return self._total_build_seconds
+
+    @property
+    def total_distance_evaluations(self) -> int:
+        """Cumulative distance computations spent building the graph."""
+        return self._total_distance_evaluations
+
+    def insert(self, vector: np.ndarray, timestamp: float) -> int:
+        """Append one vector; the graph becomes stale until :meth:`build`."""
+        return self._store.append(vector, timestamp)
+
+    def extend(self, vectors: np.ndarray, timestamps: np.ndarray) -> range:
+        """Append a timestamp-sorted batch; graph becomes stale."""
+        return self._store.extend(vectors, timestamps)
+
+    def build(self) -> None:
+        """(Re)build the global graph over everything currently stored."""
+        if len(self._store) < 2:
+            raise EmptyIndexError("need at least 2 vectors to build SF's graph")
+        points = self._store.slice(0, len(self._store))
+        rng = np.random.default_rng([self._seed, len(self._store)])
+        started = time.perf_counter()
+        report = build_knn_graph(points, self._metric, self._graph_config, rng)
+        self._total_build_seconds += time.perf_counter() - started
+        self._total_distance_evaluations += report.distance_evaluations
+        self._graph = report.graph
+        self._graph_size = len(self._store)
+
+    def memory_usage(self) -> dict[str, int]:
+        """Bytes used: raw vectors plus the single global graph."""
+        vectors = self._store.nbytes()
+        graphs = self._graph.nbytes() if self._graph is not None else 0
+        return {"vectors": vectors, "graphs": graphs, "total": vectors + graphs}
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        t_start: float = float("-inf"),
+        t_end: float = float("inf"),
+        params: SearchParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> QueryResult:
+        """Answer a TkNN query with filtered graph search (Algorithm 2).
+
+        Raises:
+            EmptyIndexError: If the index is empty or the graph was never
+                built (or is stale with no coverage at all).
+            InvalidQueryError: On malformed queries.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if len(self._store) == 0:
+            raise EmptyIndexError("cannot search an empty index")
+        if self._graph is None:
+            raise EmptyIndexError("SF graph not built; call build() first")
+        if k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {k}")
+        if query.ndim != 1 or query.shape[0] != self.dim:
+            raise InvalidQueryError(
+                f"query must be a vector of dimension {self.dim}, "
+                f"got shape {query.shape}"
+            )
+        if params is None:
+            params = self._search_params
+        if rng is None:
+            rng = self._rng
+
+        window = TimeWindow(float(t_start), float(t_end))
+        positions = self._store.resolve_window(window)
+        # The graph only covers vectors present at build time.
+        allowed = range(positions.start, min(positions.stop, self._graph_size))
+        if allowed.start >= allowed.stop:
+            return QueryResult.empty(
+                QueryStats(window_size=positions.stop - positions.start)
+            )
+        span = allowed.stop - allowed.start
+        if span <= params.brute_force_threshold:
+            # A tiny window is cheaper (and exact) via a direct scan; graph
+            # search under a near-empty filter can otherwise drop results.
+            from ..core.brute import brute_force_topk
+
+            found_positions, found_dists = brute_force_topk(
+                self._store, self._metric, query, k, allowed
+            )
+            return QueryResult(
+                positions=found_positions,
+                distances=found_dists,
+                timestamps=self._store.timestamps[found_positions],
+                stats=QueryStats(
+                    blocks_searched=1,
+                    distance_evaluations=span,
+                    window_size=positions.stop - positions.start,
+                ),
+            )
+        points = self._store.slice(0, self._graph_size)
+        entries = self._pick_entries(points, query, allowed, params, rng)
+        outcome = graph_search(
+            self._graph,
+            points,
+            self._metric,
+            query,
+            k,
+            epsilon=params.epsilon,
+            max_candidates=params.max_candidates,
+            allowed=allowed,
+            entry=entries,
+        )
+        stats = QueryStats(
+            blocks_searched=1,
+            graph_blocks=1,
+            nodes_visited=outcome.stats.nodes_visited,
+            distance_evaluations=outcome.stats.distance_evaluations + len(entries),
+            window_size=positions.stop - positions.start,
+        )
+        return QueryResult(
+            positions=outcome.ids.astype(np.int64),
+            distances=outcome.dists,
+            timestamps=self._store.timestamps[outcome.ids],
+            stats=stats,
+        )
+
+    def _pick_entries(
+        self,
+        points: np.ndarray,
+        query: np.ndarray,
+        allowed: range,
+        params: SearchParams,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Best of a random in-window sample (same strategy as MBI blocks)."""
+        span = allowed.stop - allowed.start
+        sample_size = min(params.entry_sample, span)
+        if sample_size <= 0:
+            return np.zeros(1, dtype=np.int64)
+        candidates = allowed.start + rng.choice(span, sample_size, replace=False)
+        dists = self._metric.batch(query, points[candidates])
+        best = np.argsort(dists)[: params.n_entries]
+        return candidates[best]

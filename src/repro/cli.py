@@ -1,0 +1,269 @@
+"""Command-line interface for the repro library.
+
+Subcommands::
+
+    repro datasets                         list the registered datasets
+    repro build DATASET -o index.npz       build an MBI index and snapshot it
+    repro info index.npz                   describe a snapshot
+    repro query index.npz --dataset NAME   run TkNN queries against a snapshot
+    repro bench                            how to regenerate the paper's tables
+
+Every command is also reachable via ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+import numpy as np
+
+from . import __version__
+from .core.mbi import MultiLevelBlockIndex
+from .core.persistence import load_index, save_index
+from .datasets.registry import available_datasets, get_profile, load_dataset
+from .eval.reporting import format_table
+from .exceptions import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multi-level Block Indexing for time-restricted kNN search "
+            "(EDBT 2024 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list the registered datasets")
+
+    build = commands.add_parser(
+        "build", help="build an MBI index over a registered dataset"
+    )
+    build.add_argument("dataset", help="dataset name (see `repro datasets`)")
+    build.add_argument(
+        "-o", "--output", required=True, help="snapshot path (.npz)"
+    )
+    build.add_argument(
+        "--leaf-size", type=int, default=None, help="override S_L"
+    )
+    build.add_argument("--tau", type=float, default=None, help="override tau")
+    build.add_argument(
+        "--backend",
+        choices=("graph", "ivf"),
+        default=None,
+        help="per-block index backend",
+    )
+    build.add_argument(
+        "--max-items", type=int, default=None, help="truncate the dataset"
+    )
+    build.add_argument(
+        "--parallel", action="store_true", help="parallel block merging"
+    )
+
+    info = commands.add_parser("info", help="describe an index snapshot")
+    info.add_argument("snapshot", help="snapshot path (.npz)")
+
+    query = commands.add_parser(
+        "query", help="run TkNN queries against a snapshot"
+    )
+    query.add_argument("snapshot", help="snapshot path (.npz)")
+    query.add_argument(
+        "--dataset",
+        required=True,
+        help="dataset whose held-out queries to use",
+    )
+    query.add_argument("-k", type=int, default=10, help="neighbors per query")
+    query.add_argument(
+        "--t-start", type=float, default=float("-inf"), help="window start"
+    )
+    query.add_argument(
+        "--t-end", type=float, default=float("inf"), help="window end"
+    )
+    query.add_argument(
+        "-n", "--num-queries", type=int, default=5, help="queries to run"
+    )
+
+    commands.add_parser(
+        "bench", help="how to regenerate the paper's tables and figures"
+    )
+    return parser
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for name in available_datasets():
+        profile = get_profile(name)
+        rows.append(
+            [
+                name,
+                profile.paper_name,
+                f"{profile.spec.n_items:,}",
+                profile.spec.dim,
+                profile.spec.metric,
+                profile.leaf_size,
+                profile.tau,
+            ]
+        )
+    print(
+        format_table(
+            ["name", "stands for", "items", "dim", "metric", "S_L", "tau"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    profile = get_profile(args.dataset)
+    dataset = load_dataset(args.dataset)
+    overrides = {}
+    if args.leaf_size is not None:
+        overrides["leaf_size"] = args.leaf_size
+    if args.tau is not None:
+        overrides["tau"] = args.tau
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.parallel:
+        overrides["parallel"] = True
+    config = profile.mbi_config(**overrides)
+
+    vectors = dataset.vectors
+    timestamps = dataset.timestamps
+    if args.max_items is not None:
+        vectors = vectors[: args.max_items]
+        timestamps = timestamps[: args.max_items]
+
+    print(
+        f"building MBI over {len(vectors):,} vectors "
+        f"(dim {dataset.spec.dim}, {dataset.metric_name}, "
+        f"S_L={config.leaf_size}, tau={config.tau}, "
+        f"backend={config.backend}) ..."
+    )
+    index = MultiLevelBlockIndex(
+        dataset.spec.dim, dataset.metric_name, config
+    )
+    started = time.perf_counter()
+    index.extend(vectors, timestamps)
+    elapsed = time.perf_counter() - started
+    path = save_index(index, args.output)
+    usage = index.memory_usage()
+    print(
+        f"built {index.num_blocks} blocks in {elapsed:.1f}s; "
+        f"index {usage['total'] / 1e6:.1f} MB "
+        f"({usage['graphs'] / 1e6:.1f} MB of block indexes); "
+        f"snapshot: {path}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    index = load_index(args.snapshot)
+    usage = index.memory_usage()
+    config = index.config
+    print(f"snapshot        : {args.snapshot}")
+    print(f"vectors         : {len(index):,} x {index.dim} ({index.metric.name})")
+    print(
+        f"time range      : [{index.store.timestamps[0]:.6g}, "
+        f"{index.store.latest_timestamp:.6g}]"
+        if len(index)
+        else "time range      : (empty)"
+    )
+    print(f"blocks          : {index.num_blocks} ({index.num_leaves} leaves)")
+    print(
+        f"config          : S_L={config.leaf_size} tau={config.tau} "
+        f"backend={config.backend} selection={config.selection_mode}"
+    )
+    print(
+        f"memory          : {usage['total'] / 1e6:.1f} MB total "
+        f"({usage['vectors'] / 1e6:.1f} data + "
+        f"{usage['graphs'] / 1e6:.1f} index)"
+    )
+    rows = [
+        [
+            block.index,
+            block.height,
+            f"[{block.positions.start}, {block.positions.stop})",
+            "built" if block.is_built else "open",
+            f"{block.nbytes() / 1e3:.0f} KB",
+        ]
+        for block in index.iter_blocks()
+    ]
+    print()
+    print(format_table(["block", "height", "positions", "state", "index"], rows))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.snapshot)
+    dataset = load_dataset(args.dataset)
+    if dataset.spec.dim != index.dim:
+        print(
+            f"error: dataset {args.dataset!r} has dim {dataset.spec.dim}, "
+            f"index has {index.dim}",
+            file=sys.stderr,
+        )
+        return 2
+    n = min(args.num_queries, len(dataset.queries))
+    for i in range(n):
+        started = time.perf_counter()
+        result = index.search(
+            dataset.queries[i], args.k, args.t_start, args.t_end
+        )
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        print(
+            f"query {i}: {len(result)} results in {elapsed_ms:.1f} ms "
+            f"({result.stats.blocks_searched} blocks, "
+            f"{result.stats.distance_evaluations} distance evals)"
+        )
+        for position, distance, timestamp in zip(
+            result.positions, result.distances, result.timestamps
+        ):
+            print(f"    #{position}  d={distance:.4f}  t={timestamp:.6g}")
+    return 0
+
+
+def _cmd_bench(_: argparse.Namespace) -> int:
+    print(
+        "Run the full evaluation harness (Tables 2-4, Figures 5-9, theory\n"
+        "validation, ablations) with:\n"
+        "\n"
+        "    pytest benchmarks/ --benchmark-only\n"
+        "\n"
+        "Individual figures: pytest benchmarks/test_fig5_*.py "
+        "--benchmark-only, etc.\n"
+        "Reports are echoed after the pytest summary and saved to\n"
+        "benchmarks/results/latest.txt."
+    )
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "build": _cmd_build,
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""MBI core: block tree, incremental construction, and query processing."""
+
+from .backends import (
+    BackendOutcome,
+    BlockBackend,
+    GraphBackend,
+    available_backends,
+    register_backend,
+)
+from .block import Block
+from .brute import brute_force_topk
+from .config import IVFConfig, IVFPQConfig, LSHParams, MBIConfig, SearchParams
+from .mbi import MultiLevelBlockIndex
+from .results import QueryResult, QueryStats, merge_partial_results
+from .selection import select_blocks
+from .tuning import TauCalibration, TauTuner
+
+__all__ = [
+    "BackendOutcome",
+    "Block",
+    "BlockBackend",
+    "GraphBackend",
+    "IVFConfig",
+    "IVFPQConfig",
+    "LSHParams",
+    "MBIConfig",
+    "MultiLevelBlockIndex",
+    "QueryResult",
+    "QueryStats",
+    "SearchParams",
+    "TauCalibration",
+    "TauTuner",
+    "available_backends",
+    "brute_force_topk",
+    "merge_partial_results",
+    "register_backend",
+    "select_blocks",
+]

@@ -1,0 +1,291 @@
+"""Pluggable per-block index backends.
+
+Section 4.1 of the paper: "While any index structure for efficient kNN
+search can be used for the index, we employ one of the graph based indexing
+methods."  This module makes that pluggability real: a block delegates its
+TkNN search to a :class:`BlockBackend`, and MBI picks the backend named in
+``MBIConfig.backend`` from a registry.
+
+Six backends ship with the library:
+
+* ``"graph"`` (:class:`GraphBackend`, the paper's choice) — NNDescent-built
+  proximity graph searched with the time-filtered Algorithm 2;
+* ``"ivf"`` (:class:`repro.quantization.ivf.IVFBackend`) — a flat
+  inverted-file index probing the nearest coarse cells;
+* ``"ivfpq"`` (:class:`repro.quantization.ivfpq.IVFPQBackend`) — IVFADC:
+  inverted file over product-quantized codes with exact re-ranking;
+* ``"hnsw"`` (:class:`repro.graph.hnsw_backend.HNSWBackend`) — hierarchical
+  navigable small world graphs;
+* ``"lsh"`` (:class:`repro.hashing.lsh_backend.LSHBackend`) — random-
+  hyperplane locality-sensitive hashing with multiprobe;
+* ``"vptree"`` (:class:`repro.trees.vptree_backend.VPTreeBackend`) — an
+  exact vantage-point tree, included to measure the curse-of-dimensionality
+  argument of Section 2.2.
+
+Backends never copy vectors: they reference the shared store by position
+range and slice it per search, so a sealed block costs only its index
+structures.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, ClassVar
+
+import numpy as np
+
+from ..distances.metrics import Metric
+from ..exceptions import ConfigurationError
+from ..graph.builder import build_knn_graph
+from ..graph.knn_graph import KnnGraph
+from ..graph.search import graph_search
+from ..storage.vector_store import VectorStore
+from .config import SearchParams
+
+
+@dataclass(frozen=True)
+class BackendOutcome:
+    """Result of one backend search, in the block's local id space.
+
+    Attributes:
+        ids: Local ids of the (approximate) nearest in-filter vectors,
+            sorted ascending by distance.
+        dists: Distances aligned with ``ids``.
+        nodes_visited: Graph hops (0 for non-graph backends).
+        distance_evaluations: Distance computations performed.
+    """
+
+    ids: np.ndarray
+    dists: np.ndarray
+    nodes_visited: int
+    distance_evaluations: int
+
+
+class BlockBackend(abc.ABC):
+    """A sealed block's kNN index, searchable under a local-id range filter."""
+
+    name: ClassVar[str]
+
+    @abc.abstractmethod
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: range,
+        params: SearchParams,
+        rng: np.random.Generator,
+    ) -> BackendOutcome:
+        """Approximate TkNN among local ids in ``allowed``."""
+
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Bytes used by the backend's index structures."""
+
+    @abc.abstractmethod
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Serialisable array representation (persistence)."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        store: VectorStore,
+        positions: range,
+        metric: Metric,
+    ) -> "BlockBackend":
+        """Reconstruct from :meth:`to_arrays` output."""
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        mine, theirs = self.to_arrays(), other.to_arrays()
+        if mine.keys() != theirs.keys():
+            return False
+        return all(np.array_equal(mine[k], theirs[k]) for k in mine)
+
+
+class GraphBackend(BlockBackend):
+    """The paper's graph-based block index (Algorithm 2 search).
+
+    Args:
+        graph: Search-ready proximity graph over the block's vectors.
+        store: The shared vector store.
+        positions: The block's position range in the store.
+        metric: Distance metric.
+    """
+
+    name: ClassVar[str] = "graph"
+
+    def __init__(
+        self,
+        graph: KnnGraph,
+        store: VectorStore,
+        positions: range,
+        metric: Metric,
+    ) -> None:
+        self.graph = graph
+        self._store = store
+        self._positions = positions
+        self._metric = metric
+
+    def _points(self) -> np.ndarray:
+        return self._store.slice(self._positions.start, self._positions.stop)
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: range,
+        params: SearchParams,
+        rng: np.random.Generator,
+    ) -> BackendOutcome:
+        points = self._points()
+        entries = pick_entries(points, self._metric, query, allowed, params, rng)
+        outcome = graph_search(
+            self.graph,
+            points,
+            self._metric,
+            query,
+            k,
+            epsilon=params.epsilon,
+            max_candidates=params.max_candidates,
+            allowed=allowed,
+            entry=entries,
+        )
+        return BackendOutcome(
+            ids=outcome.ids,
+            dists=outcome.dists,
+            nodes_visited=outcome.stats.nodes_visited,
+            distance_evaluations=(
+                outcome.stats.distance_evaluations + len(entries)
+            ),
+        )
+
+    def nbytes(self) -> int:
+        return self.graph.nbytes()
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        return {"adj": self.graph.adjacency}
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        store: VectorStore,
+        positions: range,
+        metric: Metric,
+    ) -> "GraphBackend":
+        return cls(KnnGraph(arrays["adj"]), store, positions, metric)
+
+
+def pick_entries(
+    points: np.ndarray,
+    metric: Metric,
+    query: np.ndarray,
+    allowed: range,
+    params: SearchParams,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Entry points for graph search: best of a random in-window sample.
+
+    Algorithm 2 starts from one random vector of the block; sampling a few
+    candidates *inside the query window* and keeping the nearest makes
+    short-window searches start where results can actually be.
+    """
+    span = allowed.stop - allowed.start
+    sample_size = min(params.entry_sample, span)
+    if sample_size <= 0:
+        return np.zeros(1, dtype=np.int64)
+    candidates = allowed.start + rng.choice(span, sample_size, replace=False)
+    dists = metric.batch(query, points[candidates])
+    best = np.argsort(dists)[: params.n_entries]
+    return candidates[best]
+
+
+# --------------------------------------------------------------- the registry
+
+BackendBuilder = Callable[
+    [VectorStore, range, Metric, "object", np.random.Generator],
+    tuple[BlockBackend, int],
+]
+
+_BUILDERS: dict[str, BackendBuilder] = {}
+_LOADERS: dict[str, type[BlockBackend]] = {}
+
+
+def register_backend(
+    name: str, builder: BackendBuilder, loader: type[BlockBackend]
+) -> None:
+    """Register a block backend under ``name`` (used by ``MBIConfig.backend``)."""
+    _BUILDERS[name] = builder
+    _LOADERS[name] = loader
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered block backends."""
+    _ensure_defaults()
+    return tuple(sorted(_BUILDERS))
+
+
+def get_builder(name: str) -> BackendBuilder:
+    """The build function for backend ``name``."""
+    _ensure_defaults()
+    try:
+        return _BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown block backend {name!r}; "
+            f"available: {', '.join(sorted(_BUILDERS))}"
+        ) from None
+
+
+def get_loader(name: str) -> type[BlockBackend]:
+    """The backend class used to deserialise snapshots of backend ``name``."""
+    _ensure_defaults()
+    try:
+        return _LOADERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown block backend {name!r}; "
+            f"available: {', '.join(sorted(_LOADERS))}"
+        ) from None
+
+
+def _build_graph_backend(
+    store: VectorStore,
+    positions: range,
+    metric: Metric,
+    config,  # MBIConfig; untyped to avoid a circular import
+    rng: np.random.Generator,
+) -> tuple[GraphBackend, int]:
+    points = store.slice(positions.start, positions.stop)
+    report = build_knn_graph(points, metric, config.graph, rng)
+    backend = GraphBackend(report.graph, store, positions, metric)
+    return backend, report.distance_evaluations
+
+
+def _ensure_defaults() -> None:
+    if "graph" not in _BUILDERS:
+        register_backend("graph", _build_graph_backend, GraphBackend)
+    if "ivf" not in _BUILDERS:
+        from ..quantization.ivf import IVFBackend, build_ivf_backend
+
+        register_backend("ivf", build_ivf_backend, IVFBackend)
+    if "ivfpq" not in _BUILDERS:
+        from ..quantization.ivfpq import IVFPQBackend, build_ivfpq_backend
+
+        register_backend("ivfpq", build_ivfpq_backend, IVFPQBackend)
+    if "hnsw" not in _BUILDERS:
+        from ..graph.hnsw_backend import HNSWBackend, build_hnsw_backend
+
+        register_backend("hnsw", build_hnsw_backend, HNSWBackend)
+    if "lsh" not in _BUILDERS:
+        from ..hashing.lsh_backend import LSHBackend, build_lsh_backend
+
+        register_backend("lsh", build_lsh_backend, LSHBackend)
+    if "vptree" not in _BUILDERS:
+        from ..trees.vptree_backend import VPTreeBackend, build_vptree_backend
+
+        register_backend("vptree", build_vptree_backend, VPTreeBackend)

@@ -1,0 +1,73 @@
+"""The block — MBI's unit of indexing.
+
+A block ``B_i = (D_i, G_i)`` (paper Table 1) owns a contiguous range of
+store *positions* (its vector set ``D_i``, immutable once the block's graph
+exists) and, once full, a graph-based kNN index ``G_i``.  Blocks never copy
+vectors: they reference the shared :class:`repro.storage.VectorStore` by
+position range, so the index size attributable to a block is its graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.knn_graph import KnnGraph
+from .backends import BlockBackend, GraphBackend
+
+
+@dataclass
+class Block:
+    """One node of the MBI block tree.
+
+    Attributes:
+        index: Postorder block id (the paper's ``i``).
+        height: Tree height; 0 for leaves.
+        positions: Half-open store position range ``[lo, hi)`` this block
+            covers.  For the open (latest, non-full) leaf this is the
+            *capacity* range; the actually-filled prefix is determined by
+            the store length at query time.
+        backend: The block's kNN index (``G_i``), or ``None`` while the
+            block is an open leaf.
+        build_seconds: Wall-clock time spent building the backend.
+        distance_evaluations: Distance computations the build performed.
+    """
+
+    index: int
+    height: int
+    positions: range
+    backend: BlockBackend | None = None
+    build_seconds: float = 0.0
+    distance_evaluations: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this block is at the leaf level."""
+        return self.height == 0
+
+    @property
+    def is_built(self) -> bool:
+        """Whether the block's kNN index exists (block is sealed)."""
+        return self.backend is not None
+
+    @property
+    def graph(self) -> KnnGraph | None:
+        """The proximity graph, when the backend is graph-based."""
+        if isinstance(self.backend, GraphBackend):
+            return self.backend.graph
+        return None
+
+    @property
+    def capacity(self) -> int:
+        """Number of positions the block covers when complete."""
+        return self.positions.stop - self.positions.start
+
+    def nbytes(self) -> int:
+        """Index bytes attributable to this block (its backend)."""
+        return self.backend.nbytes() if self.backend is not None else 0
+
+    def __repr__(self) -> str:
+        state = "built" if self.is_built else "open"
+        return (
+            f"Block(index={self.index}, height={self.height}, "
+            f"positions=[{self.positions.start}, {self.positions.stop}), {state})"
+        )

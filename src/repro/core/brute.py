@@ -1,0 +1,43 @@
+"""Brute-force top-k over a contiguous position range.
+
+This is the ``BruteForce`` step of Algorithm 1, shared by the BSBF baseline
+and by MBI when it hits a non-full leaf block.  It is a single vectorised
+distance kernel call plus an ``argpartition`` — the fastest exact method for
+small ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distances.kernels import top_k_smallest
+from ..distances.metrics import Metric
+from ..storage.vector_store import VectorStore
+
+
+def brute_force_topk(
+    store: VectorStore,
+    metric: Metric,
+    query: np.ndarray,
+    k: int,
+    positions: range,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``k`` nearest vectors to ``query`` among ``positions``.
+
+    Args:
+        store: The vector store.
+        metric: Distance metric.
+        query: Query vector.
+        k: Number of neighbors (fewer are returned if the range is smaller).
+        positions: Half-open store position range to scan.
+
+    Returns:
+        ``(positions, distances)`` sorted ascending by distance, ties broken
+        by position.
+    """
+    lo, hi = positions.start, positions.stop
+    if lo >= hi:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    dists = metric.batch(query, store.slice(lo, hi))
+    best = top_k_smallest(dists, k)
+    return (lo + best).astype(np.int64), dists[best]

@@ -1,0 +1,407 @@
+"""Multi-level Block Indexing — the paper's primary contribution.
+
+:class:`MultiLevelBlockIndex` maintains a perfect binary tree of blocks over
+an append-only timestamped vector store:
+
+* **Insertion** (Algorithm 3): vectors append into the latest leaf block;
+  when a leaf fills, its graph index is built and bottom-up merging seals
+  every ancestor whose subtree just completed.  Blocks are numbered in
+  creation order, which equals postorder traversal order.
+* **Query** (Algorithm 4): top-down block selection picks a time-disjoint
+  search block set covering the query window; each built block answers with
+  graph search (Algorithm 2), the open leaf with brute force; partial
+  results merge into the final TkNN answer.
+
+The bottom-up merge chain builds each block independently, so the index can
+optionally build them in a thread pool (the paper's "Parallelization of
+MBI"); NumPy kernels release the GIL for the bulk of the work.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..distances.metrics import Metric, resolve_metric
+from ..exceptions import EmptyIndexError, InvalidQueryError
+from ..graph.knn_graph import NO_NEIGHBOR
+from ..graph.knn_graph import KnnGraph
+from ..storage.timeline import TimeWindow
+from ..storage.vector_store import VectorStore
+from .backends import GraphBackend, get_builder
+from .block import Block
+from .brute import brute_force_topk
+from .config import MBIConfig, SearchParams
+from .results import QueryResult, QueryStats, merge_partial_results
+from .selection import select_blocks
+from .tree import leaf_block_index, leaf_range_of
+
+
+class MultiLevelBlockIndex:
+    """Incremental hierarchical block index for approximate TkNN search.
+
+    Args:
+        dim: Dimensionality of indexed vectors.
+        metric: Distance metric (name or :class:`Metric`).
+        config: Index configuration; defaults to :class:`MBIConfig`.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro import MultiLevelBlockIndex, MBIConfig
+        >>> index = MultiLevelBlockIndex(4, "euclidean", MBIConfig(leaf_size=8))
+        >>> for t in range(64):
+        ...     _ = index.insert(np.random.rand(4), float(t))
+        >>> result = index.search(np.random.rand(4), k=3, t_start=10, t_end=50)
+        >>> len(result)
+        3
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        metric: Metric | str = "euclidean",
+        config: MBIConfig | None = None,
+    ) -> None:
+        self._metric = resolve_metric(metric)
+        self._config = config if config is not None else MBIConfig()
+        self._store = VectorStore(dim)
+        self._blocks: dict[int, Block] = {}
+        self._rng = np.random.default_rng(self._config.seed)
+        self._total_build_seconds = 0.0
+        self._total_distance_evaluations = 0
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of indexed vectors."""
+        return self._store.dim
+
+    @property
+    def metric(self) -> Metric:
+        """The index's distance metric."""
+        return self._metric
+
+    @property
+    def config(self) -> MBIConfig:
+        """The index configuration."""
+        return self._config
+
+    @property
+    def store(self) -> VectorStore:
+        """The underlying vector store (shared, append-only)."""
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of materialised blocks (built blocks plus the open leaf)."""
+        return len(self._blocks)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf blocks holding at least one vector."""
+        if len(self._store) == 0:
+            return 0
+        return -(-len(self._store) // self._config.leaf_size)
+
+    @property
+    def blocks(self) -> Mapping[int, Block]:
+        """Read-only view of materialised blocks by postorder index."""
+        return dict(self._blocks)
+
+    def iter_blocks(self) -> Iterator[Block]:
+        """Materialised blocks in ascending postorder index."""
+        for index in sorted(self._blocks):
+            yield self._blocks[index]
+
+    @property
+    def total_build_seconds(self) -> float:
+        """Cumulative wall-clock time spent building block graphs."""
+        return self._total_build_seconds
+
+    @property
+    def total_distance_evaluations(self) -> int:
+        """Cumulative distance computations spent building block graphs."""
+        return self._total_distance_evaluations
+
+    def memory_usage(self) -> dict[str, int]:
+        """Bytes used, broken down the way Table 4 accounts index sizes.
+
+        Returns a dict with ``vectors`` (the raw data), ``graphs`` (the sum
+        of block graph adjacencies — the index proper), and ``total``.
+        """
+        graphs = sum(block.nbytes() for block in self._blocks.values())
+        vectors = self._store.nbytes()
+        return {"vectors": vectors, "graphs": graphs, "total": vectors + graphs}
+
+    # --------------------------------------------------------------- mutation
+
+    def insert(self, vector: np.ndarray, timestamp: float) -> int:
+        """Insert one timestamped vector (Algorithm 3); returns its position.
+
+        Timestamps must be non-decreasing across calls.  When the insert
+        fills the open leaf, the leaf's graph is built and bottom-up merging
+        seals every completed ancestor — the only inserts with non-constant
+        cost, amortising to ``O(n^0.14 log n)`` per vector (Section 4.4.2).
+        """
+        position = self._store.append(vector, timestamp)
+        leaf_ordinal = position // self._config.leaf_size
+        self._ensure_open_leaf(leaf_ordinal)
+        if (position + 1) % self._config.leaf_size == 0:
+            self._seal_and_merge(leaf_ordinal)
+        return position
+
+    def extend(self, vectors: np.ndarray, timestamps: np.ndarray) -> range:
+        """Insert a timestamp-sorted batch; returns the position range."""
+        vectors = np.asarray(vectors)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if len(vectors) != len(timestamps):
+            raise ValueError(
+                f"got {len(vectors)} vectors but {len(timestamps)} timestamps"
+            )
+        start = len(self._store)
+        for vector, timestamp in zip(vectors, timestamps):
+            self.insert(vector, float(timestamp))
+        return range(start, len(self._store))
+
+    def _ensure_open_leaf(self, leaf_ordinal: int) -> None:
+        index = leaf_block_index(leaf_ordinal)
+        if index in self._blocks:
+            return
+        leaf_size = self._config.leaf_size
+        lo = leaf_ordinal * leaf_size
+        self._blocks[index] = Block(
+            index=index, height=0, positions=range(lo, lo + leaf_size)
+        )
+
+    def _seal_and_merge(self, leaf_ordinal: int) -> None:
+        """Build the full leaf's graph, then every completed ancestor's."""
+        leaf_size = self._config.leaf_size
+        chain: list[Block] = [self._blocks[leaf_block_index(leaf_ordinal)]]
+        index = leaf_block_index(leaf_ordinal)
+        remaining = leaf_ordinal + 1
+        height = 1
+        while remaining % 2 == 0:
+            index += 1  # Algorithm 3: the parent is created at i + 1
+            first_leaf, last_leaf = leaf_range_of(index, height)
+            block = Block(
+                index=index,
+                height=height,
+                positions=range(first_leaf * leaf_size, last_leaf * leaf_size),
+            )
+            self._blocks[index] = block
+            chain.append(block)
+            remaining //= 2
+            height += 1
+        if self._config.parallel and len(chain) > 1:
+            with ThreadPoolExecutor(self._config.max_workers) as pool:
+                list(pool.map(self._build_block, chain))
+        else:
+            for block in chain:
+                self._build_block(block)
+
+    def _build_block(self, block: Block) -> None:
+        """Build one block's kNN index (the paper's ``BuildKNNIndex``)."""
+        if block.capacity < 2:
+            # Degenerate leaf_size=1 block: a single vector needs no index;
+            # an empty graph still marks the block as sealed.
+            block.backend = GraphBackend(
+                KnnGraph(np.full((block.capacity, 0), NO_NEIGHBOR, np.int32)),
+                self._store,
+                block.positions,
+                self._metric,
+            )
+            return
+        builder = get_builder(self._config.backend)
+        # Per-block seeding keeps builds deterministic regardless of whether
+        # the merge chain runs sequentially or in a thread pool.
+        rng = np.random.default_rng([self._config.seed, block.index])
+        started = time.perf_counter()
+        backend, evaluations = builder(
+            self._store, block.positions, self._metric, self._config, rng
+        )
+        elapsed = time.perf_counter() - started
+        block.backend = backend
+        block.build_seconds = elapsed
+        block.distance_evaluations = evaluations
+        self._total_build_seconds += elapsed
+        self._total_distance_evaluations += evaluations
+
+    # ---------------------------------------------------------------- queries
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        t_start: float = float("-inf"),
+        t_end: float = float("inf"),
+        params: SearchParams | None = None,
+        rng: np.random.Generator | None = None,
+        tau: float | None = None,
+    ) -> QueryResult:
+        """Answer a TkNN query ``(query, k, t_start, t_end)`` (Algorithm 4).
+
+        Args:
+            query: Query vector ``w``.
+            k: Number of nearest neighbors requested.
+            t_start: Inclusive window start (default: unbounded).
+            t_end: Exclusive window end (default: unbounded).
+            params: Query-time search parameters; defaults to the index
+                config's.
+            rng: Randomness for entry sampling; defaults to index state.
+            tau: Per-query override of the block-selection threshold; the
+                paper suggests pre-computing the optimal tau per query
+                interval (Section 5.4.2) — see
+                :class:`repro.core.tuning.TauTuner`.
+
+        Returns:
+            The approximate TkNN result, at most ``k`` entries.
+
+        Raises:
+            EmptyIndexError: If the index holds no vectors.
+            InvalidQueryError: If ``k < 1``, the window is inverted, or the
+                query dimension is wrong.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        self._validate_query(query, k)
+        window = TimeWindow(float(t_start), float(t_end))
+        positions = self._store.resolve_window(window)
+        if positions.start >= positions.stop:
+            return QueryResult.empty(QueryStats())
+        if params is None:
+            params = self._config.search
+        if rng is None:
+            rng = self._rng
+
+        effective_tau = tau if tau is not None else self._config.tau
+        selected = select_blocks(
+            self._blocks,
+            len(self._store),
+            self._config.leaf_size,
+            effective_tau,
+            positions,
+            mode=self._config.selection_mode,
+            query_window=window,
+            timestamps=self._store.timestamps,
+        )
+        partials: list[tuple[np.ndarray, np.ndarray]] = []
+        stats = QueryStats(window_size=positions.stop - positions.start)
+        for block in selected:
+            block_result, block_stats = self._search_block(
+                block, query, k, positions, params, rng
+            )
+            partials.append(block_result)
+            stats = stats.merged_with(block_stats)
+        merged_positions, merged_dists = merge_partial_results(partials, k)
+        return QueryResult(
+            positions=merged_positions,
+            distances=merged_dists,
+            timestamps=self._store.timestamps[merged_positions],
+            stats=stats,
+        )
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        t_start: float = float("-inf"),
+        t_end: float = float("inf"),
+        params: SearchParams | None = None,
+        rng: np.random.Generator | None = None,
+        max_workers: int | None = None,
+    ) -> list[QueryResult]:
+        """Answer many TkNN queries sharing one time window.
+
+        Queries run concurrently in a thread pool when ``max_workers`` is
+        given (NumPy kernels release the GIL for the bulk of the work);
+        otherwise sequentially.  Results are returned in input order either
+        way, and each query gets an independent entry-sampling generator so
+        the outcome does not depend on scheduling.
+
+        Args:
+            queries: ``(m, dim)`` matrix of query vectors.
+            k: Neighbors per query.
+            t_start: Inclusive window start.
+            t_end: Exclusive window end.
+            params: Query-time parameters; defaults to the index config's.
+            rng: Seeds the per-query generators; defaults to index state.
+            max_workers: Thread-pool size; ``None`` runs sequentially.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise InvalidQueryError(
+                f"queries must be a (m, {self.dim}) matrix, "
+                f"got shape {queries.shape}"
+            )
+        if rng is None:
+            rng = self._rng
+        seeds = rng.integers(0, 2**63 - 1, size=len(queries))
+
+        def run(i: int) -> QueryResult:
+            return self.search(
+                queries[i],
+                k,
+                t_start,
+                t_end,
+                params=params,
+                rng=np.random.default_rng(int(seeds[i])),
+            )
+
+        if max_workers is None:
+            return [run(i) for i in range(len(queries))]
+        with ThreadPoolExecutor(max_workers) as pool:
+            return list(pool.map(run, range(len(queries))))
+
+    def _search_block(
+        self,
+        block: Block,
+        query: np.ndarray,
+        k: int,
+        window: range,
+        params: SearchParams,
+        rng: np.random.Generator,
+    ) -> tuple[tuple[np.ndarray, np.ndarray], QueryStats]:
+        """TkNN inside one selected block: SF on built blocks, BSBF otherwise."""
+        filled_stop = min(block.positions.stop, len(self._store))
+        local = range(
+            max(window.start, block.positions.start),
+            min(window.stop, filled_stop),
+        )
+        span = local.stop - local.start
+        if block.backend is None or span <= params.brute_force_threshold:
+            # Open (non-full) leaf — Algorithm 4 line 6 — or a window slice
+            # small enough that an exact scan beats the block index.
+            found = brute_force_topk(self._store, self._metric, query, k, local)
+            stats = QueryStats(
+                blocks_searched=1,
+                distance_evaluations=span,
+            )
+            return found, stats
+
+        offset = block.positions.start
+        allowed = range(local.start - offset, local.stop - offset)
+        outcome = block.backend.search(query, k, allowed, params, rng)
+        stats = QueryStats(
+            blocks_searched=1,
+            graph_blocks=1,
+            nodes_visited=outcome.nodes_visited,
+            distance_evaluations=outcome.distance_evaluations,
+        )
+        return ((offset + outcome.ids).astype(np.int64), outcome.dists), stats
+
+    def _validate_query(self, query: np.ndarray, k: int) -> None:
+        if len(self._store) == 0:
+            raise EmptyIndexError("cannot search an empty index")
+        if k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {k}")
+        if query.ndim != 1 or query.shape[0] != self.dim:
+            raise InvalidQueryError(
+                f"query must be a vector of dimension {self.dim}, "
+                f"got shape {query.shape}"
+            )

@@ -1,0 +1,173 @@
+"""Save/load snapshots of an MBI index.
+
+A snapshot is a single ``.npz`` archive holding the store's vectors and
+timestamps, every built block's adjacency matrix, and a JSON header with
+the configuration and block metadata.  Loading reconstructs an index that
+answers queries identically (graphs are not rebuilt) and keeps accepting
+inserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..distances.metrics import resolve_metric
+from ..exceptions import PersistenceError
+from ..graph.builder import GraphConfig
+from ..graph.hnsw import HNSWParams
+from ..graph.nndescent import NNDescentParams
+from ..storage.vector_store import VectorStore
+from .backends import get_loader
+from .block import Block
+from .config import IVFConfig, IVFPQConfig, LSHParams, MBIConfig, SearchParams
+from .mbi import MultiLevelBlockIndex
+
+FORMAT_VERSION = 2
+
+
+def save_index(index: MultiLevelBlockIndex, path: str | Path) -> Path:
+    """Write an index snapshot to ``path`` (``.npz`` appended if missing).
+
+    Returns:
+        The path actually written.
+
+    Raises:
+        PersistenceError: If the file cannot be written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    store = index.store
+    header = {
+        "format_version": FORMAT_VERSION,
+        "dim": index.dim,
+        "metric": index.metric.name,
+        "config": _config_to_dict(index.config),
+        "blocks": [
+            {
+                "index": block.index,
+                "height": block.height,
+                "lo": block.positions.start,
+                "hi": block.positions.stop,
+                "built": block.is_built,
+                "build_seconds": block.build_seconds,
+                "distance_evaluations": block.distance_evaluations,
+            }
+            for block in index.iter_blocks()
+        ],
+    }
+    arrays: dict[str, np.ndarray] = {
+        "vectors": np.asarray(store.vectors),
+        "timestamps": np.asarray(store.timestamps),
+        "header": np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+    }
+    for block in index.iter_blocks():
+        if block.backend is not None:
+            for key, array in block.backend.to_arrays().items():
+                arrays[f"block_{block.index}_{key}"] = array
+    try:
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+    except OSError as error:
+        raise PersistenceError(f"could not write snapshot to {path}: {error}")
+    return path
+
+
+def load_index(path: str | Path) -> MultiLevelBlockIndex:
+    """Reconstruct an index from a snapshot written by :func:`save_index`.
+
+    Raises:
+        PersistenceError: If the file is missing, unreadable, or from an
+            unsupported format version.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            header_bytes = bytes(archive["header"])
+            header = json.loads(header_bytes.decode("utf-8"))
+            if header.get("format_version") != FORMAT_VERSION:
+                raise PersistenceError(
+                    f"snapshot {path} has format version "
+                    f"{header.get('format_version')}, expected {FORMAT_VERSION}"
+                )
+            vectors = archive["vectors"]
+            timestamps = archive["timestamps"]
+            block_arrays: dict[int, dict[str, np.ndarray]] = {}
+            for name in archive.files:
+                if not name.startswith("block_"):
+                    continue
+                _, index_text, key = name.split("_", 2)
+                block_arrays.setdefault(int(index_text), {})[key] = archive[
+                    name
+                ]
+    except FileNotFoundError:
+        raise PersistenceError(f"snapshot {path} does not exist") from None
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as error:
+        raise PersistenceError(f"could not read snapshot {path}: {error}")
+
+    config = _config_from_dict(header["config"])
+    metric = resolve_metric(header["metric"])
+    loader = get_loader(config.backend)
+    index = MultiLevelBlockIndex(int(header["dim"]), metric, config)
+    if len(vectors):
+        index._store = VectorStore.from_arrays(vectors, timestamps)
+    blocks: dict[int, Block] = {}
+    for entry in header["blocks"]:
+        block = Block(
+            index=int(entry["index"]),
+            height=int(entry["height"]),
+            positions=range(int(entry["lo"]), int(entry["hi"])),
+            build_seconds=float(entry["build_seconds"]),
+            distance_evaluations=int(entry["distance_evaluations"]),
+        )
+        if entry["built"]:
+            try:
+                block.backend = loader.from_arrays(
+                    block_arrays[block.index],
+                    index._store,
+                    block.positions,
+                    metric,
+                )
+            except KeyError:
+                raise PersistenceError(
+                    f"snapshot {path} is missing the index arrays of built "
+                    f"block {block.index}"
+                ) from None
+        blocks[block.index] = block
+    index._blocks = blocks
+    index._total_build_seconds = sum(b.build_seconds for b in blocks.values())
+    index._total_distance_evaluations = sum(
+        b.distance_evaluations for b in blocks.values()
+    )
+    return index
+
+
+def _config_to_dict(config: MBIConfig) -> dict:
+    payload = asdict(config)
+    return payload
+
+
+def _config_from_dict(payload: dict) -> MBIConfig:
+    graph = dict(payload["graph"])
+    nndescent = NNDescentParams(**graph.pop("nndescent"))
+    return MBIConfig(
+        leaf_size=payload["leaf_size"],
+        tau=payload["tau"],
+        selection_mode=payload["selection_mode"],
+        backend=payload["backend"],
+        graph=GraphConfig(nndescent=nndescent, **graph),
+        ivf=IVFConfig(**payload["ivf"]),
+        ivfpq=IVFPQConfig(**payload["ivfpq"]),
+        hnsw=HNSWParams(**payload["hnsw"]),
+        lsh=LSHParams(**payload["lsh"]),
+        search=SearchParams(**payload["search"]),
+        parallel=payload["parallel"],
+        max_workers=payload["max_workers"],
+        seed=payload["seed"],
+    )

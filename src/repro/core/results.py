@@ -1,0 +1,90 @@
+"""Query result and statistics value objects shared by all indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Work counters for one TkNN query.
+
+    Attributes:
+        blocks_searched: Blocks the query ran in (1 for BSBF/SF, the search
+            block set size for MBI).
+        graph_blocks: How many of those used graph search (vs brute force).
+        nodes_visited: Total graph nodes popped across all block searches.
+        distance_evaluations: Total distance computations, including brute
+            force scans and entry sampling.
+        window_size: Number of stored vectors inside the query time window.
+    """
+
+    blocks_searched: int = 0
+    graph_blocks: int = 0
+    nodes_visited: int = 0
+    distance_evaluations: int = 0
+    window_size: int = 0
+
+    def merged_with(self, other: "QueryStats") -> "QueryStats":
+        """Combine counters from two partial searches of the same query."""
+        return QueryStats(
+            blocks_searched=self.blocks_searched + other.blocks_searched,
+            graph_blocks=self.graph_blocks + other.graph_blocks,
+            nodes_visited=self.nodes_visited + other.nodes_visited,
+            distance_evaluations=(
+                self.distance_evaluations + other.distance_evaluations
+            ),
+            window_size=max(self.window_size, other.window_size),
+        )
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer to a TkNN query.
+
+    Results are sorted ascending by distance; ties broken by position.
+    Fewer than ``k`` entries are returned when the time window holds fewer
+    than ``k`` vectors (or an approximate search missed some).
+
+    Attributes:
+        positions: Store positions of the result vectors.
+        distances: Distances to the query vector, aligned with positions.
+        timestamps: Timestamps of the result vectors.
+        stats: Work counters accumulated while answering.
+    """
+
+    positions: np.ndarray
+    distances: np.ndarray
+    timestamps: np.ndarray
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @classmethod
+    def empty(cls, stats: QueryStats | None = None) -> "QueryResult":
+        """A result with no matches."""
+        return cls(
+            positions=np.empty(0, dtype=np.int64),
+            distances=np.empty(0, dtype=np.float64),
+            timestamps=np.empty(0, dtype=np.float64),
+            stats=stats or QueryStats(),
+        )
+
+
+def merge_partial_results(
+    partials: list[tuple[np.ndarray, np.ndarray]], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-block ``(positions, distances)`` pairs into the best ``k``.
+
+    This is Algorithm 4's final step: the union of block results reduced to
+    the ``k`` nearest, ties broken by position for determinism.
+    """
+    if not partials:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    positions = np.concatenate([p for p, _ in partials])
+    distances = np.concatenate([d for _, d in partials])
+    order = np.lexsort((positions, distances))[:k]
+    return positions[order], distances[order]

@@ -1,0 +1,185 @@
+"""Top-down search-block selection (the paper's Algorithm 4, lines 11-20).
+
+Given a query time window, selection walks the block tree from the root and
+classifies each block by its overlap ratio ``r_o``:
+
+* Case 1 — ``r_o = 0``: the block is skipped;
+* Case 2 — the block is a leaf, or ``r_o > tau``: the block is selected;
+* Case 3 — otherwise: recurse into both children.
+
+Virtual blocks (positions the incremental construction has not merged yet)
+have an unbounded time window, so their ratio is treated as infinitesimal
+and they always fall into Case 3, exactly as the paper prescribes.
+
+Two ratio definitions are supported (see ``MBIConfig.selection_mode``):
+
+* ``"count"`` — ``r_o`` = overlapping vector count / block capacity.  MBI
+  splits blocks by *count* (each child holds half the parent's vectors), and
+  the paper's proofs (Lemma 4.1/4.3) reason in those halves, so this is the
+  form under which the ≤2-blocks guarantee is exact.
+* ``"time"`` — the literal formula of Section 4.3 on timestamp spans.  It
+  coincides with ``"count"`` under a uniform arrival rate.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..storage.timeline import TimeWindow
+from .block import Block
+from .tree import (
+    leaf_range_of,
+    left_child,
+    right_child,
+    root_index,
+    tree_levels_for,
+)
+
+
+def select_blocks(
+    blocks: Mapping[int, Block],
+    n_stored: int,
+    leaf_size: int,
+    tau: float,
+    window_positions: range,
+    mode: str = "count",
+    query_window: TimeWindow | None = None,
+    timestamps: np.ndarray | None = None,
+) -> list[Block]:
+    """Choose the search block set for a query.
+
+    Args:
+        blocks: Materialised blocks by postorder index (built blocks plus
+            the open leaf).
+        n_stored: Total vectors currently stored.
+        leaf_size: The index's ``S_L``.
+        tau: Selection threshold.
+        window_positions: Store positions the query time window resolves to.
+        mode: ``"count"`` or ``"time"``.
+        query_window: The query's time window; required in ``"time"`` mode.
+        timestamps: The store's timestamp array; required in ``"time"`` mode.
+
+    Returns:
+        Selected blocks in ascending time order.  The union of their
+        position ranges covers ``window_positions`` and the ranges are
+        pairwise disjoint.
+    """
+    if n_stored == 0 or window_positions.start >= window_positions.stop:
+        return []
+    if mode == "time" and (query_window is None or timestamps is None):
+        raise ValueError("time mode requires query_window and timestamps")
+
+    num_leaves = -(-n_stored // leaf_size)
+    levels = tree_levels_for(num_leaves)
+    root = root_index(levels)
+    selected: list[Block] = []
+    _select(
+        root,
+        levels,
+        blocks,
+        n_stored,
+        leaf_size,
+        tau,
+        window_positions,
+        mode,
+        query_window,
+        timestamps,
+        selected,
+    )
+    return selected
+
+
+def _select(
+    index: int,
+    height: int,
+    blocks: Mapping[int, Block],
+    n_stored: int,
+    leaf_size: int,
+    tau: float,
+    window: range,
+    mode: str,
+    query_window: TimeWindow | None,
+    timestamps: np.ndarray | None,
+    selected: list[Block],
+) -> None:
+    leaf_lo, leaf_hi = leaf_range_of(index, height)
+    capacity_lo = leaf_lo * leaf_size
+    capacity_hi = leaf_hi * leaf_size
+    filled_hi = min(capacity_hi, n_stored)
+    if filled_hi <= capacity_lo:
+        return  # the subtree holds no data yet
+    overlap = min(window.stop, filled_hi) - max(window.start, capacity_lo)
+    if overlap <= 0:
+        return  # Case 1
+
+    block = blocks.get(index)
+    if height == 0:
+        # Case 2 (leaf): every leaf with data is materialised.
+        assert block is not None, f"leaf block {index} missing"
+        selected.append(block)
+        return
+
+    if block is not None:
+        ratio = _overlap_ratio(
+            block, overlap, window, mode, query_window, timestamps, n_stored
+        )
+        # Case 2.  Fully covered blocks (r_o = 1) are selected even when
+        # tau = 1: recursing could only split the same work across both
+        # children.  This matches the paper's Figure 4, where tau = 1
+        # selects the fully covered internal blocks B13 and B17.
+        if ratio > tau or ratio >= 1.0:
+            selected.append(block)
+            return
+    # Case 3: virtual block, or materialised with ratio <= tau.
+    _select(
+        left_child(index, height),
+        height - 1,
+        blocks,
+        n_stored,
+        leaf_size,
+        tau,
+        window,
+        mode,
+        query_window,
+        timestamps,
+        selected,
+    )
+    _select(
+        right_child(index, height),
+        height - 1,
+        blocks,
+        n_stored,
+        leaf_size,
+        tau,
+        window,
+        mode,
+        query_window,
+        timestamps,
+        selected,
+    )
+
+
+def _overlap_ratio(
+    block: Block,
+    position_overlap: int,
+    window: range,
+    mode: str,
+    query_window: TimeWindow | None,
+    timestamps: np.ndarray | None,
+    n_stored: int,
+) -> float:
+    """The block's ``r_o`` for this query under the configured mode."""
+    if mode == "count":
+        return position_overlap / block.capacity
+    assert query_window is not None and timestamps is not None
+    start = float(timestamps[block.positions.start])
+    if block.positions.stop < n_stored:
+        end = float(timestamps[block.positions.stop])
+    else:
+        # The newest block has no successor yet; its exclusive upper bound
+        # is just past the latest stored timestamp (Table 1's "latest
+        # timestamp of vectors in B").
+        end = float(np.nextafter(timestamps[n_stored - 1], np.inf))
+    return query_window.overlap_ratio(TimeWindow(start, end))

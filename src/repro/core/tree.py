@@ -1,0 +1,144 @@
+"""Postorder block-tree arithmetic (the paper's Section 4.2 index algebra).
+
+MBI numbers blocks sequentially as they are created, which equals the
+postorder traversal order of the perfect binary tree of blocks (Figure 3):
+leaves ``B0, B1`` merge into ``B2``; leaves ``B3, B4`` merge into ``B5``;
+``B2`` and ``B5`` merge into ``B6``; and so on.  Crucially the numbering is
+*stable under growth*: when the tree doubles, the old perfect tree becomes
+the left subtree of the new root and keeps all its indices.
+
+All relations used by Algorithms 3 and 4 reduce to closed forms on the
+postorder index ``i`` and block height ``h``:
+
+* the subtree rooted at ``(i, h)`` occupies indices ``[i - 2^(h+1) + 2, i]``;
+* right child of ``(i, h)`` is ``i - 1`` at height ``h - 1``;
+* left child of ``(i, h)`` is ``i - 2^h`` at height ``h - 1``;
+* the ``n``-th leaf (0-based) sits at index ``2n - popcount(n)``.
+
+These helpers are pure functions over the *infinite* conceptual tree; the
+index class decides which indices correspond to real (materialised) blocks
+and which to virtual ones.
+"""
+
+from __future__ import annotations
+
+
+def leaf_block_index(leaf_ordinal: int) -> int:
+    """Postorder index of the ``leaf_ordinal``-th leaf (0-based).
+
+    Every completed leaf ``n`` is preceded by ``n`` earlier leaves and by one
+    internal block per set bit carried out of the binary counter, giving the
+    closed form ``2n - popcount(n)``.
+    """
+    if leaf_ordinal < 0:
+        raise ValueError(f"leaf ordinal must be >= 0, got {leaf_ordinal}")
+    return 2 * leaf_ordinal - leaf_ordinal.bit_count()
+
+
+def left_child(index: int, height: int) -> int:
+    """Index of the left child of the block at ``(index, height)``.
+
+    The right subtree of ``(index, height)`` holds ``2^height - 1`` nodes and
+    ends at ``index - 1``, so the left child (last node of the left subtree)
+    is ``index - 2^height`` — the paper's ``B_{c - 2^h}`` in Algorithm 4.
+    """
+    if height < 1:
+        raise ValueError(f"a block at height {height} has no children")
+    return index - (1 << height)
+
+
+def right_child(index: int, height: int) -> int:
+    """Index of the right child of the block at ``(index, height)``."""
+    if height < 1:
+        raise ValueError(f"a block at height {height} has no children")
+    return index - 1
+
+
+def sibling_of_right_child(parent_index: int, parent_height: int) -> int:
+    """Left-child index given the parent — Algorithm 3's ``i + 1 - 2^h``."""
+    return left_child(parent_index, parent_height)
+
+
+def subtree_first_index(index: int, height: int) -> int:
+    """Smallest postorder index inside the subtree rooted at ``(index, height)``."""
+    return index - (1 << (height + 1)) + 2
+
+
+def subtree_leaf_count(height: int) -> int:
+    """Number of leaves under a block at ``height``."""
+    return 1 << height
+
+
+def root_index(num_levels: int) -> int:
+    """Postorder index of the root of a perfect tree with ``2^num_levels`` leaves."""
+    if num_levels < 0:
+        raise ValueError(f"num_levels must be >= 0, got {num_levels}")
+    return (1 << (num_levels + 1)) - 2
+
+
+def tree_levels_for(num_leaves: int) -> int:
+    """Levels of the smallest perfect tree with at least ``num_leaves`` leaves.
+
+    A tree with ``2^levels`` leaves has ``levels + 1`` block levels; this
+    returns ``levels`` (0 for a single-leaf tree).
+    """
+    if num_leaves < 1:
+        raise ValueError(f"num_leaves must be >= 1, got {num_leaves}")
+    return (num_leaves - 1).bit_length()
+
+
+def leaf_range_of(index: int, height: int) -> tuple[int, int]:
+    """Half-open range of leaf ordinals covered by the block ``(index, height)``.
+
+    Derived by walking the closed forms backwards: the subtree's first index
+    corresponds to its first leaf.
+    """
+    first_index = subtree_first_index(index, height)
+    # The first node of any postorder subtree is its leftmost leaf.  Invert
+    # leaf_block_index: find ordinal n with 2n - popcount(n) == first_index.
+    first_leaf = _leaf_ordinal_of(first_index)
+    return first_leaf, first_leaf + subtree_leaf_count(height)
+
+
+def _leaf_ordinal_of(leaf_index: int) -> int:
+    """Inverse of :func:`leaf_block_index` (binary search on monotonicity)."""
+    lo, hi = 0, leaf_index + 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if leaf_block_index(mid) < leaf_index:
+            lo = mid + 1
+        else:
+            hi = mid
+    if leaf_block_index(lo) != leaf_index:
+        raise ValueError(f"index {leaf_index} is not a leaf index")
+    return lo
+
+
+def height_of(index: int) -> int:
+    """Height of the block at postorder ``index`` in the infinite tree.
+
+    A block index is a leaf index when ``index == leaf_block_index(n)`` for
+    some ``n``; otherwise it was created by the ``h``-th carry of the merge
+    loop.  Computed by following the carry chain downward.
+    """
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    # Walk down: if `index` is a leaf index we are done; otherwise the block
+    # was created right after its right child, which is index - 1.
+    height = 0
+    probe = index
+    while not _is_leaf_index(probe):
+        probe -= 1
+        height += 1
+    return height
+
+
+def _is_leaf_index(index: int) -> bool:
+    lo, hi = 0, index + 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if leaf_block_index(mid) < index:
+            lo = mid + 1
+        else:
+            hi = mid
+    return leaf_block_index(lo) == index

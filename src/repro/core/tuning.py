@@ -1,0 +1,189 @@
+"""Pre-computed per-interval tau (the paper's Section 5.4.2 suggestion).
+
+    "If possible, one can compute the optimal tau for each query interval
+    experimentally beforehand, and use the pre-computed tau at run-time."
+
+:class:`TauTuner` implements exactly that: it buckets query windows by the
+fraction of the data they cover, measures each candidate tau's query cost
+on sampled calibration queries per bucket, and answers future queries with
+the cheapest tau for their bucket.  Cost is counted in distance evaluations
+(hardware-neutral and far less noisy than wall time at calibration sample
+sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, EmptyIndexError
+from ..storage.timeline import TimeWindow
+from .config import SearchParams
+from .mbi import MultiLevelBlockIndex
+from .results import QueryResult
+
+DEFAULT_TAU_CANDIDATES = (0.1, 0.2, 0.3, 0.4, 0.5)
+DEFAULT_BUCKET_EDGES = (0.02, 0.05, 0.1, 0.2, 0.4, 0.7)
+
+
+@dataclass(frozen=True)
+class TauCalibration:
+    """The calibrated per-bucket tau table.
+
+    Attributes:
+        bucket_edges: Ascending window-fraction boundaries; bucket ``i``
+            covers fractions in ``(edges[i-1], edges[i]]`` (bucket 0 starts
+            at 0, the final bucket ends at 1).
+        taus: Chosen tau per bucket, ``len(bucket_edges) + 1`` entries.
+        costs: Mean distance evaluations measured per (bucket, candidate),
+            for inspection; shape ``(n_buckets, n_candidates)``.
+        candidates: The tau grid that was searched.
+    """
+
+    bucket_edges: tuple[float, ...]
+    taus: tuple[float, ...]
+    costs: np.ndarray
+    candidates: tuple[float, ...]
+
+    def tau_for(self, fraction: float) -> float:
+        """The calibrated tau for a window covering ``fraction`` of the data."""
+        bucket = int(np.searchsorted(self.bucket_edges, fraction, side="left"))
+        return self.taus[bucket]
+
+
+class TauTuner:
+    """Calibrates and applies per-interval tau for an MBI index.
+
+    Args:
+        index: The index to tune (blocks are reused, never rebuilt).
+        candidates: Tau grid to search; the guarantee of Lemma 4.1 holds
+            for all default candidates (all <= 0.5).
+        bucket_edges: Window-fraction bucket boundaries.
+
+    Example:
+        >>> tuner = TauTuner(index)
+        >>> tuner.calibrate(queries_per_bucket=20)    # doctest: +SKIP
+        >>> result = tuner.search(w, k=10, t_start=a, t_end=b)  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        index: MultiLevelBlockIndex,
+        candidates: tuple[float, ...] = DEFAULT_TAU_CANDIDATES,
+        bucket_edges: tuple[float, ...] = DEFAULT_BUCKET_EDGES,
+    ) -> None:
+        if not candidates:
+            raise ConfigurationError("need at least one tau candidate")
+        if any(not 0.0 < tau <= 1.0 for tau in candidates):
+            raise ConfigurationError(
+                f"tau candidates must lie in (0, 1], got {candidates}"
+            )
+        if list(bucket_edges) != sorted(bucket_edges) or any(
+            not 0.0 < edge < 1.0 for edge in bucket_edges
+        ):
+            raise ConfigurationError(
+                f"bucket edges must be ascending fractions in (0, 1), "
+                f"got {bucket_edges}"
+            )
+        self._index = index
+        self._candidates = tuple(candidates)
+        self._bucket_edges = tuple(bucket_edges)
+        self._calibration: TauCalibration | None = None
+
+    @property
+    def calibration(self) -> TauCalibration | None:
+        """The calibration table, or ``None`` before :meth:`calibrate`."""
+        return self._calibration
+
+    def calibrate(
+        self,
+        queries_per_bucket: int = 20,
+        k: int = 10,
+        params: SearchParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> TauCalibration:
+        """Measure each candidate tau per window bucket and pick the best.
+
+        Calibration queries are index vectors themselves (perturbation-free
+        self-queries exercise the same code path as real queries) with
+        windows sampled uniformly inside each bucket.
+
+        Raises:
+            EmptyIndexError: If the index holds fewer than 2 vectors.
+        """
+        index = self._index
+        if len(index) < 2:
+            raise EmptyIndexError("cannot calibrate on an empty index")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        if params is None:
+            params = index.config.search
+        n = len(index)
+        timestamps = index.store.timestamps
+        edges = (0.0, *self._bucket_edges, 1.0)
+        n_buckets = len(edges) - 1
+        costs = np.zeros((n_buckets, len(self._candidates)))
+        for bucket in range(n_buckets):
+            lo_f = max(edges[bucket], 1.0 / n)
+            hi_f = edges[bucket + 1]
+            for _ in range(queries_per_bucket):
+                fraction = float(rng.uniform(lo_f, hi_f))
+                m = max(1, int(round(fraction * n)))
+                start = int(rng.integers(0, n - m + 1))
+                t_start = float(timestamps[start])
+                t_end = (
+                    float(timestamps[start + m])
+                    if start + m < n
+                    else float("inf")
+                )
+                vector, _ = index.store.get(int(rng.integers(0, n)))
+                for j, tau in enumerate(self._candidates):
+                    result = index.search(
+                        vector,
+                        k,
+                        t_start,
+                        t_end,
+                        params=params,
+                        rng=np.random.default_rng(bucket),
+                        tau=tau,
+                    )
+                    costs[bucket, j] += result.stats.distance_evaluations
+        costs /= queries_per_bucket
+        chosen = tuple(
+            self._candidates[int(j)] for j in costs.argmin(axis=1)
+        )
+        self._calibration = TauCalibration(
+            bucket_edges=self._bucket_edges,
+            taus=chosen,
+            costs=costs,
+            candidates=self._candidates,
+        )
+        return self._calibration
+
+    def tau_for_window(self, t_start: float, t_end: float) -> float:
+        """The calibrated tau for a concrete query window."""
+        if self._calibration is None:
+            raise ConfigurationError(
+                "TauTuner.calibrate() must run before queries"
+            )
+        positions = self._index.store.resolve_window(
+            TimeWindow(float(t_start), float(t_end))
+        )
+        fraction = (positions.stop - positions.start) / max(1, len(self._index))
+        return self._calibration.tau_for(fraction)
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        t_start: float = float("-inf"),
+        t_end: float = float("inf"),
+        params: SearchParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> QueryResult:
+        """A TkNN query answered with the window's calibrated tau."""
+        tau = self.tau_for_window(t_start, t_end)
+        return self._index.search(
+            query, k, t_start, t_end, params=params, rng=rng, tau=tau
+        )

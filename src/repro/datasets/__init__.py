@@ -1,0 +1,33 @@
+"""Synthetic datasets, query workloads, and ground truth for evaluation."""
+
+from .ground_truth import GroundTruthCache, compute_ground_truth, exact_answer
+from .registry import (
+    DatasetProfile,
+    available_datasets,
+    get_profile,
+    load_dataset,
+)
+from .synthetic import Dataset, SyntheticSpec, generate
+from .workload import (
+    TkNNQuery,
+    make_sweep_workload,
+    make_workload,
+    window_for_fraction,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetProfile",
+    "GroundTruthCache",
+    "SyntheticSpec",
+    "TkNNQuery",
+    "available_datasets",
+    "compute_ground_truth",
+    "exact_answer",
+    "generate",
+    "get_profile",
+    "load_dataset",
+    "make_sweep_workload",
+    "make_workload",
+    "window_for_fraction",
+]

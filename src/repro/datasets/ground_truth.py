@@ -1,0 +1,69 @@
+"""Exact TkNN ground truth for recall measurement.
+
+Ground truth for a workload is computed with one vectorised brute-force
+scan per query over the window's position slice; results are memoised per
+``(dataset, workload)`` inside a :class:`GroundTruthCache` so the epsilon
+sweep reuses them across operating points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distances.kernels import top_k_smallest
+from ..distances.metrics import Metric, resolve_metric
+from .synthetic import Dataset
+from .workload import TkNNQuery
+
+
+def exact_answer(
+    vectors: np.ndarray,
+    timestamps: np.ndarray,
+    metric: Metric,
+    query: TkNNQuery,
+) -> np.ndarray:
+    """Positions of the exact TkNN answer for one query."""
+    lo = int(np.searchsorted(timestamps, query.t_start, side="left"))
+    hi = int(np.searchsorted(timestamps, query.t_end, side="left"))
+    if lo >= hi:
+        return np.empty(0, dtype=np.int64)
+    dists = metric.batch(query.vector, vectors[lo:hi])
+    best = top_k_smallest(dists, query.k)
+    return (lo + best).astype(np.int64)
+
+
+def compute_ground_truth(
+    dataset: Dataset, workload: list[TkNNQuery]
+) -> list[np.ndarray]:
+    """Exact answers for a whole workload, in order."""
+    metric = resolve_metric(dataset.metric_name)
+    return [
+        exact_answer(dataset.vectors, dataset.timestamps, metric, query)
+        for query in workload
+    ]
+
+
+class GroundTruthCache:
+    """Memoises exact answers keyed by the identity of the workload list.
+
+    The epsilon sweep evaluates the same workload at many operating points;
+    recomputing brute-force truth each time would dominate the experiment.
+    """
+
+    def __init__(self) -> None:
+        # The workload list is retained alongside its truth: id() keys are
+        # only unique while the keyed object is alive, so dropping the
+        # reference would let a recycled id alias another workload's truth.
+        self._cache: dict[int, tuple[list[TkNNQuery], list[np.ndarray]]] = {}
+
+    def get(
+        self, dataset: Dataset, workload: list[TkNNQuery]
+    ) -> list[np.ndarray]:
+        """Ground truth for ``workload``, computed once per list object."""
+        key = id(workload)
+        if key not in self._cache:
+            self._cache[key] = (
+                workload,
+                compute_ground_truth(dataset, workload),
+            )
+        return self._cache[key][1]

@@ -1,0 +1,120 @@
+"""TkNN query-workload generation (the protocol of Section 5.2).
+
+The paper samples held-out query vectors and draws time windows covering a
+target *fraction* of the data: the x-axis of Figures 5 and 9 is
+``|D[ts:te]| / |D|``.  We reproduce that by choosing windows in position
+space (a window of fraction ``f`` covers ``round(f * n)`` consecutive
+positions) and converting the boundary positions to timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .synthetic import Dataset
+
+
+@dataclass(frozen=True)
+class TkNNQuery:
+    """One time-restricted kNN query.
+
+    Attributes:
+        vector: The query vector ``w``.
+        k: Number of neighbors requested.
+        t_start: Inclusive window start.
+        t_end: Exclusive window end.
+        window_fraction: Fraction of the dataset the window was drawn to
+            cover (the paper's x-axis).
+    """
+
+    vector: np.ndarray
+    k: int
+    t_start: float
+    t_end: float
+    window_fraction: float
+
+
+def window_for_fraction(
+    timestamps: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator,
+) -> tuple[float, float]:
+    """Sample a time window covering ``fraction`` of the sorted timestamps.
+
+    The window is positioned uniformly at random along the timeline; its
+    bounds are the timestamps at the boundary positions, so the half-open
+    window ``[t_start, t_end)`` contains (up to timestamp ties) exactly
+    ``round(fraction * n)`` vectors.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise DatasetError(f"fraction must be in (0, 1], got {fraction}")
+    n = len(timestamps)
+    m = max(1, int(round(fraction * n)))
+    if m >= n:
+        return float(timestamps[0]), float("inf")
+    start = int(rng.integers(0, n - m + 1))
+    t_start = float(timestamps[start])
+    end = start + m
+    t_end = float(timestamps[end]) if end < n else float("inf")
+    return t_start, t_end
+
+
+def make_workload(
+    dataset: Dataset,
+    k: int,
+    fraction: float,
+    n_queries: int | None = None,
+    seed: int = 0,
+) -> list[TkNNQuery]:
+    """Build a fixed-fraction workload from a dataset's held-out queries.
+
+    Args:
+        dataset: Source dataset (provides query vectors and the timeline).
+        k: Neighbors per query.
+        fraction: Window fraction of the data, in ``(0, 1]``.
+        n_queries: Number of queries; defaults to every held-out vector,
+            cycling if more are requested than available.
+        seed: Window-sampling seed.
+
+    Returns:
+        A list of :class:`TkNNQuery`.
+    """
+    if len(dataset.queries) == 0:
+        raise DatasetError(f"dataset {dataset.name!r} has no held-out queries")
+    if k < 1:
+        raise DatasetError(f"k must be >= 1, got {k}")
+    rng = np.random.default_rng(seed)
+    count = n_queries if n_queries is not None else len(dataset.queries)
+    queries: list[TkNNQuery] = []
+    for i in range(count):
+        vector = dataset.queries[i % len(dataset.queries)]
+        t_start, t_end = window_for_fraction(dataset.timestamps, fraction, rng)
+        queries.append(
+            TkNNQuery(
+                vector=vector,
+                k=k,
+                t_start=t_start,
+                t_end=t_end,
+                window_fraction=fraction,
+            )
+        )
+    return queries
+
+
+def make_sweep_workload(
+    dataset: Dataset,
+    k: int,
+    fractions: tuple[float, ...],
+    n_queries: int | None = None,
+    seed: int = 0,
+) -> dict[float, list[TkNNQuery]]:
+    """A workload per window fraction, as the Figure 5 sweep needs."""
+    return {
+        fraction: make_workload(
+            dataset, k, fraction, n_queries=n_queries, seed=seed + i
+        )
+        for i, fraction in enumerate(fractions)
+    }

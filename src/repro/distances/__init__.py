@@ -1,0 +1,25 @@
+"""Distance metrics and vectorised kernels used by every index in the library."""
+
+from .kernels import top_k_smallest
+from .metrics import (
+    ANGULAR,
+    EUCLIDEAN,
+    INNER_PRODUCT,
+    SQEUCLIDEAN,
+    Metric,
+    available_metrics,
+    register_metric,
+    resolve_metric,
+)
+
+__all__ = [
+    "ANGULAR",
+    "EUCLIDEAN",
+    "INNER_PRODUCT",
+    "SQEUCLIDEAN",
+    "Metric",
+    "available_metrics",
+    "register_metric",
+    "resolve_metric",
+    "top_k_smallest",
+]

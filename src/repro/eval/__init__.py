@@ -1,0 +1,56 @@
+"""Evaluation harness: recall, timing, epsilon sweeps, experiment runners."""
+
+from .pareto import (
+    PAPER_EPSILONS,
+    OperatingPoint,
+    epsilon_sweep,
+    pareto_frontier,
+    throughput_at_recall,
+)
+from .recall import mean_recall, recall_at_k
+from .reporting import format_series, format_table
+from .runner import (
+    DEFAULT_FRACTIONS,
+    DEFAULT_RECALL_TARGET,
+    FractionPoint,
+    MethodSuite,
+    bsbf_run_fn,
+    build_suite,
+    mbi_run_fn,
+    sf_run_fn,
+    sweep_method_over_fractions,
+)
+from .streaming import GrowthPoint, measure_streaming
+from .timing import (
+    RunQueryFn,
+    WorkloadMeasurement,
+    calibrated_eval_rate,
+    run_workload,
+)
+
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "DEFAULT_RECALL_TARGET",
+    "FractionPoint",
+    "GrowthPoint",
+    "MethodSuite",
+    "OperatingPoint",
+    "PAPER_EPSILONS",
+    "RunQueryFn",
+    "WorkloadMeasurement",
+    "bsbf_run_fn",
+    "build_suite",
+    "calibrated_eval_rate",
+    "epsilon_sweep",
+    "format_series",
+    "format_table",
+    "mbi_run_fn",
+    "mean_recall",
+    "measure_streaming",
+    "pareto_frontier",
+    "recall_at_k",
+    "run_workload",
+    "sf_run_fn",
+    "sweep_method_over_fractions",
+    "throughput_at_recall",
+]

@@ -1,0 +1,129 @@
+"""Epsilon sweep and Pareto-frontier selection (the paper's protocol).
+
+Section 5.1.3: "We vary the value of epsilon in increments of 0.02, ranging
+from 1 to 1.4, and present the optimal based on the Pareto frontier."  The
+Figure 5/9 operating point is then the throughput of the cheapest epsilon
+that reaches the target recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..datasets.workload import TkNNQuery
+from .timing import RunQueryFn, WorkloadMeasurement, run_workload
+
+PAPER_EPSILONS: tuple[float, ...] = tuple(
+    round(1.0 + 0.02 * i, 2) for i in range(21)
+)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One epsilon setting's measured quality/throughput trade-off.
+
+    Attributes:
+        epsilon: The search-range parameter that produced this point.
+        measurement: Full workload measurement at this epsilon.
+    """
+
+    epsilon: float
+    measurement: WorkloadMeasurement
+
+    @property
+    def recall(self) -> float:
+        """Mean recall@k at this epsilon."""
+        return self.measurement.recall
+
+    @property
+    def qps(self) -> float:
+        """Wall-clock queries per second at this epsilon."""
+        return self.measurement.qps
+
+    @property
+    def model_qps(self) -> float:
+        """Work-model queries per second at this epsilon."""
+        return self.measurement.model_qps
+
+
+def epsilon_sweep(
+    make_run_query: Callable[[float], RunQueryFn],
+    workload: list[TkNNQuery],
+    ground_truth: list[np.ndarray],
+    epsilons: tuple[float, ...] = PAPER_EPSILONS,
+    metric: str | None = None,
+    dim: int | None = None,
+) -> list[OperatingPoint]:
+    """Measure the workload at every epsilon.
+
+    Args:
+        make_run_query: Factory producing the method's query adapter for a
+            given epsilon.
+        workload: The queries.
+        ground_truth: Exact answers aligned with the workload.
+        epsilons: Epsilon grid; defaults to the paper's 1.0-1.4 step 0.02.
+        metric: Metric name for work-model calibration.
+        dim: Dimensionality for work-model calibration.
+
+    Returns:
+        One :class:`OperatingPoint` per epsilon, in grid order.
+    """
+    points = []
+    for epsilon in epsilons:
+        measurement = run_workload(
+            make_run_query(epsilon),
+            workload,
+            ground_truth,
+            metric=metric,
+            dim=dim,
+        )
+        points.append(OperatingPoint(epsilon=epsilon, measurement=measurement))
+    return points
+
+
+def pareto_frontier(
+    points: list[OperatingPoint], by: str = "model_qps"
+) -> list[OperatingPoint]:
+    """Points not dominated in (recall, throughput), sorted by recall.
+
+    A point dominates another when it has both higher-or-equal recall and
+    strictly higher throughput.
+    """
+    key = _throughput_key(by)
+    ordered = sorted(points, key=lambda p: (-p.recall, -key(p)))
+    frontier: list[OperatingPoint] = []
+    best_throughput = -np.inf
+    for point in ordered:
+        if key(point) > best_throughput:
+            frontier.append(point)
+            best_throughput = key(point)
+    frontier.reverse()  # ascending recall
+    return frontier
+
+
+def throughput_at_recall(
+    points: list[OperatingPoint],
+    target_recall: float,
+    by: str = "model_qps",
+) -> OperatingPoint | None:
+    """The highest-throughput point whose recall meets the target.
+
+    Returns ``None`` when no epsilon reaches the target (the paper would
+    simply not plot that method at that x).
+    """
+    key = _throughput_key(by)
+    eligible = [p for p in points if p.recall >= target_recall]
+    if not eligible:
+        return None
+    return max(eligible, key=key)
+
+
+def _throughput_key(by: str) -> Callable[[OperatingPoint], float]:
+    if by == "model_qps":
+        return lambda p: p.model_qps
+    if by == "qps":
+        return lambda p: p.qps
+    raise ValueError(f"throughput key must be 'model_qps' or 'qps', got {by!r}")

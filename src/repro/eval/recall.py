@@ -1,0 +1,33 @@
+"""The paper's recall@k quality measure (Section 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def recall_at_k(found: np.ndarray, truth: np.ndarray) -> float:
+    """``recall@k = |found ∩ truth| / k`` with ``k = |truth|``.
+
+    When the time window holds fewer than ``k`` vectors the truth set is
+    smaller; recall is then measured against the achievable answer size.
+    An empty truth set scores 1.0 (there was nothing to find).
+    """
+    if len(truth) == 0:
+        return 1.0
+    overlap = np.intersect1d(found, truth, assume_unique=False)
+    return len(overlap) / len(truth)
+
+
+def mean_recall(found_list: list[np.ndarray], truth_list: list[np.ndarray]) -> float:
+    """Mean recall@k across a workload."""
+    if len(found_list) != len(truth_list):
+        raise ValueError(
+            f"got {len(found_list)} results but {len(truth_list)} truths"
+        )
+    if not truth_list:
+        return 1.0
+    scores = [
+        recall_at_k(found, truth)
+        for found, truth in zip(found_list, truth_list)
+    ]
+    return float(np.mean(scores))

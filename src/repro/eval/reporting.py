@@ -1,0 +1,142 @@
+"""Plain-text reporting helpers shared by every benchmark.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and readable in pytest's
+captured stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are formatted compactly: floats get 4 significant digits,
+    everything else uses ``str``.
+    """
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render a figure's data as a table: one x column, one column per line."""
+    headers = [x_label, *series]
+    rows = [
+        [x, *(values[i] for values in series.values())]
+        for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_ascii_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+    log_y: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render line series as an ASCII chart (one marker letter per series).
+
+    NaN points are skipped.  ``log_y`` plots on a logarithmic y-axis, the
+    scale the paper uses for its QPS figures.
+
+    Args:
+        xs: Common x values (ascending).
+        series: Mapping of label to y values aligned with ``xs``.
+        width: Plot width in characters.
+        height: Plot height in rows.
+        log_y: Use a log10 y-axis.
+        title: Optional heading.
+    """
+    import math
+
+    points: dict[str, list[tuple[float, float]]] = {}
+    all_y: list[float] = []
+    for label, ys in series.items():
+        keep = [
+            (x, y)
+            for x, y in zip(xs, ys)
+            if y == y and (not log_y or y > 0)
+        ]
+        points[label] = keep
+        all_y.extend(y for _, y in keep)
+    if not all_y:
+        return (title or "") + "\n(no finite data)"
+
+    def transform(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    y_lo, y_hi = min(map(transform, all_y)), max(map(transform, all_y))
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    legend = []
+    for i, (label, keep) in enumerate(points.items()):
+        marker = markers[i % len(markers)]
+        legend.append(f"{marker} = {label}")
+        for x, y in keep:
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round(
+                (transform(y) - y_lo) / (y_hi - y_lo) * (height - 1)
+            )
+            grid[height - 1 - row][col] = marker
+
+    def y_label(row: int) -> str:
+        value = y_lo + (height - 1 - row) / (height - 1) * (y_hi - y_lo)
+        if log_y:
+            value = 10**value
+        return f"{value:>10.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        prefix = y_label(row) if row in (0, height // 2, height - 1) else ""
+        lines.append(f"{prefix:>10} |{''.join(grid[row])}")
+    lines.append(f"{'':>10} +{'-' * width}")
+    lines.append(f"{'':>10}  {x_lo:<10.3g}{'':^{max(0, width - 20)}}{x_hi:>10.3g}")
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)

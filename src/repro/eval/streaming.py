@@ -1,0 +1,122 @@
+"""Query-while-insert measurement (the protocol behind Figure 8).
+
+Section 5.4.1 measures MBI as data streams in: cumulative indexing time at
+growth checkpoints, and query throughput at each checkpoint with window
+sizes drawn from 5%-95% of the *current* data.  This module packages that
+protocol so benches and applications can monitor an index the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import SearchParams
+from ..core.mbi import MultiLevelBlockIndex
+
+
+@dataclass(frozen=True)
+class GrowthPoint:
+    """Measurements at one growth checkpoint.
+
+    Attributes:
+        n_inserted: Vectors in the index when measured.
+        cumulative_seconds: Total insert wall time so far (graph builds
+            included).
+        qps: Query throughput at this size (random 5%-95% windows).
+        mean_distance_evaluations: Mean per-query work at this size.
+        num_blocks: Materialised blocks at this size.
+    """
+
+    n_inserted: int
+    cumulative_seconds: float
+    qps: float
+    mean_distance_evaluations: float
+    num_blocks: int
+
+
+def measure_streaming(
+    index: MultiLevelBlockIndex,
+    vectors: np.ndarray,
+    timestamps: np.ndarray,
+    checkpoints: tuple[int, ...],
+    query_vectors: np.ndarray,
+    k: int = 10,
+    queries_per_checkpoint: int = 30,
+    window_fraction_range: tuple[float, float] = (0.05, 0.95),
+    params: SearchParams | None = None,
+    seed: int = 0,
+) -> list[GrowthPoint]:
+    """Stream ``vectors`` into ``index``, measuring at each checkpoint.
+
+    Args:
+        index: A fresh (or pre-populated) MBI index to grow.
+        vectors: Data to insert, timestamp-sorted.
+        timestamps: Aligned timestamps.
+        checkpoints: Ascending insert counts at which to measure; each must
+            not exceed ``len(vectors)``.
+        query_vectors: Pool of query vectors (cycled).
+        k: Neighbors per query.
+        queries_per_checkpoint: Queries timed at each checkpoint.
+        window_fraction_range: Window sizes drawn uniformly from this range
+            of the *current* data size (the paper uses 5%-95%).
+        params: Search parameters; defaults to the index config's.
+        seed: Randomness for window placement.
+
+    Returns:
+        One :class:`GrowthPoint` per checkpoint, in order.
+    """
+    if list(checkpoints) != sorted(checkpoints):
+        raise ValueError(f"checkpoints must be ascending, got {checkpoints}")
+    if checkpoints and checkpoints[-1] > len(vectors):
+        raise ValueError(
+            f"last checkpoint {checkpoints[-1]} exceeds the "
+            f"{len(vectors)} supplied vectors"
+        )
+    if len(query_vectors) == 0:
+        raise ValueError("need at least one query vector")
+    rng = np.random.default_rng(seed)
+    lo_f, hi_f = window_fraction_range
+
+    points: list[GrowthPoint] = []
+    ingested = 0
+    elapsed = 0.0
+    for checkpoint in checkpoints:
+        started = time.perf_counter()
+        index.extend(
+            vectors[ingested:checkpoint], timestamps[ingested:checkpoint]
+        )
+        elapsed += time.perf_counter() - started
+        ingested = checkpoint
+
+        ts = index.store.timestamps
+        n = len(index)
+        evals = []
+        started = time.perf_counter()
+        for qi in range(queries_per_checkpoint):
+            fraction = float(rng.uniform(lo_f, hi_f))
+            m = max(1, int(fraction * n))
+            start = int(rng.integers(0, n - m + 1))
+            t_start = float(ts[start])
+            t_end = float(ts[start + m]) if start + m < n else np.inf
+            result = index.search(
+                query_vectors[qi % len(query_vectors)],
+                k,
+                t_start,
+                t_end,
+                params=params,
+            )
+            evals.append(result.stats.distance_evaluations)
+        query_seconds = time.perf_counter() - started
+        points.append(
+            GrowthPoint(
+                n_inserted=n,
+                cumulative_seconds=elapsed,
+                qps=queries_per_checkpoint / max(query_seconds, 1e-12),
+                mean_distance_evaluations=float(np.mean(evals)),
+                num_blocks=index.num_blocks,
+            )
+        )
+    return points

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by this library derive from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` from bad call sites, etc.) surface
+unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An index, metric, or experiment was configured with invalid parameters."""
+
+
+class UnknownMetricError(ConfigurationError):
+    """A distance metric name was not found in the metric registry."""
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"unknown metric {name!r}; available metrics: {', '.join(available)}"
+        )
+
+
+class DimensionMismatchError(ReproError):
+    """A vector's dimensionality does not match the store or index dimension."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        self.expected = expected
+        self.actual = actual
+        super().__init__(f"expected vectors of dimension {expected}, got {actual}")
+
+
+class TimestampOrderError(ReproError):
+    """A vector arrived with a timestamp earlier than the latest stored one.
+
+    Both the vector store and MBI are append-only structures: data must be
+    inserted in non-decreasing timestamp order (the paper assumes strictly
+    increasing timestamps; ties are tolerated and broken by arrival order).
+    """
+
+
+class EmptyIndexError(ReproError):
+    """A query was issued against an index that contains no vectors."""
+
+
+class InvalidQueryError(ReproError):
+    """A TkNN query is malformed (bad ``k``, inverted time window, wrong dim)."""
+
+
+class PersistenceError(ReproError):
+    """An index snapshot could not be written or read back."""
+
+
+class DatasetError(ReproError):
+    """A dataset profile or workload could not be generated."""

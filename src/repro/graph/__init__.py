@@ -1,0 +1,45 @@
+"""Graph-based approximate nearest neighbor substrate.
+
+This package provides everything the paper treats as "a graph-based kNN
+index used as a module": NNDescent construction (:mod:`.nndescent`), RP-tree
+initialisation (:mod:`.rp_forest`), a fixed-width graph container
+(:mod:`.knn_graph`), build orchestration (:mod:`.builder`), and the
+time-filtered greedy search of Algorithm 2 (:mod:`.search`).
+"""
+
+from .builder import (
+    GraphBuildReport,
+    GraphConfig,
+    build_exact_graph,
+    build_knn_graph,
+    exact_knn_lists,
+)
+from .connectivity import component_labels, ensure_connected
+from .hnsw import HNSWIndex, HNSWParams, build_hnsw
+from .knn_graph import NO_NEIGHBOR, KnnGraph
+from .nndescent import NNDescentParams, NNDescentResult, nn_descent
+from .pruning import occlusion_prune, pack_rows
+from .search import SearchOutcome, SearchStats, graph_search
+
+__all__ = [
+    "NO_NEIGHBOR",
+    "GraphBuildReport",
+    "GraphConfig",
+    "HNSWIndex",
+    "HNSWParams",
+    "KnnGraph",
+    "NNDescentParams",
+    "NNDescentResult",
+    "SearchOutcome",
+    "SearchStats",
+    "build_exact_graph",
+    "build_hnsw",
+    "build_knn_graph",
+    "component_labels",
+    "ensure_connected",
+    "exact_knn_lists",
+    "graph_search",
+    "nn_descent",
+    "occlusion_prune",
+    "pack_rows",
+]

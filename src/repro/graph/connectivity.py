@@ -1,0 +1,119 @@
+"""Connectivity repair for kNN search graphs.
+
+A kNN graph over clustered data is frequently disconnected: each tight
+cluster is its own component and greedy search can never leave the component
+containing the entry point.  Production graph indexes repair this after
+construction (NSG grows a spanning tree from the navigating node; EFANNA
+adds bridge edges).  We do the same: find connected components treating the
+graph as undirected, then link every minor component to the dominant one
+through the closest pair found between the minor component and a sample of
+the dominant component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import connected_components
+
+from ..distances.metrics import Metric
+from .knn_graph import NO_NEIGHBOR, KnnGraph
+
+# Sampling caps keep the repair cost bounded on big components.
+_MAIN_SAMPLE = 2048
+_MINOR_SAMPLE = 512
+
+
+def component_labels(graph: KnnGraph) -> tuple[int, np.ndarray]:
+    """Undirected connected components of the graph.
+
+    Returns:
+        ``(n_components, labels)`` where ``labels[i]`` is node ``i``'s
+        component id.
+    """
+    n = graph.num_nodes
+    adjacency = graph.adjacency
+    rows, cols = np.nonzero(adjacency != NO_NEIGHBOR)
+    targets = adjacency[rows, cols]
+    data = np.ones(len(rows), dtype=np.int8)
+    matrix = coo_matrix((data, (rows, targets)), shape=(n, n))
+    count, labels = connected_components(matrix, directed=False)
+    return int(count), labels
+
+
+def ensure_connected(
+    graph: KnnGraph,
+    points: np.ndarray,
+    metric: Metric,
+    rng: np.random.Generator | None = None,
+) -> tuple[KnnGraph, int]:
+    """Add bridge edges until the graph is a single undirected component.
+
+    For each non-dominant component, the closest pair between a sample of
+    that component and a sample of the dominant component is linked in both
+    directions.  The adjacency matrix is widened by up to two columns when a
+    bridge endpoint has no free slot.
+
+    Args:
+        graph: The search graph to repair.
+        points: ``(n, d)`` vectors the graph indexes.
+        metric: Distance metric used to pick the closest bridge pair.
+        rng: Randomness for sampling large components.
+
+    Returns:
+        ``(repaired_graph, n_bridges)``; the input graph is returned
+        unchanged (0 bridges) when already connected.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    count, labels = component_labels(graph)
+    if count <= 1:
+        return graph, 0
+
+    sizes = np.bincount(labels, minlength=count)
+    main = int(np.argmax(sizes))
+    main_nodes = np.nonzero(labels == main)[0]
+    if len(main_nodes) > _MAIN_SAMPLE:
+        main_sample = rng.choice(main_nodes, _MAIN_SAMPLE, replace=False)
+    else:
+        main_sample = main_nodes
+
+    bridges: list[tuple[int, int]] = []
+    for component in range(count):
+        if component == main:
+            continue
+        minor_nodes = np.nonzero(labels == component)[0]
+        if len(minor_nodes) > _MINOR_SAMPLE:
+            minor_sample = rng.choice(minor_nodes, _MINOR_SAMPLE, replace=False)
+        else:
+            minor_sample = minor_nodes
+        cross = metric.cross(points[minor_sample], points[main_sample])
+        flat = int(np.argmin(cross))
+        src = int(minor_sample[flat // len(main_sample)])
+        dst = int(main_sample[flat % len(main_sample)])
+        bridges.append((src, dst))
+
+    adjacency = _append_edges(graph.adjacency, bridges)
+    return KnnGraph(adjacency), len(bridges)
+
+
+def _append_edges(
+    adjacency: np.ndarray, edges: list[tuple[int, int]]
+) -> np.ndarray:
+    """Append undirected edges, widening the matrix when rows are full."""
+    adjacency = adjacency.copy()
+    for src, dst in edges:
+        for a, b in ((src, dst), (dst, src)):
+            row = adjacency[a]
+            if b in row[row != NO_NEIGHBOR]:
+                continue
+            free = np.nonzero(row == NO_NEIGHBOR)[0]
+            if len(free) == 0:
+                pad = np.full(
+                    (adjacency.shape[0], 1), NO_NEIGHBOR, dtype=adjacency.dtype
+                )
+                adjacency = np.concatenate([adjacency, pad], axis=1)
+                adjacency[a, -1] = b
+            else:
+                adjacency[a, int(free[0])] = b
+    return adjacency

@@ -1,0 +1,319 @@
+"""HNSW — Hierarchical Navigable Small World graphs (Malkov & Yashunin).
+
+The paper lists HNSW among the graph-based state of the art (Section 2.1);
+this module provides it as an alternative per-block backend.  The structure
+is the classic one:
+
+* every node draws a geometric level; layer 0 holds all nodes, each higher
+  layer an exponentially thinning subset;
+* inserts descend greedily from the top entry point to the node's level,
+  then run an ``ef_construction`` beam search per layer, connect the best
+  ``M`` neighbors chosen by the occlusion heuristic, and shrink any
+  neighbor list that overflows;
+* queries descend greedily to layer 0 and beam-search there.
+
+For time-restricted queries the base layer is searched with the library's
+Algorithm 2 (:func:`repro.graph.search.graph_search`): the hierarchy only
+replaces the random entry point with a good one, and layer 0 is exactly a
+navigable proximity graph.
+
+Construction is a sequential Python loop (inherent to HNSW's insert-one-
+at-a-time design), so at this repository's block sizes it is noticeably
+slower than NNDescent + pruning; it exists for completeness and for the
+backend ablation, not as the default.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distances.metrics import Metric
+from .knn_graph import NO_NEIGHBOR, KnnGraph
+
+
+@dataclass(frozen=True)
+class HNSWParams:
+    """HNSW construction parameters.
+
+    Attributes:
+        m: Max out-degree on layers above 0 (layer 0 allows ``2 * m``).
+        ef_construction: Beam width during insertion.
+        seed_levels: Whether to derive node levels from the build RNG
+            (True) or place everything on layer 0 (flat; for testing).
+    """
+
+    m: int = 12
+    ef_construction: int = 64
+    seed_levels: bool = True
+
+    def __post_init__(self) -> None:
+        if self.m < 2:
+            raise ValueError(f"m must be >= 2, got {self.m}")
+        if self.ef_construction < 1:
+            raise ValueError(
+                f"ef_construction must be >= 1, got {self.ef_construction}"
+            )
+
+
+class HNSWIndex:
+    """A built HNSW structure over one block of vectors.
+
+    Attributes:
+        base_graph: Layer 0 as a fixed-width :class:`KnnGraph`.
+        upper_layers: Layers 1.. as ``{node: neighbor array}`` dicts.
+        entry_point: Top-layer entry node.
+        levels: Per-node level array.
+    """
+
+    def __init__(
+        self,
+        base_graph: KnnGraph,
+        upper_layers: list[dict[int, np.ndarray]],
+        entry_point: int,
+        levels: np.ndarray,
+    ) -> None:
+        self.base_graph = base_graph
+        self.upper_layers = upper_layers
+        self.entry_point = int(entry_point)
+        self.levels = np.asarray(levels, dtype=np.int32)
+
+    @property
+    def max_level(self) -> int:
+        """Highest populated layer."""
+        return len(self.upper_layers)
+
+    def descend(
+        self, query: np.ndarray, points: np.ndarray, metric: Metric
+    ) -> tuple[int, int]:
+        """Greedy descent from the top layer to layer 0.
+
+        Returns the best entry node for a base-layer search and the number
+        of distance evaluations spent.
+        """
+        node = self.entry_point
+        dist = metric.pairwise(query, points[node])
+        evaluations = 1
+        for layer in range(self.max_level, 0, -1):
+            adjacency = self.upper_layers[layer - 1]
+            improved = True
+            while improved:
+                improved = False
+                neighbors = adjacency.get(node)
+                if neighbors is None or len(neighbors) == 0:
+                    break
+                dists = metric.batch(query, points[neighbors])
+                evaluations += len(neighbors)
+                best = int(np.argmin(dists))
+                if dists[best] < dist:
+                    dist = float(dists[best])
+                    node = int(neighbors[best])
+                    improved = True
+        return node, evaluations
+
+    def nbytes(self) -> int:
+        """Bytes used by all layers."""
+        upper = sum(
+            neighbor.nbytes + 8
+            for layer in self.upper_layers
+            for neighbor in layer.values()
+        )
+        return self.base_graph.nbytes() + upper + self.levels.nbytes
+
+
+def build_hnsw(
+    points: np.ndarray,
+    metric: Metric,
+    params: HNSWParams | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[HNSWIndex, int]:
+    """Build an HNSW over ``points``; returns the index and distance evals."""
+    if params is None:
+        params = HNSWParams()
+    if rng is None:
+        rng = np.random.default_rng(0)
+    points = np.asarray(points, dtype=np.float32)
+    n = len(points)
+    if n < 1:
+        raise ValueError("cannot build HNSW over zero points")
+
+    level_mult = 1.0 / np.log(params.m)
+    if params.seed_levels:
+        levels = np.minimum(
+            (-np.log(rng.uniform(1e-12, 1.0, n)) * level_mult).astype(int),
+            31,
+        )
+    else:
+        levels = np.zeros(n, dtype=int)
+
+    max_degree0 = 2 * params.m
+    base: list[list[int]] = [[] for _ in range(n)]
+    upper: list[dict[int, list[int]]] = [
+        {} for _ in range(int(levels.max()))
+    ]
+    entry_point = 0
+    entry_level = int(levels[0])
+    evaluations = 0
+
+    def layer_adjacency(layer: int) -> "list[list[int]] | dict[int, list[int]]":
+        return base if layer == 0 else upper[layer - 1]
+
+    def neighbors_of(node: int, layer: int) -> list[int]:
+        if layer == 0:
+            return base[node]
+        return upper[layer - 1].setdefault(node, [])
+
+    def search_layer(
+        query: np.ndarray, entries: list[int], ef: int, layer: int
+    ) -> list[tuple[float, int]]:
+        """Beam search within one layer; returns (dist, node) ascending."""
+        nonlocal evaluations
+        visited = set(entries)
+        candidates: list[tuple[float, int]] = []
+        results: list[tuple[float, int]] = []  # max-heap via negation
+        for node in entries:
+            dist = metric.pairwise(query, points[node])
+            evaluations += 1
+            heapq.heappush(candidates, (dist, node))
+            heapq.heappush(results, (-dist, node))
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if len(results) >= ef and dist > -results[0][0]:
+                break
+            for neighbor in neighbors_of(node, layer):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                d = metric.pairwise(query, points[neighbor])
+                evaluations += 1
+                if len(results) < ef or d < -results[0][0]:
+                    heapq.heappush(candidates, (d, neighbor))
+                    heapq.heappush(results, (-d, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted((-neg, node) for neg, node in results)
+
+    def select_neighbors(
+        candidates: list[tuple[float, int]], m: int
+    ) -> list[int]:
+        """Occlusion heuristic: keep a candidate only if no kept one is
+        closer to it than the query is."""
+        nonlocal evaluations
+        kept: list[int] = []
+        for dist, node in candidates:
+            if len(kept) == m:
+                break
+            occluded = False
+            for other in kept:
+                d = metric.pairwise(points[other], points[node])
+                evaluations += 1
+                if d < dist:
+                    occluded = True
+                    break
+            if not occluded:
+                kept.append(node)
+        return kept
+
+    def connect(node: int, chosen: list[int], layer: int) -> None:
+        cap = max_degree0 if layer == 0 else params.m
+        neighbors_of(node, layer).extend(chosen)
+        for other in chosen:
+            other_list = neighbors_of(other, layer)
+            other_list.append(node)
+            if len(other_list) > cap:
+                dists = metric.batch(points[other], points[other_list])
+                ranked = sorted(zip(dists.tolist(), other_list))
+                other_list[:] = select_neighbors(ranked, cap)
+
+    for node in range(1, n):
+        query = points[node]
+        level = int(levels[node])
+        current = entry_point
+        # Greedy descent through layers above the node's level.
+        dist = metric.pairwise(query, points[current])
+        evaluations += 1
+        for layer in range(entry_level, level, -1):
+            improved = True
+            while improved:
+                improved = False
+                for neighbor in neighbors_of(current, layer):
+                    d = metric.pairwise(query, points[neighbor])
+                    evaluations += 1
+                    if d < dist:
+                        dist, current = d, neighbor
+                        improved = True
+        # Insert on every layer from min(level, entry_level) down to 0.
+        entries = [current]
+        for layer in range(min(level, entry_level), -1, -1):
+            found = search_layer(
+                query, entries, params.ef_construction, layer
+            )
+            m_layer = max_degree0 if layer == 0 else params.m
+            chosen = select_neighbors(found, m_layer)
+            connect(node, chosen, layer)
+            entries = [node for _, node in found]
+        if level > entry_level:
+            entry_point = node
+            entry_level = level
+
+    base_graph = KnnGraph.from_neighbor_lists(
+        [np.array(row, dtype=np.int32) for row in base], max_degree0
+    )
+    upper_arrays = [
+        {
+            node: np.array(neighbors, dtype=np.int32)
+            for node, neighbors in layer.items()
+        }
+        for layer in upper
+    ]
+    index = HNSWIndex(base_graph, upper_arrays, entry_point, levels)
+    return index, evaluations
+
+
+def serialize_hnsw(index: HNSWIndex) -> dict[str, np.ndarray]:
+    """Flatten an HNSW structure into named arrays (persistence)."""
+    arrays: dict[str, np.ndarray] = {
+        "base": index.base_graph.adjacency,
+        "levels": index.levels,
+        "entry": np.array([index.entry_point], dtype=np.int64),
+        "nlayers": np.array([index.max_level], dtype=np.int64),
+    }
+    for layer_idx, layer in enumerate(index.upper_layers):
+        nodes = np.array(sorted(layer), dtype=np.int32)
+        flat = (
+            np.concatenate([layer[int(node)] for node in nodes])
+            if len(nodes)
+            else np.empty(0, dtype=np.int32)
+        )
+        offsets = np.zeros(len(nodes) + 1, dtype=np.int64)
+        if len(nodes):
+            np.cumsum(
+                [len(layer[int(node)]) for node in nodes], out=offsets[1:]
+            )
+        arrays[f"layer{layer_idx}.nodes"] = nodes
+        arrays[f"layer{layer_idx}.flat"] = flat.astype(np.int32)
+        arrays[f"layer{layer_idx}.offsets"] = offsets
+    return arrays
+
+
+def deserialize_hnsw(arrays: dict[str, np.ndarray]) -> HNSWIndex:
+    """Inverse of :func:`serialize_hnsw`."""
+    n_layers = int(arrays["nlayers"][0])
+    upper: list[dict[int, np.ndarray]] = []
+    for layer_idx in range(n_layers):
+        nodes = arrays[f"layer{layer_idx}.nodes"]
+        flat = arrays[f"layer{layer_idx}.flat"]
+        offsets = arrays[f"layer{layer_idx}.offsets"]
+        layer = {
+            int(node): flat[offsets[i] : offsets[i + 1]]
+            for i, node in enumerate(nodes)
+        }
+        upper.append(layer)
+    return HNSWIndex(
+        KnnGraph(arrays["base"]),
+        upper,
+        int(arrays["entry"][0]),
+        arrays["levels"],
+    )

@@ -1,0 +1,122 @@
+"""HNSW as an MBI block backend (registered as ``"hnsw"``).
+
+The hierarchy's greedy descent replaces the sampled-entry heuristic; the
+filtered base-layer search is the library's Algorithm 2 over layer 0,
+which is a navigable proximity graph like any other.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from ..core.backends import BackendOutcome, BlockBackend, pick_entries
+from ..core.config import SearchParams
+from ..distances.metrics import Metric
+from ..storage.vector_store import VectorStore
+from .hnsw import (
+    HNSWIndex,
+    HNSWParams,
+    build_hnsw,
+    deserialize_hnsw,
+    serialize_hnsw,
+)
+from .search import graph_search
+
+
+class HNSWBackend(BlockBackend):
+    """Hierarchical-graph block index.
+
+    Args:
+        index: The built HNSW structure.
+        store: The shared vector store.
+        positions: The block's position range.
+        metric: Distance metric.
+    """
+
+    name: ClassVar[str] = "hnsw"
+
+    def __init__(
+        self,
+        index: HNSWIndex,
+        store: VectorStore,
+        positions: range,
+        metric: Metric,
+    ) -> None:
+        self.index = index
+        self._store = store
+        self._positions = positions
+        self._metric = metric
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: range,
+        params: SearchParams,
+        rng: np.random.Generator,
+    ) -> BackendOutcome:
+        points = self._store.slice(
+            self._positions.start, self._positions.stop
+        )
+        descent_entry, descent_evals = self.index.descend(
+            query, points, self._metric
+        )
+        # Combine the hierarchy's entry with in-window sampled entries so a
+        # narrow filter still starts where results can be.
+        sampled = pick_entries(
+            points, self._metric, query, allowed, params, rng
+        )
+        entries = np.unique(np.append(sampled, descent_entry))
+        outcome = graph_search(
+            self.index.base_graph,
+            points,
+            self._metric,
+            query,
+            k,
+            epsilon=params.epsilon,
+            max_candidates=params.max_candidates,
+            allowed=allowed,
+            entry=entries,
+        )
+        return BackendOutcome(
+            ids=outcome.ids,
+            dists=outcome.dists,
+            nodes_visited=outcome.stats.nodes_visited,
+            distance_evaluations=(
+                outcome.stats.distance_evaluations
+                + descent_evals
+                + len(sampled)
+            ),
+        )
+
+    def nbytes(self) -> int:
+        return self.index.nbytes()
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        return serialize_hnsw(self.index)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        store: VectorStore,
+        positions: range,
+        metric: Metric,
+    ) -> "HNSWBackend":
+        return cls(deserialize_hnsw(arrays), store, positions, metric)
+
+
+def build_hnsw_backend(
+    store: VectorStore,
+    positions: range,
+    metric: Metric,
+    config,  # MBIConfig
+    rng: np.random.Generator,
+) -> tuple[HNSWBackend, int]:
+    """Build an HNSW backend over a block."""
+    hnsw_config: HNSWParams = config.hnsw
+    points = store.slice(positions.start, positions.stop)
+    index, evaluations = build_hnsw(points, metric, hnsw_config, rng)
+    return HNSWBackend(index, store, positions, metric), evaluations

@@ -1,0 +1,134 @@
+"""Fixed-width adjacency container for graph-based ANN search.
+
+A :class:`KnnGraph` stores, for ``n`` nodes, up to ``max_degree`` neighbor
+ids per node in one contiguous ``int32`` matrix padded with ``-1``.  The
+layout keeps graph search allocation-free: a node's neighbor row is a slice,
+and batch distance kernels consume it directly.
+
+Graphs are produced by :mod:`repro.graph.builder` (NNDescent or exact) and
+consumed by :mod:`repro.graph.search`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NO_NEIGHBOR = -1
+
+
+class KnnGraph:
+    """Directed neighborhood graph with a fixed per-node degree budget.
+
+    Args:
+        neighbors: ``(n, max_degree)`` int32 matrix of neighbor ids; unused
+            slots hold ``NO_NEIGHBOR`` (-1).  Valid entries of each row must
+            be packed before the padding.
+    """
+
+    def __init__(self, neighbors: np.ndarray) -> None:
+        neighbors = np.ascontiguousarray(neighbors, dtype=np.int32)
+        if neighbors.ndim != 2:
+            raise ValueError(
+                f"adjacency must be a 2-D matrix, got shape {neighbors.shape}"
+            )
+        self._neighbors = neighbors
+
+    # ----------------------------------------------------------------- basics
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return self._neighbors.shape[0]
+
+    @property
+    def max_degree(self) -> int:
+        """Neighbor slots per node (the ``# neighbors`` parameter of Table 3)."""
+        return self._neighbors.shape[1]
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """The raw ``(n, max_degree)`` adjacency matrix (``-1`` padded)."""
+        return self._neighbors
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Valid neighbor ids of ``node`` (padding stripped)."""
+        row = self._neighbors[node]
+        return row[row != NO_NEIGHBOR]
+
+    def degree(self, node: int) -> int:
+        """Number of valid neighbors of ``node``."""
+        return int(np.count_nonzero(self._neighbors[node] != NO_NEIGHBOR))
+
+    def num_edges(self) -> int:
+        """Total number of directed edges."""
+        return int(np.count_nonzero(self._neighbors != NO_NEIGHBOR))
+
+    def nbytes(self) -> int:
+        """Bytes used by the adjacency matrix."""
+        return int(self._neighbors.nbytes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KnnGraph):
+            return NotImplemented
+        return (
+            self._neighbors.shape == other._neighbors.shape
+            and bool(np.array_equal(self._neighbors, other._neighbors))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KnnGraph(num_nodes={self.num_nodes}, max_degree={self.max_degree}, "
+            f"num_edges={self.num_edges()})"
+        )
+
+    # ------------------------------------------------------------- derivation
+
+    def with_reverse_edges(self, max_degree: int | None = None) -> "KnnGraph":
+        """Undirected version: every edge gains its reverse, degrees capped.
+
+        Reverse edges dramatically improve search reachability on kNN graphs
+        (a hub may be nobody's out-neighbor).  When a node ends up with more
+        than ``max_degree`` neighbors, the earliest-listed (closest, since
+        builder rows are distance-sorted) are kept.
+
+        Args:
+            max_degree: Degree cap of the result; defaults to twice the
+                current cap.
+        """
+        if max_degree is None:
+            max_degree = 2 * self.max_degree
+        n = self.num_nodes
+        # Collect forward and reverse edge lists per node, preserving the
+        # distance-sorted order of forward neighbors first.
+        forward: list[list[int]] = [[] for _ in range(n)]
+        reverse: list[list[int]] = [[] for _ in range(n)]
+        rows, cols = np.nonzero(self._neighbors != NO_NEIGHBOR)
+        targets = self._neighbors[rows, cols]
+        for src, dst in zip(rows.tolist(), targets.tolist()):
+            forward[src].append(dst)
+            reverse[dst].append(src)
+        merged = np.full((n, max_degree), NO_NEIGHBOR, dtype=np.int32)
+        for node in range(n):
+            seen: set[int] = set()
+            out = 0
+            for neighbor in forward[node] + reverse[node]:
+                if neighbor == node or neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                merged[node, out] = neighbor
+                out += 1
+                if out == max_degree:
+                    break
+        return KnnGraph(merged)
+
+    @classmethod
+    def from_neighbor_lists(
+        cls, lists: list[np.ndarray] | list[list[int]], max_degree: int
+    ) -> "KnnGraph":
+        """Build from per-node variable-length neighbor lists."""
+        n = len(lists)
+        adjacency = np.full((n, max_degree), NO_NEIGHBOR, dtype=np.int32)
+        for node, neighbor_ids in enumerate(lists):
+            ids = np.asarray(neighbor_ids, dtype=np.int32)[:max_degree]
+            adjacency[node, : len(ids)] = ids
+        return cls(adjacency)

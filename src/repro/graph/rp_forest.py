@@ -1,0 +1,87 @@
+"""Random projection trees used to initialise NNDescent.
+
+A random projection (RP) tree recursively splits the data with random
+hyperplanes until leaves hold at most ``leaf_size`` points (Dasgupta &
+Freund, 2008).  Points sharing a leaf are likely neighbors, so the all-pairs
+distances inside each leaf seed NNDescent's neighbor lists far better than
+random initialisation — especially at high dimension where random pairs are
+almost surely far apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MIN_SPLIT = 4  # below this a node is always a leaf
+_MAX_DEPTH_SLACK = 16  # guards against degenerate splits on duplicate data
+
+
+def _split(
+    points: np.ndarray, indices: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``indices`` by a random hyperplane through the data median.
+
+    Returns the (left, right) index arrays.  The hyperplane direction is a
+    random Gaussian vector; splitting at the projection median keeps the tree
+    balanced regardless of the data distribution.
+    """
+    direction = rng.standard_normal(points.shape[1])
+    projections = points[indices] @ direction
+    median = np.median(projections)
+    left_mask = projections < median
+    # Degenerate case: many identical projections (e.g. duplicate points).
+    # Fall back to an arbitrary balanced split to guarantee progress.
+    if not left_mask.any() or left_mask.all():
+        half = len(indices) // 2
+        order = rng.permutation(len(indices))
+        return indices[order[:half]], indices[order[half:]]
+    return indices[left_mask], indices[~left_mask]
+
+
+def rp_tree_leaves(
+    points: np.ndarray,
+    leaf_size: int,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Partition all points into RP-tree leaves of at most ``leaf_size``.
+
+    Args:
+        points: ``(n, d)`` data matrix.
+        leaf_size: Maximum number of points per leaf (at least 2).
+        rng: Source of randomness for hyperplane directions.
+
+    Returns:
+        A list of index arrays, one per leaf, jointly covering ``range(n)``.
+    """
+    if leaf_size < 2:
+        raise ValueError(f"leaf_size must be at least 2, got {leaf_size}")
+    n = len(points)
+    max_depth = int(np.ceil(np.log2(max(2, n)))) + _MAX_DEPTH_SLACK
+    leaves: list[np.ndarray] = []
+    stack: list[tuple[np.ndarray, int]] = [(np.arange(n, dtype=np.int64), 0)]
+    while stack:
+        indices, depth = stack.pop()
+        if len(indices) <= max(leaf_size, _MIN_SPLIT) or depth >= max_depth:
+            leaves.append(indices)
+            continue
+        left, right = _split(points, indices, rng)
+        stack.append((left, depth + 1))
+        stack.append((right, depth + 1))
+    return leaves
+
+
+def rp_forest_candidate_pairs(
+    points: np.ndarray,
+    leaf_size: int,
+    num_trees: int,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Leaves from ``num_trees`` independent RP trees, concatenated.
+
+    Each leaf is a small cluster of likely-neighbors; callers turn the
+    all-pairs distances inside every leaf into initial kNN lists.
+    """
+    leaves: list[np.ndarray] = []
+    for _ in range(num_trees):
+        leaves.extend(rp_tree_leaves(points, leaf_size, rng))
+    return leaves

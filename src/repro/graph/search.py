@@ -1,0 +1,170 @@
+"""Time-filtered greedy graph search (the paper's Algorithm 2).
+
+The routine walks a proximity graph from an entry node toward the query
+vector, maintaining a candidate min-heap ``C`` (capped at ``M_C``), a visited
+set ``V``, and a result max-heap ``R`` of the best ``k`` vectors *inside the
+query's time filter*.  While ``R`` is not yet full every neighbor is
+explored; once full, expansion is restricted to neighbors closer than
+``epsilon`` times the current worst result (``epsilon`` trades recall for
+speed — the paper sweeps it from 1.0 to 1.4).
+
+Both the SF baseline (one graph over the whole database) and every MBI block
+call this same function; only the id space and the time filter differ.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distances.metrics import Metric
+from .knn_graph import KnnGraph
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Work counters for one graph-search invocation.
+
+    Attributes:
+        nodes_visited: Nodes popped from the candidate heap (graph hops).
+        distance_evaluations: Distance computations performed.
+        terminated_by_bound: Whether the search stopped because the nearest
+            remaining candidate exceeded the epsilon bound (as opposed to
+            exhausting the candidate heap).
+    """
+
+    nodes_visited: int
+    distance_evaluations: int
+    terminated_by_bound: bool
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Result of one graph search: ids and distances sorted ascending."""
+
+    ids: np.ndarray
+    dists: np.ndarray
+    stats: SearchStats
+
+
+# When the candidate heap grows beyond this multiple of max_candidates it is
+# pruned back down; a lazy cap keeps heap operations cheap between prunes.
+_PRUNE_SLACK = 2
+
+
+def graph_search(
+    graph: KnnGraph,
+    points: np.ndarray,
+    metric: Metric,
+    query: np.ndarray,
+    k: int,
+    epsilon: float = 1.1,
+    max_candidates: int = 64,
+    allowed: range | None = None,
+    entry: int | np.ndarray | list[int] = 0,
+    max_visits: int | None = None,
+) -> SearchOutcome:
+    """Find the approximate ``k`` nearest in-filter nodes to ``query``.
+
+    Args:
+        graph: Search graph over ``points`` (local id space ``0..n-1``).
+        points: ``(n, d)`` vectors the graph indexes.
+        metric: Distance metric.
+        query: Query vector ``w``.
+        k: Number of results requested.
+        epsilon: Expansion slack (>= 1); larger explores more and recalls
+            more (Algorithm 2's epsilon).
+        max_candidates: The paper's ``M_C`` cap on the candidate set.
+        allowed: Half-open local-id range that the time window maps to;
+            ``None`` admits every node.  Only nodes in this range may enter
+            the result set, but any node may be traversed.
+        entry: Start node id(s).  Algorithm 2 samples one random start;
+            passing several spreads the initial frontier, which matters when
+            the data is strongly clustered.  Index classes choose a strategy.
+        max_visits: Optional hard cap on visited nodes, a safety valve for
+            adversarial inputs.
+
+    Returns:
+        A :class:`SearchOutcome`; fewer than ``k`` results are returned when
+        the filter admits fewer nodes (or exploration was cut short).
+    """
+    n = graph.num_nodes
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if epsilon < 1.0:
+        raise ValueError(f"epsilon must be >= 1.0, got {epsilon}")
+    if max_candidates < 1:
+        raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
+    entries = np.atleast_1d(np.asarray(entry, dtype=np.int64))
+    entries = np.unique(entries)
+    if len(entries) == 0 or entries[0] < 0 or entries[-1] >= n:
+        raise ValueError(f"entry nodes {entries!r} out of range [0, {n})")
+
+    allowed_lo = 0 if allowed is None else allowed.start
+    allowed_hi = n if allowed is None else allowed.stop
+
+    seen = np.zeros(n, dtype=bool)
+    seen[entries] = True
+    entry_dists = metric.batch(query, points[entries])
+    candidates: list[tuple[float, int]] = [
+        (float(d), int(node)) for d, node in zip(entry_dists, entries)
+    ]
+    heapq.heapify(candidates)
+    # Max-heap of results as (-distance, -id): the root is the worst kept
+    # result, so replacement is O(log k).
+    results: list[tuple[float, int]] = []
+
+    nodes_visited = 0
+    distance_evaluations = len(entries)
+    terminated_by_bound = False
+    visit_budget = max_visits if max_visits is not None else n + 1
+
+    while candidates:
+        dist, node = heapq.heappop(candidates)
+        if len(results) == k and dist > epsilon * -results[0][0]:
+            terminated_by_bound = True
+            break
+        nodes_visited += 1
+        if nodes_visited > visit_budget:
+            break
+
+        if allowed_lo <= node < allowed_hi:
+            if len(results) < k:
+                heapq.heappush(results, (-dist, -node))
+            elif dist < -results[0][0]:
+                heapq.heapreplace(results, (-dist, -node))
+
+        neighbor_row = graph.neighbors(node)
+        if len(neighbor_row) == 0:
+            continue
+        fresh = neighbor_row[~seen[neighbor_row]]
+        if len(fresh) == 0:
+            continue
+        dists = metric.batch(query, points[fresh])
+        distance_evaluations += len(fresh)
+        seen[fresh] = True
+        if len(results) == k:
+            bound = epsilon * -results[0][0]
+            keep = dists < bound
+            fresh = fresh[keep]
+            dists = dists[keep]
+        for neighbor, neighbor_dist in zip(fresh.tolist(), dists.tolist()):
+            heapq.heappush(candidates, (neighbor_dist, neighbor))
+        if len(candidates) > _PRUNE_SLACK * max_candidates:
+            candidates = heapq.nsmallest(max_candidates, candidates)
+            heapq.heapify(candidates)
+
+    ordered = sorted((-neg_dist, -neg_id) for neg_dist, neg_id in results)
+    ids = np.array([node for _, node in ordered], dtype=np.int64)
+    dists_out = np.array([d for d, _ in ordered], dtype=np.float64)
+    return SearchOutcome(
+        ids=ids,
+        dists=dists_out,
+        stats=SearchStats(
+            nodes_visited=nodes_visited,
+            distance_evaluations=distance_evaluations,
+            terminated_by_bound=terminated_by_bound,
+        ),
+    )

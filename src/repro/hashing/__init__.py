@@ -1,0 +1,11 @@
+"""Hashing-based indexing: random-hyperplane LSH (and its MBI backend)."""
+
+from .lsh import HyperplaneLSH, LSHParams
+from .lsh_backend import LSHBackend, build_lsh_backend
+
+__all__ = [
+    "HyperplaneLSH",
+    "LSHBackend",
+    "LSHParams",
+    "build_lsh_backend",
+]

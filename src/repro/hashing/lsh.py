@@ -1,0 +1,162 @@
+"""Random-hyperplane LSH (SimHash) — the hashing-based family.
+
+Section 2.1 of the paper cites hashing-based ANN methods (LSH, PUFFINN).
+This module implements the classic random-hyperplane scheme (Charikar):
+
+* each of ``n_tables`` tables hashes a vector to the sign pattern of
+  ``n_bits`` random projections — collisions are likely for small angles;
+* a query's candidates are the union of its buckets across tables;
+* **multiprobe**: beyond the exact bucket, the buckets at Hamming
+  distance 1 obtained by flipping the lowest-margin bits (the projections
+  nearest zero) are probed too, trading time for recall without extra
+  tables.
+
+Sign-pattern hashing targets angular similarity; Euclidean data is ranked
+correctly on the candidate set anyway (candidates are re-scored with the
+true metric), only the *candidate generation* is angle-driven — the usual
+SimHash caveat, measured in the backend ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import LSHParams
+
+__all__ = ["HyperplaneLSH", "LSHParams"]
+
+
+class HyperplaneLSH:
+    """Built LSH tables over one set of vectors.
+
+    Args:
+        hyperplanes: ``(n_tables, n_bits, dim)`` projection directions.
+        signatures: ``(n, n_tables)`` uint64 bucket keys per vector.
+        max_probe_bits: Multiprobe cap carried from the params.
+    """
+
+    def __init__(
+        self,
+        hyperplanes: np.ndarray,
+        signatures: np.ndarray,
+        max_probe_bits: int,
+    ) -> None:
+        self.hyperplanes = np.asarray(hyperplanes, dtype=np.float32)
+        self.signatures = np.asarray(signatures, dtype=np.uint64)
+        self.max_probe_bits = int(max_probe_bits)
+        self._buckets: list[dict[int, np.ndarray]] = []
+        self._index_buckets()
+
+    @property
+    def n_tables(self) -> int:
+        """Number of hash tables."""
+        return self.hyperplanes.shape[0]
+
+    @property
+    def n_bits(self) -> int:
+        """Signature bits per table."""
+        return self.hyperplanes.shape[1]
+
+    def _index_buckets(self) -> None:
+        self._buckets = []
+        for table in range(self.n_tables):
+            keys = self.signatures[:, table]
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            boundaries = np.nonzero(
+                np.diff(sorted_keys.view(np.int64)) != 0
+            )[0]
+            starts = np.concatenate([[0], boundaries + 1])
+            ends = np.concatenate([boundaries + 1, [len(keys)]])
+            table_buckets = {
+                int(sorted_keys[s]): order[s:e].astype(np.int32)
+                for s, e in zip(starts, ends)
+            }
+            self._buckets.append(table_buckets)
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(
+        cls,
+        points: np.ndarray,
+        params: LSHParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> tuple["HyperplaneLSH", int]:
+        """Hash all points; returns the structure and projection count."""
+        if params is None:
+            params = LSHParams()
+        if rng is None:
+            rng = np.random.default_rng(0)
+        points = np.asarray(points, dtype=np.float32)
+        n, dim = points.shape
+        hyperplanes = rng.standard_normal(
+            (params.n_tables, params.n_bits, dim)
+        ).astype(np.float32)
+        signatures = np.empty((n, params.n_tables), dtype=np.uint64)
+        weights = (1 << np.arange(params.n_bits, dtype=np.uint64))
+        for table in range(params.n_tables):
+            projections = points @ hyperplanes[table].T  # (n, bits)
+            bits = (projections > 0).astype(np.uint64)
+            signatures[:, table] = bits @ weights
+        evaluations = n * params.n_tables * params.n_bits
+        return cls(hyperplanes, signatures, params.max_probe_bits), evaluations
+
+    # ----------------------------------------------------------------- search
+
+    def query_signature(
+        self, query: np.ndarray, table: int
+    ) -> tuple[int, np.ndarray]:
+        """The query's bucket key and per-bit projection margins."""
+        projections = self.hyperplanes[table] @ query.astype(np.float32)
+        bits = (projections > 0).astype(np.uint64)
+        weights = (1 << np.arange(self.n_bits, dtype=np.uint64))
+        return int(bits @ weights), np.abs(projections)
+
+    def candidates(self, query: np.ndarray, probe_bits: int) -> np.ndarray:
+        """Union of bucket members across tables with 1-bit multiprobe.
+
+        Args:
+            query: Query vector.
+            probe_bits: How many lowest-margin bits to flip per table
+                (clamped to ``max_probe_bits``); each flip probes one extra
+                bucket.
+        """
+        probe_bits = int(min(probe_bits, self.max_probe_bits, self.n_bits))
+        chunks: list[np.ndarray] = []
+        for table in range(self.n_tables):
+            key, margins = self.query_signature(query, table)
+            keys = [key]
+            if probe_bits > 0:
+                flip_order = np.argsort(margins)[:probe_bits]
+                keys.extend(key ^ (1 << int(bit)) for bit in flip_order)
+            for probe_key in keys:
+                bucket = self._buckets[table].get(probe_key)
+                if bucket is not None:
+                    chunks.append(bucket)
+        if not chunks:
+            return np.empty(0, dtype=np.int32)
+        return np.unique(np.concatenate(chunks))
+
+    # ---------------------------------------------------------- serialisation
+
+    def nbytes(self) -> int:
+        """Bytes used by hyperplanes and signatures (buckets are derived)."""
+        return int(self.hyperplanes.nbytes + self.signatures.nbytes)
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Serialisable representation (buckets rebuild on load)."""
+        return {
+            "hyperplanes": self.hyperplanes,
+            "signatures": self.signatures,
+            "max_probe_bits": np.array([self.max_probe_bits], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "HyperplaneLSH":
+        """Inverse of :meth:`to_arrays`."""
+        return cls(
+            arrays["hyperplanes"],
+            arrays["signatures"],
+            int(arrays["max_probe_bits"][0]),
+        )

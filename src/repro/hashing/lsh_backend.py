@@ -1,0 +1,133 @@
+"""Hyperplane-LSH as an MBI block backend (registered as ``"lsh"``).
+
+Candidates come from the query's (multiprobed) buckets across tables,
+restricted to the time window, then ranked exactly under the real metric.
+Algorithm 2's ``epsilon`` maps onto the number of multiprobe bit-flips:
+``epsilon = 1.0`` probes only the exact buckets, the top of the grid flips
+``max_probe_bits`` bits per table.  When the window filter leaves no
+candidate at all (the failure mode hashing has on rare buckets), the
+backend falls back to an exact scan of the window so MBI's result-count
+contract holds.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from ..core.backends import BackendOutcome, BlockBackend
+from ..core.config import SearchParams
+from ..distances.kernels import top_k_smallest
+from ..distances.metrics import Metric
+from ..storage.vector_store import VectorStore
+from .lsh import HyperplaneLSH
+
+# Epsilon value at which all allowed probe bits are used.
+_EPSILON_FULL_PROBE = 1.4
+
+
+class LSHBackend(BlockBackend):
+    """Hashing-based block index.
+
+    Args:
+        lsh: The built table set.
+        store: The shared vector store.
+        positions: The block's position range.
+        metric: Distance metric used for exact candidate ranking.
+    """
+
+    name: ClassVar[str] = "lsh"
+
+    def __init__(
+        self,
+        lsh: HyperplaneLSH,
+        store: VectorStore,
+        positions: range,
+        metric: Metric,
+    ) -> None:
+        self.lsh = lsh
+        self._store = store
+        self._positions = positions
+        self._metric = metric
+
+    def probe_bits_for(self, epsilon: float) -> int:
+        """Map epsilon onto multiprobe flips (0 at 1.0, all at 1.4)."""
+        span = _EPSILON_FULL_PROBE - 1.0
+        fraction = min(1.0, max(0.0, (epsilon - 1.0) / span))
+        return int(round(fraction * self.lsh.max_probe_bits))
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: range,
+        params: SearchParams,
+        rng: np.random.Generator,
+    ) -> BackendOutcome:
+        points = self._store.slice(
+            self._positions.start, self._positions.stop
+        )
+        probe_bits = self.probe_bits_for(params.epsilon)
+        candidates = self.lsh.candidates(
+            np.asarray(query, dtype=np.float64), probe_bits
+        )
+        evaluations = self.lsh.n_tables * self.lsh.n_bits * (1 + probe_bits)
+        in_window = (candidates >= allowed.start) & (
+            candidates < allowed.stop
+        )
+        candidates = candidates[in_window]
+        span = allowed.stop - allowed.start
+        if len(candidates) < min(k, span):
+            # Hashing found fewer in-window candidates than the window can
+            # supply: exact fallback keeps the result-count contract.
+            if span <= 0:
+                return BackendOutcome(
+                    ids=np.empty(0, dtype=np.int64),
+                    dists=np.empty(0, dtype=np.float64),
+                    nodes_visited=0,
+                    distance_evaluations=evaluations,
+                )
+            candidates = np.arange(
+                allowed.start, allowed.stop, dtype=np.int64
+            )
+        dists = self._metric.batch(query, points[candidates])
+        evaluations += len(candidates)
+        best = top_k_smallest(dists, k)
+        return BackendOutcome(
+            ids=candidates[best].astype(np.int64),
+            dists=dists[best],
+            nodes_visited=0,
+            distance_evaluations=evaluations,
+        )
+
+    def nbytes(self) -> int:
+        return self.lsh.nbytes()
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        return self.lsh.to_arrays()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        store: VectorStore,
+        positions: range,
+        metric: Metric,
+    ) -> "LSHBackend":
+        return cls(
+            HyperplaneLSH.from_arrays(arrays), store, positions, metric
+        )
+
+
+def build_lsh_backend(
+    store: VectorStore,
+    positions: range,
+    metric: Metric,
+    config,  # MBIConfig
+    rng: np.random.Generator,
+) -> tuple[LSHBackend, int]:
+    """Build an LSH backend over a block."""
+    points = store.slice(positions.start, positions.stop)
+    lsh, evaluations = HyperplaneLSH.build(points, config.lsh, rng)
+    return LSHBackend(lsh, store, positions, metric), evaluations

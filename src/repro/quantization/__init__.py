@@ -1,0 +1,22 @@
+"""Quantization-based indexing: k-means, IVF-Flat, PQ/ADC, and IVF-PQ."""
+
+from ..core.config import IVFPQConfig
+from .config import IVFConfig
+from .ivf import IVFBackend, build_ivf_backend
+from .ivfpq import IVFPQBackend, build_ivfpq_backend
+from .kmeans import KMeansResult, kmeans, kmeans_plus_plus
+from .pq import PQParams, ProductQuantizer
+
+__all__ = [
+    "IVFBackend",
+    "IVFConfig",
+    "IVFPQBackend",
+    "IVFPQConfig",
+    "KMeansResult",
+    "PQParams",
+    "ProductQuantizer",
+    "build_ivf_backend",
+    "build_ivfpq_backend",
+    "kmeans",
+    "kmeans_plus_plus",
+]

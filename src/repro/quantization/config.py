@@ -1,0 +1,9 @@
+"""Re-export of :class:`repro.core.config.IVFConfig` (its canonical home).
+
+Kept so ``from repro.quantization.config import IVFConfig`` keeps working;
+the class lives next to the other index configuration objects.
+"""
+
+from ..core.config import IVFConfig
+
+__all__ = ["IVFConfig"]

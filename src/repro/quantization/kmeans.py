@@ -1,0 +1,118 @@
+"""Lloyd's k-means with k-means++ seeding, on NumPy.
+
+The quantization family of ANN indexes (IVFADC, ScaNN — Section 2.1 of the
+paper) needs a coarse quantizer; this is the standard tool.  The
+implementation is deliberately plain: k-means++ initialisation, vectorised
+assignment via the cross-distance kernel, empty-cluster re-seeding, and a
+relative-shift stopping rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distances.kernels import squared_euclidean_cross
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes:
+        centroids: ``(k, d)`` cluster centers.
+        assignments: ``(n,)`` index of each point's nearest centroid.
+        inertia: Sum of squared distances to assigned centroids.
+        n_iters: Lloyd iterations executed.
+    """
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    n_iters: int
+
+
+def kmeans_plus_plus(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = len(points)
+    centroids = np.empty((k, points.shape[1]), dtype=points.dtype)
+    first = int(rng.integers(0, n))
+    centroids[0] = points[first]
+    closest_sq = squared_euclidean_cross(points, centroids[:1])[:, 0]
+    for i in range(1, k):
+        total = float(closest_sq.sum())
+        if total <= 0.0:
+            # All remaining points coincide with chosen centroids.
+            centroids[i:] = points[rng.integers(0, n, size=k - i)]
+            break
+        probabilities = closest_sq / total
+        choice = int(rng.choice(n, p=probabilities))
+        centroids[i] = points[choice]
+        new_sq = squared_euclidean_cross(points, centroids[i : i + 1])[:, 0]
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator | None = None,
+    max_iters: int = 25,
+    tol: float = 1e-4,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups with Lloyd's algorithm.
+
+    Args:
+        points: ``(n, d)`` data matrix.
+        k: Number of clusters, ``1 <= k <= n``.
+        rng: Randomness for seeding; defaults to a fixed seed.
+        max_iters: Upper bound on Lloyd iterations.
+        tol: Stop when the mean squared centroid shift divides the data
+            variance by less than this.
+
+    Returns:
+        A :class:`KMeansResult`.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    centroids = kmeans_plus_plus(points, k, rng)
+    scale = float(points.var(axis=0).sum()) or 1.0
+    assignments = np.zeros(n, dtype=np.int64)
+    n_iters = 0
+    for _ in range(max_iters):
+        n_iters += 1
+        distances = squared_euclidean_cross(points, centroids)
+        assignments = distances.argmin(axis=1)
+        new_centroids = centroids.copy()
+        counts = np.bincount(assignments, minlength=k)
+        for cluster in range(k):
+            if counts[cluster] == 0:
+                # Re-seed an empty cluster at the point farthest from its
+                # assigned centroid.
+                worst = int(
+                    distances[np.arange(n), assignments].argmax()
+                )
+                new_centroids[cluster] = points[worst]
+                continue
+            new_centroids[cluster] = points[assignments == cluster].mean(axis=0)
+        shift = float(((new_centroids - centroids) ** 2).sum()) / (k * scale)
+        centroids = new_centroids
+        if shift < tol:
+            break
+    distances = squared_euclidean_cross(points, centroids)
+    assignments = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(n), assignments].sum())
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        inertia=inertia,
+        n_iters=n_iters,
+    )

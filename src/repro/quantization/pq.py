@@ -1,0 +1,236 @@
+"""Product quantization (Jégou et al., 2011) — compressed vector codes.
+
+A :class:`ProductQuantizer` splits the vector space into ``n_subspaces``
+contiguous chunks, k-means-quantizes each chunk independently, and encodes
+a vector as one centroid id per chunk.  Distances between a query and many
+codes are computed *asymmetrically* (ADC): per-subspace distance tables are
+built once per query, and each code's distance is a table-lookup sum.
+
+This is the machinery behind IVFADC, which the paper's related work cites
+as the quantization-based state of the art; :mod:`repro.quantization.ivfpq`
+combines it with the coarse inverted file.
+
+Squared Euclidean distances decompose exactly across subspaces.  Angular
+distance on unit vectors is served through the identity
+``1 - cos(u, v) = |u - v|^2 / 2``: inputs are normalised and ranked by
+squared Euclidean ADC, which preserves the angular ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distances.kernels import squared_euclidean_cross
+from .kmeans import kmeans
+
+
+@dataclass(frozen=True)
+class PQParams:
+    """Training parameters for a product quantizer.
+
+    Attributes:
+        n_subspaces: Number of chunks ``m`` the dimension is split into;
+            must divide the training dimension... padding is applied when it
+            does not (zeros, which quantize exactly).
+        n_centroids: Codebook size per subspace (<= 256 so codes fit uint8).
+        kmeans_iters: Lloyd iterations per subspace codebook.
+    """
+
+    n_subspaces: int = 8
+    n_centroids: int = 64
+    kmeans_iters: int = 15
+
+    def __post_init__(self) -> None:
+        if self.n_subspaces < 1:
+            raise ValueError(
+                f"n_subspaces must be >= 1, got {self.n_subspaces}"
+            )
+        if not 2 <= self.n_centroids <= 256:
+            raise ValueError(
+                f"n_centroids must be in [2, 256], got {self.n_centroids}"
+            )
+        if self.kmeans_iters < 1:
+            raise ValueError(
+                f"kmeans_iters must be >= 1, got {self.kmeans_iters}"
+            )
+
+
+class ProductQuantizer:
+    """A trained product quantizer.
+
+    Build with :meth:`train`; construction takes pre-trained codebooks
+    (used by persistence).
+
+    Args:
+        codebooks: ``(m, n_centroids, sub_dim)`` per-subspace centroids.
+        dim: Original (unpadded) vector dimensionality.
+    """
+
+    def __init__(self, codebooks: np.ndarray, dim: int) -> None:
+        codebooks = np.asarray(codebooks, dtype=np.float32)
+        if codebooks.ndim != 3:
+            raise ValueError(
+                f"codebooks must be (m, k, sub_dim), got {codebooks.shape}"
+            )
+        self.codebooks = codebooks
+        self.dim = int(dim)
+
+    @property
+    def n_subspaces(self) -> int:
+        """Number of subspaces ``m``."""
+        return self.codebooks.shape[0]
+
+    @property
+    def n_centroids(self) -> int:
+        """Codebook size per subspace."""
+        return self.codebooks.shape[1]
+
+    @property
+    def sub_dim(self) -> int:
+        """Dimensions per subspace (after padding)."""
+        return self.codebooks.shape[2]
+
+    @property
+    def padded_dim(self) -> int:
+        """Dimensionality after zero-padding to a multiple of ``m``."""
+        return self.n_subspaces * self.sub_dim
+
+    # ------------------------------------------------------------------ train
+
+    @classmethod
+    def train(
+        cls,
+        points: np.ndarray,
+        params: PQParams | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "ProductQuantizer":
+        """Fit per-subspace codebooks on training vectors.
+
+        Args:
+            points: ``(n, d)`` training matrix; ``n`` must be at least
+                ``params.n_centroids``.
+            params: Quantizer parameters.
+            rng: Randomness for k-means seeding.
+        """
+        if params is None:
+            params = PQParams()
+        if rng is None:
+            rng = np.random.default_rng(0)
+        points = np.asarray(points, dtype=np.float64)
+        n, dim = points.shape
+        if n < params.n_centroids:
+            raise ValueError(
+                f"need at least n_centroids={params.n_centroids} training "
+                f"vectors, got {n}"
+            )
+        padded = cls._pad(points, params.n_subspaces)
+        sub_dim = padded.shape[1] // params.n_subspaces
+        codebooks = np.empty(
+            (params.n_subspaces, params.n_centroids, sub_dim),
+            dtype=np.float32,
+        )
+        for sub in range(params.n_subspaces):
+            chunk = padded[:, sub * sub_dim : (sub + 1) * sub_dim]
+            result = kmeans(
+                chunk,
+                params.n_centroids,
+                rng=rng,
+                max_iters=params.kmeans_iters,
+            )
+            codebooks[sub] = result.centroids.astype(np.float32)
+        return cls(codebooks, dim)
+
+    @staticmethod
+    def _pad(points: np.ndarray, n_subspaces: int) -> np.ndarray:
+        dim = points.shape[1]
+        remainder = dim % n_subspaces
+        if remainder == 0:
+            return points
+        pad = n_subspaces - remainder
+        return np.concatenate(
+            [points, np.zeros((len(points), pad), dtype=points.dtype)],
+            axis=1,
+        )
+
+    # ----------------------------------------------------------------- encode
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Quantize vectors to ``(n, m)`` uint8 codes."""
+        points = self._pad(np.asarray(points, dtype=np.float64), self.n_subspaces)
+        if points.shape[1] != self.padded_dim:
+            raise ValueError(
+                f"expected dimension {self.dim}, got {points.shape[1]}"
+            )
+        codes = np.empty((len(points), self.n_subspaces), dtype=np.uint8)
+        for sub in range(self.n_subspaces):
+            chunk = points[:, sub * self.sub_dim : (sub + 1) * self.sub_dim]
+            dists = squared_euclidean_cross(
+                chunk, self.codebooks[sub].astype(np.float64)
+            )
+            codes[:, sub] = dists.argmin(axis=1)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct (approximate) vectors from codes, unpadded."""
+        codes = np.asarray(codes)
+        parts = [
+            self.codebooks[sub][codes[:, sub]]
+            for sub in range(self.n_subspaces)
+        ]
+        reconstructed = np.concatenate(parts, axis=1)
+        return reconstructed[:, : self.dim]
+
+    # -------------------------------------------------------------------- ADC
+
+    def adc_table(self, query: np.ndarray) -> np.ndarray:
+        """Per-subspace squared distances from ``query`` to every centroid.
+
+        Returns a ``(m, n_centroids)`` float32 table; one table serves any
+        number of codes.
+        """
+        query = self._pad(
+            np.asarray(query, dtype=np.float64)[None, :], self.n_subspaces
+        )[0]
+        table = np.empty(
+            (self.n_subspaces, self.n_centroids), dtype=np.float32
+        )
+        for sub in range(self.n_subspaces):
+            chunk = query[sub * self.sub_dim : (sub + 1) * self.sub_dim]
+            diff = self.codebooks[sub] - chunk.astype(np.float32)
+            table[sub] = np.einsum("kd,kd->k", diff, diff)
+        return table
+
+    def adc_distances(
+        self, table: np.ndarray, codes: np.ndarray
+    ) -> np.ndarray:
+        """Approximate squared distances of codes given a query's ADC table."""
+        # Gather one table entry per (vector, subspace) and sum rows.
+        gathered = table[np.arange(self.n_subspaces)[None, :], codes]
+        return gathered.sum(axis=1)
+
+    # ---------------------------------------------------------- serialisation
+
+    def nbytes(self) -> int:
+        """Bytes used by the codebooks."""
+        return int(self.codebooks.nbytes)
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Serialisable representation."""
+        return {
+            "codebooks": self.codebooks,
+            "dim": np.array([self.dim], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "ProductQuantizer":
+        """Inverse of :meth:`to_arrays`."""
+        return cls(arrays["codebooks"], int(arrays["dim"][0]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProductQuantizer):
+            return NotImplemented
+        return self.dim == other.dim and np.array_equal(
+            self.codebooks, other.codebooks
+        )

@@ -1,0 +1,6 @@
+"""Timestamped vector storage shared by all indexes."""
+
+from .timeline import TimeWindow
+from .vector_store import VectorStore
+
+__all__ = ["TimeWindow", "VectorStore"]

@@ -1,0 +1,83 @@
+"""Time-window value objects and timestamp helpers.
+
+The paper works with half-open windows ``[ts, te)``: ``D[ta:tb] = {(v, t) in D
+| ta <= t < tb}`` (Section 3.1).  :class:`TimeWindow` captures that convention
+in one place so every index agrees on boundary semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import InvalidQueryError
+
+
+@dataclass(frozen=True, order=True)
+class TimeWindow:
+    """A half-open timestamp interval ``[start, end)``.
+
+    ``start = -inf`` / ``end = +inf`` express unbounded windows; the window of
+    a whole database is ``TimeWindow.all_time()``.
+
+    Attributes:
+        start: Inclusive lower bound.
+        end: Exclusive upper bound.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.start) or math.isnan(self.end):
+            raise InvalidQueryError("time window bounds must not be NaN")
+        if self.start > self.end:
+            raise InvalidQueryError(
+                f"time window start {self.start} is after end {self.end}"
+            )
+
+    @classmethod
+    def all_time(cls) -> "TimeWindow":
+        """The unbounded window covering every timestamp."""
+        return cls(-math.inf, math.inf)
+
+    @property
+    def span(self) -> float:
+        """Length ``end - start``; infinite for unbounded windows."""
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        """Whether timestamp ``t`` falls inside ``[start, end)``."""
+        return self.start <= t < self.end
+
+    def overlap(self, other: "TimeWindow") -> float:
+        """Length of the intersection with ``other`` (0 when disjoint)."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        return max(0.0, hi - lo)
+
+    def overlaps(self, other: "TimeWindow") -> bool:
+        """Whether the two half-open windows intersect in a nonempty interval."""
+        return max(self.start, other.start) < min(self.end, other.end)
+
+    def overlap_ratio(self, of: "TimeWindow") -> float:
+        """The paper's overlap ratio ``r_o``: |self ∩ of| / |of|.
+
+        ``of`` is the block's window; ``self`` is the query window.  When the
+        block window has infinite span (virtual blocks), the ratio is defined
+        as 0 if the windows are disjoint and an infinitesimal positive value
+        otherwise — the paper states virtual blocks "always fall into case 3
+        due to their infinite time window size", which this reproduces because
+        any positive ratio below every threshold triggers recursion.
+        """
+        if of.span == 0.0:
+            # Degenerate block holding a single instant: fully covered or not.
+            return 1.0 if self.contains(of.start) else 0.0
+        inter = self.overlap(of)
+        if inter == 0.0 and not self.overlaps(of):
+            return 0.0
+        if math.isinf(of.span):
+            # Overlapping a window of infinite span: positive but below any
+            # threshold in (0, 1].
+            return 5e-324
+        return inter / of.span

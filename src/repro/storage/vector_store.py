@@ -1,0 +1,224 @@
+"""Append-only store of timestamped vectors, sorted by timestamp.
+
+This is the substrate shared by every index in the library (BSBF, SF, and
+MBI all sit on top of it).  Vectors are kept in one contiguous ``float32``
+matrix in arrival order, which — because arrival order must follow timestamp
+order — doubles as the sorted-by-time layout BSBF's binary search requires.
+
+Positions (row indices) are the canonical vector identifiers throughout the
+library: a TkNN result refers to vectors by position, and time windows are
+resolved to half-open position ranges with :meth:`VectorStore.resolve_window`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, TimestampOrderError
+from .timeline import TimeWindow
+
+_INITIAL_CAPACITY = 1024
+
+
+class VectorStore:
+    """Growable, append-only array of timestamped vectors.
+
+    Vectors must be appended in non-decreasing timestamp order.  Amortised
+    O(1) appends are achieved by doubling the backing buffers.
+
+    Args:
+        dim: Dimensionality of every stored vector.
+        dtype: Storage dtype for vector components (``float32`` matches what
+            ANN systems ship and what the paper's datasets use).
+    """
+
+    def __init__(self, dim: int, dtype: np.dtype | type = np.float32) -> None:
+        if dim <= 0:
+            raise ValueError(f"dimension must be positive, got {dim}")
+        self._dim = int(dim)
+        self._dtype = np.dtype(dtype)
+        self._vectors = np.empty((_INITIAL_CAPACITY, self._dim), dtype=self._dtype)
+        self._timestamps = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._size = 0
+
+    # ------------------------------------------------------------------ basic
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of stored vectors."""
+        return self._dim
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Read-only view of all stored vectors, shape ``(len(self), dim)``."""
+        view = self._vectors[: self._size]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Read-only view of all timestamps, non-decreasing."""
+        view = self._timestamps[: self._size]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def latest_timestamp(self) -> float:
+        """Timestamp of the most recent vector; ``-inf`` when empty."""
+        if self._size == 0:
+            return float("-inf")
+        return float(self._timestamps[self._size - 1])
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, float]]:
+        for i in range(self._size):
+            yield self._vectors[i], float(self._timestamps[i])
+
+    # ---------------------------------------------------------------- appends
+
+    def append(self, vector: np.ndarray, timestamp: float) -> int:
+        """Append one timestamped vector; returns its position.
+
+        Raises:
+            DimensionMismatchError: If the vector has the wrong dimension.
+            TimestampOrderError: If ``timestamp`` precedes the latest one.
+        """
+        vector = np.asarray(vector, dtype=self._dtype)
+        if vector.ndim != 1 or vector.shape[0] != self._dim:
+            actual = vector.shape[-1] if vector.ndim else 0
+            raise DimensionMismatchError(self._dim, int(actual))
+        timestamp = float(timestamp)
+        if timestamp < self.latest_timestamp:
+            raise TimestampOrderError(
+                f"timestamp {timestamp} precedes latest stored timestamp "
+                f"{self.latest_timestamp}; the store is append-only in time order"
+            )
+        self._ensure_capacity(self._size + 1)
+        self._vectors[self._size] = vector
+        self._timestamps[self._size] = timestamp
+        self._size += 1
+        return self._size - 1
+
+    def extend(self, vectors: np.ndarray, timestamps: np.ndarray) -> range:
+        """Append a batch of timestamped vectors; returns their position range.
+
+        The batch itself must be sorted by timestamp and start no earlier
+        than the latest stored timestamp.
+        """
+        vectors = np.asarray(vectors, dtype=self._dtype)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            actual = vectors.shape[-1] if vectors.ndim >= 1 else 0
+            raise DimensionMismatchError(self._dim, int(actual))
+        if len(vectors) != len(timestamps):
+            raise ValueError(
+                f"got {len(vectors)} vectors but {len(timestamps)} timestamps"
+            )
+        if len(vectors) == 0:
+            return range(self._size, self._size)
+        if np.any(np.diff(timestamps) < 0):
+            raise TimestampOrderError("batch timestamps must be non-decreasing")
+        if float(timestamps[0]) < self.latest_timestamp:
+            raise TimestampOrderError(
+                f"batch starts at {float(timestamps[0])}, before latest stored "
+                f"timestamp {self.latest_timestamp}"
+            )
+        start = self._size
+        self._ensure_capacity(self._size + len(vectors))
+        self._vectors[start : start + len(vectors)] = vectors
+        self._timestamps[start : start + len(vectors)] = timestamps
+        self._size += len(vectors)
+        return range(start, self._size)
+
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = len(self._timestamps)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        new_vectors = np.empty((capacity, self._dim), dtype=self._dtype)
+        new_vectors[: self._size] = self._vectors[: self._size]
+        self._vectors = new_vectors
+        new_timestamps = np.empty(capacity, dtype=np.float64)
+        new_timestamps[: self._size] = self._timestamps[: self._size]
+        self._timestamps = new_timestamps
+
+    # ---------------------------------------------------------------- queries
+
+    def get(self, position: int) -> tuple[np.ndarray, float]:
+        """The ``(vector, timestamp)`` pair at ``position``."""
+        if not 0 <= position < self._size:
+            raise IndexError(f"position {position} out of range [0, {self._size})")
+        return self._vectors[position].copy(), float(self._timestamps[position])
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Read-only view of vectors at positions ``[start, stop)``."""
+        view = self._vectors[start:stop]
+        view.flags.writeable = False
+        return view
+
+    def resolve_window(self, window: TimeWindow) -> range:
+        """Resolve a time window to the half-open position range it covers.
+
+        This is the paper's ``BinarySearch(ts, te, D)`` (Algorithm 1 line 1):
+        because positions are sorted by timestamp, ``D[ts:te]`` is exactly the
+        contiguous position range ``[lo, hi)`` where ``lo`` is the first
+        position with ``t >= ts`` and ``hi`` the first with ``t >= te``.
+        Vectors sharing a timestamp keep their arrival order, matching the
+        paper's tie-breaking rule (Section 3.1).
+        """
+        ts = self._timestamps[: self._size]
+        lo = int(np.searchsorted(ts, window.start, side="left"))
+        hi = int(np.searchsorted(ts, window.end, side="left"))
+        return range(lo, hi)
+
+    def window_of(self, positions: range) -> TimeWindow:
+        """The tightest half-open time window containing a position range.
+
+        The upper bound is the timestamp of the first vector *after* the
+        range when one exists (so consecutive ranges produce contiguous
+        windows), and ``+inf`` when the range reaches the end of the store —
+        the final block of an index stays open-ended until newer data arrives.
+        """
+        if positions.start >= positions.stop:
+            raise ValueError("cannot compute the window of an empty position range")
+        start = float(self._timestamps[positions.start])
+        if positions.stop < self._size:
+            end = float(self._timestamps[positions.stop])
+        else:
+            end = float("inf")
+        return TimeWindow(start, end)
+
+    def nbytes(self) -> int:
+        """Bytes used by live data (vectors + timestamps), excluding slack."""
+        per_row = self._dim * self._dtype.itemsize + 8
+        return self._size * per_row
+
+    # ------------------------------------------------------------ convenience
+
+    @classmethod
+    def from_arrays(
+        cls,
+        vectors: np.ndarray,
+        timestamps: np.ndarray,
+        dtype: np.dtype | type = np.float32,
+    ) -> "VectorStore":
+        """Build a store from pre-sorted arrays in one shot."""
+        vectors = np.asarray(vectors)
+        store = cls(vectors.shape[1], dtype=dtype)
+        store.extend(vectors, timestamps)
+        return store
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[np.ndarray, float]], dim: int
+    ) -> "VectorStore":
+        """Build a store from an iterable of ``(vector, timestamp)`` pairs."""
+        store = cls(dim)
+        for vector, timestamp in pairs:
+            store.append(vector, timestamp)
+        return store

@@ -1,0 +1,12 @@
+"""Tree-based indexing: the exact VP-tree (and its MBI block backend)."""
+
+from .vptree import VPTree, build_vptree, vptree_search
+from .vptree_backend import VPTreeBackend, build_vptree_backend
+
+__all__ = [
+    "VPTree",
+    "VPTreeBackend",
+    "build_vptree",
+    "build_vptree_backend",
+    "vptree_search",
+]

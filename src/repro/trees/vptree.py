@@ -1,0 +1,238 @@
+"""Vantage-point tree (Yianilos, 1993) — the tree-based family.
+
+Section 2.1 of the paper lists tree-based methods (KD-Tree, Balltree,
+VP-Tree...) and Section 2.2 argues they are unsuitable for TkNN in high
+dimension: "the underlying tree structures become inefficient due to the
+curse of dimensionality.  Consequently, it becomes inevitable to explore
+almost all vectors within the query time window."
+
+This module provides an *exact* VP-tree so that claim can be measured (see
+``benchmarks/test_ablation_design.py``): at d <= ~10 the triangle-
+inequality pruning skips most of the tree; at the paper's dimensions the
+search visits nearly every node.
+
+The tree operates in Euclidean space; angular metrics are served by unit-
+normalising the data (squared Euclidean distance on unit vectors is a
+monotone function of angular distance, so rankings agree and pruning stays
+valid).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+_LEAF_SIZE = 16
+
+
+@dataclass(frozen=True)
+class VPTree:
+    """A built vantage-point tree over ``n`` points (flattened arrays).
+
+    Internal nodes split their point set at the median distance to a
+    vantage point; leaves hold small id runs.  Node ``i``'s fields live at
+    index ``i`` of each array.
+
+    Attributes:
+        vantage: Vantage point id per node (-1 for leaf nodes).
+        radius: Median split distance per node.
+        inner: Child node index for the inside partition (-1 if none).
+        outer: Child node index for the outside partition (-1 if none).
+        leaf_start / leaf_end: Range into ``leaf_ids`` for leaf nodes.
+        leaf_ids: Concatenated leaf membership.
+    """
+
+    vantage: np.ndarray
+    radius: np.ndarray
+    inner: np.ndarray
+    outer: np.ndarray
+    leaf_start: np.ndarray
+    leaf_end: np.ndarray
+    leaf_ids: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of tree nodes."""
+        return len(self.vantage)
+
+    def nbytes(self) -> int:
+        """Bytes used by the flattened tree."""
+        return int(
+            self.vantage.nbytes
+            + self.radius.nbytes
+            + self.inner.nbytes
+            + self.outer.nbytes
+            + self.leaf_start.nbytes
+            + self.leaf_end.nbytes
+            + self.leaf_ids.nbytes
+        )
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Serialisable representation."""
+        return {
+            "vantage": self.vantage,
+            "radius": self.radius,
+            "inner": self.inner,
+            "outer": self.outer,
+            "leaf_start": self.leaf_start,
+            "leaf_end": self.leaf_end,
+            "leaf_ids": self.leaf_ids,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "VPTree":
+        """Inverse of :meth:`to_arrays`."""
+        return cls(**{key: arrays[key] for key in (
+            "vantage", "radius", "inner", "outer",
+            "leaf_start", "leaf_end", "leaf_ids",
+        )})
+
+
+def build_vptree(
+    points: np.ndarray, rng: np.random.Generator | None = None
+) -> tuple[VPTree, int]:
+    """Build a VP-tree; returns the tree and the distance evaluations spent.
+
+    ``points`` must already be in the (possibly normalised) Euclidean space
+    the tree searches in.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n < 1:
+        raise ValueError("cannot build a VP-tree over zero points")
+
+    vantage: list[int] = []
+    radius: list[float] = []
+    inner: list[int] = []
+    outer: list[int] = []
+    leaf_start: list[int] = []
+    leaf_end: list[int] = []
+    leaf_ids: list[int] = []
+    evaluations = 0
+
+    def build(ids: np.ndarray) -> int:
+        nonlocal evaluations
+        node = len(vantage)
+        vantage.append(-1)
+        radius.append(0.0)
+        inner.append(-1)
+        outer.append(-1)
+        leaf_start.append(-1)
+        leaf_end.append(-1)
+        if len(ids) <= _LEAF_SIZE:
+            leaf_start[node] = len(leaf_ids)
+            leaf_ids.extend(ids.tolist())
+            leaf_end[node] = len(leaf_ids)
+            return node
+        pick = int(rng.integers(0, len(ids)))
+        vp = int(ids[pick])
+        rest = np.delete(ids, pick)
+        diffs = points[rest] - points[vp]
+        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        evaluations += len(rest)
+        mu = float(np.median(dists))
+        inside = rest[dists < mu]
+        outside = rest[dists >= mu]
+        if len(inside) == 0 or len(outside) == 0:
+            # Degenerate split (duplicate distances): make this a leaf.
+            leaf_start[node] = len(leaf_ids)
+            leaf_ids.extend(ids.tolist())
+            leaf_end[node] = len(leaf_ids)
+            return node
+        vantage[node] = vp
+        radius[node] = mu
+        inner[node] = build(inside)
+        outer[node] = build(outside)
+        return node
+
+    build(np.arange(n, dtype=np.int64))
+    tree = VPTree(
+        vantage=np.array(vantage, dtype=np.int64),
+        radius=np.array(radius, dtype=np.float64),
+        inner=np.array(inner, dtype=np.int64),
+        outer=np.array(outer, dtype=np.int64),
+        leaf_start=np.array(leaf_start, dtype=np.int64),
+        leaf_end=np.array(leaf_end, dtype=np.int64),
+        leaf_ids=np.array(leaf_ids, dtype=np.int64),
+    )
+    return tree, evaluations
+
+
+def vptree_search(
+    tree: VPTree,
+    points: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    allowed: range | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Exact k-nearest (Euclidean) among ids in ``allowed``.
+
+    Returns ``(ids, distances, distance_evaluations)`` sorted ascending.
+    Pruning uses the triangle inequality: a subtree is skipped only when
+    the query's distance to the vantage point proves every descendant is
+    farther than the current k-th best.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    lo = 0 if allowed is None else allowed.start
+    hi = len(points) if allowed is None else allowed.stop
+
+    heap: list[tuple[float, int]] = []  # max-heap via negation
+    evaluations = 0
+
+    def consider(ids: np.ndarray) -> None:
+        nonlocal evaluations
+        in_window = ids[(ids >= lo) & (ids < hi)]
+        if len(in_window) == 0:
+            return
+        diffs = points[in_window] - query
+        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        evaluations += len(in_window)
+        for d, i in zip(dists.tolist(), in_window.tolist()):
+            if len(heap) < k:
+                heapq.heappush(heap, (-d, i))
+            elif d < -heap[0][0]:
+                heapq.heapreplace(heap, (-d, i))
+
+    def tau() -> float:
+        return -heap[0][0] if len(heap) == k else np.inf
+
+    def visit(node: int) -> None:
+        nonlocal evaluations
+        vp = int(tree.vantage[node])
+        if vp < 0:
+            consider(
+                tree.leaf_ids[tree.leaf_start[node] : tree.leaf_end[node]]
+            )
+            return
+        diff = points[vp] - query
+        d_vp = float(np.sqrt(diff @ diff))
+        evaluations += 1
+        if lo <= vp < hi:
+            if len(heap) < k:
+                heapq.heappush(heap, (-d_vp, vp))
+            elif d_vp < -heap[0][0]:
+                heapq.heapreplace(heap, (-d_vp, vp))
+        mu = float(tree.radius[node])
+        # Visit the more promising side first; prune with the ball bound.
+        first, second = (
+            (tree.inner[node], tree.outer[node])
+            if d_vp < mu
+            else (tree.outer[node], tree.inner[node])
+        )
+        if first >= 0:
+            visit(int(first))
+        if second >= 0:
+            boundary_gap = abs(d_vp - mu)
+            if boundary_gap <= tau():
+                visit(int(second))
+
+    visit(0)
+    ordered = sorted((-neg, i) for neg, i in heap)
+    ids = np.array([i for _, i in ordered], dtype=np.int64)
+    dists = np.array([d for d, _ in ordered], dtype=np.float64)
+    return ids, dists, evaluations

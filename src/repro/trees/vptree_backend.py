@@ -1,0 +1,131 @@
+"""VP-tree as an MBI block backend (registered as ``"vptree"``).
+
+Exact within its block — and, at high dimension, slow for exactly the
+reason the paper gives in Section 2.2: triangle-inequality pruning stops
+working, so the search degenerates to a near-full scan.  The backend
+exists to *measure* that claim; see the block-backend ablation.
+
+Angular metrics are served by unit-normalising the block's vectors at
+build time (Euclidean rankings on the unit sphere equal angular rankings);
+distances returned to the caller are recomputed under the real metric.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from ..core.backends import BackendOutcome, BlockBackend
+from ..core.config import SearchParams
+from ..distances.metrics import Metric
+from ..storage.vector_store import VectorStore
+from .vptree import VPTree, build_vptree, vptree_search
+
+
+class VPTreeBackend(BlockBackend):
+    """Exact tree-based block index.
+
+    Args:
+        tree: The built VP-tree.
+        store: The shared vector store.
+        positions: The block's position range.
+        metric: Distance metric (rankings are Euclidean-on-normalised for
+            angular metrics; reported distances use the real metric).
+    """
+
+    name: ClassVar[str] = "vptree"
+
+    def __init__(
+        self,
+        tree: VPTree,
+        store: VectorStore,
+        positions: range,
+        metric: Metric,
+    ) -> None:
+        self.tree = tree
+        self._store = store
+        self._positions = positions
+        self._metric = metric
+
+    def _search_space(self) -> np.ndarray:
+        points = np.asarray(
+            self._store.slice(self._positions.start, self._positions.stop),
+            dtype=np.float64,
+        )
+        return _normalised_for(self._metric, points)
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed: range,
+        params: SearchParams,
+        rng: np.random.Generator,
+    ) -> BackendOutcome:
+        points = self._search_space()
+        q = np.asarray(query, dtype=np.float64)
+        if self._metric.normalizes:
+            norm = float(np.linalg.norm(q))
+            if norm > 0:
+                q = q / norm
+        ids, _, evaluations = vptree_search(
+            self.tree, points, q, k, allowed=allowed
+        )
+        raw = self._store.slice(
+            self._positions.start, self._positions.stop
+        )
+        dists = (
+            self._metric.batch(np.asarray(query, dtype=np.float64), raw[ids])
+            if len(ids)
+            else np.empty(0, dtype=np.float64)
+        )
+        order = np.argsort(dists, kind="stable")
+        return BackendOutcome(
+            ids=ids[order].astype(np.int64),
+            dists=dists[order],
+            nodes_visited=0,
+            distance_evaluations=evaluations + len(ids),
+        )
+
+    def nbytes(self) -> int:
+        return self.tree.nbytes()
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        return self.tree.to_arrays()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        store: VectorStore,
+        positions: range,
+        metric: Metric,
+    ) -> "VPTreeBackend":
+        return cls(VPTree.from_arrays(arrays), store, positions, metric)
+
+
+def _normalised_for(metric: Metric, points: np.ndarray) -> np.ndarray:
+    if not metric.normalizes:
+        return points
+    norms = np.linalg.norm(points, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return points / norms
+
+
+def build_vptree_backend(
+    store: VectorStore,
+    positions: range,
+    metric: Metric,
+    config,  # MBIConfig (no tunables needed)
+    rng: np.random.Generator,
+) -> tuple[VPTreeBackend, int]:
+    """Build a VP-tree backend over a block."""
+    points = _normalised_for(
+        metric,
+        np.asarray(
+            store.slice(positions.start, positions.stop), dtype=np.float64
+        ),
+    )
+    tree, evaluations = build_vptree(points, rng)
+    return VPTreeBackend(tree, store, positions, metric), evaluations

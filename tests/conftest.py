@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Most MBI tests use a graph config with a high ``exact_threshold`` so block
+graphs build via the (fast, deterministic) exact builder; NNDescent gets its
+own dedicated tests at moderate scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GraphConfig, MBIConfig, MultiLevelBlockIndex, SearchParams
+
+
+@pytest.fixture(scope="session")
+def clustered_data():
+    """A small clustered dataset: (vectors, timestamps, queries)."""
+    rng = np.random.default_rng(7)
+    n, dim, n_clusters = 1600, 24, 8
+    centers = rng.standard_normal((n_clusters, dim)) * 1.5
+    assignment = rng.integers(0, n_clusters, n)
+    vectors = (centers[assignment] + rng.standard_normal((n, dim))).astype(
+        np.float32
+    )
+    timestamps = np.sort(rng.uniform(0.0, 100.0, n))
+    queries = (
+        centers[rng.integers(0, n_clusters, 20)]
+        + rng.standard_normal((20, dim))
+    ).astype(np.float32)
+    return vectors, timestamps, queries
+
+
+def fast_graph_config(**overrides) -> GraphConfig:
+    """Graph config that always uses the exact builder (fast for tests)."""
+    defaults = dict(n_neighbors=8, exact_threshold=100_000)
+    defaults.update(overrides)
+    return GraphConfig(**defaults)
+
+
+def small_mbi_config(leaf_size: int = 100, **overrides) -> MBIConfig:
+    """MBI config tuned for fast exact-builder tests."""
+    defaults = dict(
+        leaf_size=leaf_size,
+        tau=0.5,
+        graph=fast_graph_config(),
+        search=SearchParams(epsilon=1.2, max_candidates=64),
+    )
+    defaults.update(overrides)
+    return MBIConfig(**defaults)
+
+
+@pytest.fixture()
+def small_index(clustered_data) -> MultiLevelBlockIndex:
+    """An MBI over the clustered dataset with 16 leaves."""
+    vectors, timestamps, _ = clustered_data
+    index = MultiLevelBlockIndex(
+        vectors.shape[1], "euclidean", small_mbi_config(leaf_size=100)
+    )
+    index.extend(vectors, timestamps)
+    return index

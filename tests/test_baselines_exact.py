@@ -1,0 +1,51 @@
+"""Unit tests for the exact oracle helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BSBFIndex, ExactOracle, VectorStore
+from repro.baselines import exact_tknn
+from repro.distances import resolve_metric
+
+
+class TestExactOracle:
+    def test_is_a_bsbf(self):
+        oracle = ExactOracle(4)
+        assert isinstance(oracle, BSBFIndex)
+
+
+class TestExactTknn:
+    def test_matches_manual_scan(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((200, 6)).astype(np.float32)
+        store = VectorStore.from_arrays(
+            vectors, np.arange(200, dtype=np.float64)
+        )
+        metric = resolve_metric("euclidean")
+        query = rng.standard_normal(6)
+        result = exact_tknn(store, metric, query, 7, 40.0, 160.0)
+        dists = metric.batch(query, store.vectors[40:160])
+        expected = 40 + np.lexsort((np.arange(120), dists))[:7]
+        np.testing.assert_array_equal(result.positions, expected)
+        assert result.stats.window_size == 120
+        assert result.stats.distance_evaluations == 120
+
+    def test_unbounded_window(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.standard_normal((50, 4)).astype(np.float32)
+        store = VectorStore.from_arrays(
+            vectors, np.arange(50, dtype=np.float64)
+        )
+        metric = resolve_metric("angular")
+        result = exact_tknn(store, metric, vectors[7].astype(np.float64), 1)
+        assert result.positions[0] == 7
+
+    def test_empty_window(self):
+        store = VectorStore.from_arrays(
+            np.zeros((5, 2), dtype=np.float32), np.arange(5, dtype=np.float64)
+        )
+        result = exact_tknn(
+            store, resolve_metric("euclidean"), np.zeros(2), 3, 100.0, 200.0
+        )
+        assert len(result) == 0

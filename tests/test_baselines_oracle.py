@@ -1,0 +1,56 @@
+"""Unit tests for the best-of(BSBF, SF) hypothetical comparator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BSBFIndex, BestOfBaselines, SFIndex, SearchParams
+from repro.graph import GraphConfig
+
+
+def make_best_of(n=300, dim=6):
+    bsbf = BSBFIndex(dim)
+    sf = SFIndex(
+        dim,
+        graph_config=GraphConfig(n_neighbors=8, exact_threshold=100_000),
+        search_params=SearchParams(epsilon=1.2, max_candidates=64),
+    )
+    best = BestOfBaselines(bsbf, sf)
+    rng = np.random.default_rng(0)
+    best.extend(
+        rng.standard_normal((n, dim)).astype(np.float32),
+        np.arange(n, dtype=np.float64),
+    )
+    best.build()
+    return best
+
+
+class TestBestOf:
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BestOfBaselines(BSBFIndex(3), SFIndex(4))
+
+    def test_insert_keeps_both_in_sync(self):
+        best = make_best_of(n=10)
+        best.insert(np.zeros(6), 100.0)
+        assert len(best.bsbf) == len(best.sf.store) == 11
+
+    def test_search_reports_winner_and_costs(self):
+        best = make_best_of()
+        outcome = best.search(np.zeros(6), 5, t_start=0.0, t_end=300.0)
+        assert outcome.winner in ("bsbf", "sf")
+        assert outcome.bsbf_seconds > 0
+        assert outcome.sf_seconds > 0
+        assert outcome.seconds == min(outcome.bsbf_seconds, outcome.sf_seconds)
+
+    def test_result_comes_from_winner(self):
+        best = make_best_of()
+        query = np.random.default_rng(1).standard_normal(6)
+        outcome = best.search(query, 5)
+        if outcome.winner == "bsbf":
+            reference = best.bsbf.search(query, 5)
+            np.testing.assert_array_equal(
+                outcome.result.positions, reference.positions
+            )
+        assert len(outcome.result) == 5

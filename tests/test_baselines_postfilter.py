@@ -1,0 +1,84 @@
+"""Unit tests for the naive post-filtering baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EmptyIndexError, SearchParams
+from repro.baselines import PostFilterIndex
+from repro.exceptions import ConfigurationError
+from repro.graph import GraphConfig
+
+
+def make_index(n=600, dim=8, oversample=4):
+    index = PostFilterIndex(
+        dim,
+        "euclidean",
+        graph_config=GraphConfig(n_neighbors=8, exact_threshold=100_000),
+        search_params=SearchParams(epsilon=1.25, max_candidates=64),
+        oversample=oversample,
+    )
+    rng = np.random.default_rng(0)
+    index.extend(
+        rng.standard_normal((n, dim)).astype(np.float32),
+        np.arange(n, dtype=np.float64),
+    )
+    index.build()
+    return index
+
+
+class TestValidation:
+    def test_rejects_bad_oversample(self):
+        with pytest.raises(ConfigurationError):
+            PostFilterIndex(4, oversample=0)
+
+    def test_search_before_build(self):
+        index = PostFilterIndex(4)
+        index.insert(np.zeros(4), 0.0)
+        with pytest.raises(EmptyIndexError):
+            index.search(np.zeros(4), 1)
+
+
+class TestTheIntroClaim:
+    def test_full_window_returns_k(self):
+        index = make_index()
+        result = index.search(np.zeros(8), 10)
+        assert len(result) == 10
+
+    def test_results_respect_window(self):
+        index = make_index()
+        result = index.search(np.zeros(8), 10, 100.0, 400.0)
+        assert ((result.timestamps >= 100) & (result.timestamps < 400)).all()
+
+    def test_short_windows_return_fewer_than_k(self):
+        """Section 1: "cannot guarantee that the number of search results
+        is k and may even output nothing"."""
+        index = make_index()
+        rng = np.random.default_rng(1)
+        deficits = 0
+        for _ in range(20):
+            lo = float(rng.integers(0, 550))
+            result = index.search(rng.standard_normal(8), 10, lo, lo + 12.0)
+            assert len(result) <= 10
+            if len(result) < 10:
+                deficits += 1
+        assert deficits > 10, "post-filtering should under-deliver on short windows"
+
+    def test_oversampling_reduces_the_deficit(self):
+        rng = np.random.default_rng(2)
+        queries = rng.standard_normal((15, 8))
+        windows = [(float(lo), float(lo) + 30.0) for lo in rng.integers(0, 500, 15)]
+
+        def mean_results(oversample):
+            index = make_index(oversample=oversample)
+            return float(
+                np.mean(
+                    [
+                        len(index.search(q, 10, lo, hi))
+                        for q, (lo, hi) in zip(queries, windows)
+                    ]
+                )
+            )
+
+        assert mean_results(8) >= mean_results(1)

@@ -1,0 +1,120 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestDatasets:
+    def test_lists_all_profiles(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("movielens-sim", "sift-sim", "deep-sim"):
+            assert name in out
+
+
+class TestBuildInfoQuery:
+    @pytest.fixture(scope="class")
+    def snapshot(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "index.npz"
+        code = main(
+            [
+                "build",
+                "movielens-sim",
+                "-o",
+                str(path),
+                "--max-items",
+                "400",
+                "--leaf-size",
+                "100",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_build_creates_snapshot(self, snapshot, capsys):
+        assert snapshot.exists()
+
+    def test_info_describes_snapshot(self, snapshot, capsys):
+        assert main(["info", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "400" in out
+        assert "blocks" in out
+        assert "S_L=100" in out
+
+    def test_query_runs(self, snapshot, capsys):
+        code = main(
+            [
+                "query",
+                str(snapshot),
+                "--dataset",
+                "movielens-sim",
+                "-k",
+                "3",
+                "-n",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query 0" in out
+        assert "query 1" in out
+        assert "d=" in out
+
+    def test_query_dim_mismatch_fails(self, snapshot, capsys):
+        code = main(
+            ["query", str(snapshot), "--dataset", "sift-sim", "-n", "1"]
+        )
+        assert code == 2
+        assert "dim" in capsys.readouterr().err
+
+    def test_build_with_ivf_backend(self, tmp_path, capsys):
+        path = tmp_path / "ivf.npz"
+        code = main(
+            [
+                "build",
+                "movielens-sim",
+                "-o",
+                str(path),
+                "--max-items",
+                "200",
+                "--leaf-size",
+                "50",
+                "--backend",
+                "ivf",
+            ]
+        )
+        assert code == 0
+        assert main(["info", str(path)]) == 0
+        assert "backend=ivf" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_unknown_dataset_is_a_clean_error(self, capsys):
+        code = main(["build", "imagenet", "-o", "/tmp/x.npz"])
+        assert code == 1
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_missing_snapshot_is_a_clean_error(self, capsys):
+        code = main(["info", "/nonexistent/snapshot.npz"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_prints_instructions(self, capsys):
+        assert main(["bench"]) == 0
+        assert "pytest benchmarks/" in capsys.readouterr().out

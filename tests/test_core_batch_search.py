@@ -1,0 +1,66 @@
+"""Unit tests for the batch-query API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InvalidQueryError, MultiLevelBlockIndex
+
+from .conftest import small_mbi_config
+
+
+@pytest.fixture(scope="module")
+def index():
+    idx = MultiLevelBlockIndex(8, "euclidean", small_mbi_config(leaf_size=64))
+    rng = np.random.default_rng(0)
+    idx.extend(
+        rng.standard_normal((512, 8)).astype(np.float32),
+        np.arange(512, dtype=np.float64),
+    )
+    return idx
+
+
+class TestSearchBatch:
+    def test_returns_one_result_per_query(self, index):
+        queries = np.random.default_rng(1).standard_normal((7, 8))
+        results = index.search_batch(queries, 5, 50.0, 400.0)
+        assert len(results) == 7
+        for result in results:
+            assert len(result) == 5
+            assert ((result.timestamps >= 50) & (result.timestamps < 400)).all()
+
+    def test_rejects_wrong_shape(self, index):
+        with pytest.raises(InvalidQueryError):
+            index.search_batch(np.zeros(8), 5)
+        with pytest.raises(InvalidQueryError):
+            index.search_batch(np.zeros((3, 9)), 5)
+
+    def test_parallel_matches_sequential(self, index):
+        queries = np.random.default_rng(2).standard_normal((12, 8))
+        sequential = index.search_batch(
+            queries, 5, rng=np.random.default_rng(9)
+        )
+        parallel = index.search_batch(
+            queries, 5, rng=np.random.default_rng(9), max_workers=4
+        )
+        for a, b in zip(sequential, parallel):
+            np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_batch_matches_single_queries(self, index):
+        queries = np.random.default_rng(3).standard_normal((4, 8))
+        rng = np.random.default_rng(11)
+        seeds = rng.integers(0, 2**63 - 1, size=4)
+        batch = index.search_batch(
+            queries, 3, 10.0, 500.0, rng=np.random.default_rng(11)
+        )
+        for i in range(4):
+            single = index.search(
+                queries[i], 3, 10.0, 500.0,
+                rng=np.random.default_rng(int(seeds[i])),
+            )
+            np.testing.assert_array_equal(batch[i].positions, single.positions)
+
+    def test_empty_batch(self, index):
+        results = index.search_batch(np.zeros((0, 8)), 5)
+        assert results == []

@@ -1,0 +1,86 @@
+"""Unit tests for MBIConfig and SearchParams validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphConfig, MBIConfig, SearchParams
+from repro.exceptions import ConfigurationError
+
+
+class TestSearchParams:
+    def test_defaults_valid(self):
+        params = SearchParams()
+        assert params.epsilon >= 1.0
+
+    def test_rejects_epsilon_below_one(self):
+        with pytest.raises(ConfigurationError):
+            SearchParams(epsilon=0.99)
+
+    def test_rejects_bad_max_candidates(self):
+        with pytest.raises(ConfigurationError):
+            SearchParams(max_candidates=0)
+
+    def test_rejects_bad_entry_sample(self):
+        with pytest.raises(ConfigurationError):
+            SearchParams(entry_sample=0)
+
+    def test_rejects_n_entries_above_sample(self):
+        with pytest.raises(ConfigurationError):
+            SearchParams(entry_sample=4, n_entries=5)
+
+    def test_with_epsilon_preserves_other_fields(self):
+        params = SearchParams(
+            epsilon=1.1, max_candidates=77, entry_sample=9, n_entries=3
+        )
+        bumped = params.with_epsilon(1.3)
+        assert bumped.epsilon == 1.3
+        assert bumped.max_candidates == 77
+        assert bumped.entry_sample == 9
+        assert bumped.n_entries == 3
+
+
+class TestMBIConfig:
+    def test_defaults_valid(self):
+        config = MBIConfig()
+        assert config.leaf_size >= 1
+        assert 0 < config.tau <= 1
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ConfigurationError):
+            MBIConfig(leaf_size=0)
+
+    @pytest.mark.parametrize("tau", [0.0, -0.5, 1.5])
+    def test_rejects_out_of_range_tau(self, tau):
+        with pytest.raises(ConfigurationError):
+            MBIConfig(tau=tau)
+
+    def test_tau_one_is_allowed(self):
+        assert MBIConfig(tau=1.0).tau == 1.0
+
+    def test_rejects_unknown_selection_mode(self):
+        with pytest.raises(ConfigurationError):
+            MBIConfig(selection_mode="fraction")
+
+    def test_rejects_bad_max_workers(self):
+        with pytest.raises(ConfigurationError):
+            MBIConfig(max_workers=0)
+
+    def test_with_tau_preserves_other_fields(self):
+        config = MBIConfig(
+            leaf_size=123,
+            tau=0.5,
+            graph=GraphConfig(n_neighbors=9),
+            parallel=True,
+            seed=42,
+        )
+        changed = config.with_tau(0.3)
+        assert changed.tau == 0.3
+        assert changed.leaf_size == 123
+        assert changed.graph.n_neighbors == 9
+        assert changed.parallel is True
+        assert changed.seed == 42
+
+    def test_nested_graph_config_validation_propagates(self):
+        with pytest.raises(ValueError):
+            MBIConfig(graph=GraphConfig(n_neighbors=-1))

@@ -1,0 +1,71 @@
+"""Unit tests for query result/stats value objects."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import QueryResult, QueryStats, merge_partial_results
+
+
+class TestQueryStats:
+    def test_merge_sums_counters(self):
+        a = QueryStats(
+            blocks_searched=1,
+            graph_blocks=1,
+            nodes_visited=10,
+            distance_evaluations=100,
+            window_size=50,
+        )
+        b = QueryStats(
+            blocks_searched=2,
+            graph_blocks=0,
+            nodes_visited=5,
+            distance_evaluations=20,
+            window_size=50,
+        )
+        merged = a.merged_with(b)
+        assert merged.blocks_searched == 3
+        assert merged.graph_blocks == 1
+        assert merged.nodes_visited == 15
+        assert merged.distance_evaluations == 120
+        assert merged.window_size == 50
+
+
+class TestQueryResult:
+    def test_empty(self):
+        result = QueryResult.empty()
+        assert len(result) == 0
+        assert result.positions.dtype == np.int64
+
+    def test_len_counts_entries(self):
+        result = QueryResult(
+            positions=np.array([3, 1]),
+            distances=np.array([0.1, 0.2]),
+            timestamps=np.array([5.0, 6.0]),
+        )
+        assert len(result) == 2
+
+
+class TestMergePartialResults:
+    def test_empty_input(self):
+        positions, distances = merge_partial_results([], k=5)
+        assert len(positions) == 0
+        assert len(distances) == 0
+
+    def test_keeps_k_best_across_blocks(self):
+        block1 = (np.array([0, 1]), np.array([0.5, 0.1]))
+        block2 = (np.array([10, 11]), np.array([0.3, 0.7]))
+        positions, distances = merge_partial_results([block1, block2], k=3)
+        np.testing.assert_array_equal(positions, [1, 10, 0])
+        np.testing.assert_allclose(distances, [0.1, 0.3, 0.5])
+
+    def test_ties_broken_by_position(self):
+        block1 = (np.array([9]), np.array([0.5]))
+        block2 = (np.array([2]), np.array([0.5]))
+        positions, _ = merge_partial_results([block1, block2], k=2)
+        np.testing.assert_array_equal(positions, [2, 9])
+
+    def test_fewer_than_k_available(self):
+        block = (np.array([4]), np.array([0.2]))
+        positions, _ = merge_partial_results([block], k=10)
+        assert len(positions) == 1

@@ -1,0 +1,140 @@
+"""Unit and property tests for the postorder block-tree arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import tree
+
+
+def simulate_creation_order(num_leaves: int):
+    """Brute-force Algorithm 3 numbering: (index -> height) plus leaf map."""
+    heights: dict[int, int] = {}
+    leaf_index: dict[int, int] = {}
+    counter = 0
+    for n in range(num_leaves):
+        leaf_index[n] = counter
+        heights[counter] = 0
+        counter += 1
+        remaining = n + 1
+        height = 1
+        while remaining % 2 == 0:
+            heights[counter] = height
+            counter += 1
+            remaining //= 2
+            height += 1
+    return heights, leaf_index
+
+
+class TestLeafBlockIndex:
+    def test_first_leaves_match_paper_figures(self):
+        # Figure 3: leaves at 0, 1, 3, 4; internals at 2, 5, 6.
+        assert tree.leaf_block_index(0) == 0
+        assert tree.leaf_block_index(1) == 1
+        assert tree.leaf_block_index(2) == 3
+        assert tree.leaf_block_index(3) == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tree.leaf_block_index(-1)
+
+    @given(st.integers(0, 4096))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_simulated_creation_order(self, n):
+        heights, leaf_index = simulate_creation_order(n + 1)
+        assert tree.leaf_block_index(n) == leaf_index[n]
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=100, deadline=None)
+    def test_strictly_increasing(self, n):
+        assert tree.leaf_block_index(n + 1) > tree.leaf_block_index(n)
+
+
+class TestChildren:
+    def test_paper_figure3_relations(self):
+        # B6 (h=2) has children B2 and B5; B5 (h=1) has B3 and B4.
+        assert tree.left_child(6, 2) == 2
+        assert tree.right_child(6, 2) == 5
+        assert tree.left_child(5, 1) == 3
+        assert tree.right_child(5, 1) == 4
+
+    def test_leaf_has_no_children(self):
+        with pytest.raises(ValueError):
+            tree.left_child(0, 0)
+        with pytest.raises(ValueError):
+            tree.right_child(0, 0)
+
+    def test_sibling_matches_algorithm3_formula(self):
+        # Algorithm 3 line 9: left sibling set at i + 1 - 2^h for parent i+1.
+        for parent, height in [(2, 1), (5, 1), (6, 2), (14, 3)]:
+            assert (
+                tree.sibling_of_right_child(parent, height)
+                == parent - (1 << height)
+            )
+
+
+class TestSubtrees:
+    def test_figure4_root(self):
+        # Figure 4: a 16-leaf tree's root is B30 at height 4.
+        assert tree.root_index(4) == 30
+        assert tree.height_of(30) == 4
+
+    def test_root_index_growth(self):
+        assert tree.root_index(0) == 0
+        assert tree.root_index(1) == 2
+        assert tree.root_index(2) == 6
+        assert tree.root_index(3) == 14
+
+    def test_tree_levels_for(self):
+        assert tree.tree_levels_for(1) == 0
+        assert tree.tree_levels_for(2) == 1
+        assert tree.tree_levels_for(3) == 2
+        assert tree.tree_levels_for(4) == 2
+        assert tree.tree_levels_for(5) == 3
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            tree.root_index(-1)
+        with pytest.raises(ValueError):
+            tree.tree_levels_for(0)
+        with pytest.raises(ValueError):
+            tree.height_of(-1)
+
+    @given(st.integers(0, 511))
+    @settings(max_examples=200, deadline=None)
+    def test_height_matches_simulation(self, index):
+        heights, _ = simulate_creation_order(512)
+        assert tree.height_of(index) == heights[index]
+
+    @given(st.integers(0, 1023))
+    @settings(max_examples=150, deadline=None)
+    def test_children_partition_leaf_range(self, index):
+        height = tree.height_of(index)
+        if height == 0:
+            lo, hi = tree.leaf_range_of(index, 0)
+            assert hi == lo + 1
+            return
+        lo, hi = tree.leaf_range_of(index, height)
+        left = tree.left_child(index, height)
+        right = tree.right_child(index, height)
+        llo, lhi = tree.leaf_range_of(left, height - 1)
+        rlo, rhi = tree.leaf_range_of(right, height - 1)
+        assert (llo, lhi, rlo, rhi) == (lo, (lo + hi) // 2, (lo + hi) // 2, hi)
+
+    @given(st.integers(0, 1023))
+    @settings(max_examples=150, deadline=None)
+    def test_subtree_size_consistency(self, index):
+        height = tree.height_of(index)
+        lo, hi = tree.leaf_range_of(index, height)
+        assert hi - lo == tree.subtree_leaf_count(height)
+        assert tree.subtree_first_index(index, height) == index - (
+            (1 << (height + 1)) - 2
+        )
+
+    def test_leaf_range_of_rejects_non_leaf_first_index(self):
+        with pytest.raises(ValueError):
+            # Treating block 4 as height 1 puts internal index 2 at the
+            # subtree start, which is not a leaf index.
+            tree.leaf_range_of(4, 1)

@@ -1,0 +1,133 @@
+"""Unit tests for the per-interval tau tuner (paper Section 5.4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EmptyIndexError, MultiLevelBlockIndex
+from repro.core.tuning import TauCalibration, TauTuner
+from repro.exceptions import ConfigurationError
+
+from .conftest import small_mbi_config
+
+
+@pytest.fixture(scope="module")
+def tuned_index():
+    index = MultiLevelBlockIndex(
+        8, "euclidean", small_mbi_config(leaf_size=64)
+    )
+    rng = np.random.default_rng(0)
+    vectors = rng.standard_normal((1024, 8)).astype(np.float32)
+    index.extend(vectors, np.arange(1024, dtype=np.float64))
+    return index
+
+
+class TestValidation:
+    def test_rejects_empty_candidates(self, tuned_index):
+        with pytest.raises(ConfigurationError):
+            TauTuner(tuned_index, candidates=())
+
+    def test_rejects_out_of_range_candidates(self, tuned_index):
+        with pytest.raises(ConfigurationError):
+            TauTuner(tuned_index, candidates=(0.5, 1.5))
+
+    def test_rejects_unsorted_bucket_edges(self, tuned_index):
+        with pytest.raises(ConfigurationError):
+            TauTuner(tuned_index, bucket_edges=(0.5, 0.2))
+
+    def test_rejects_edges_outside_unit_interval(self, tuned_index):
+        with pytest.raises(ConfigurationError):
+            TauTuner(tuned_index, bucket_edges=(0.0, 0.5))
+
+    def test_calibrate_on_empty_index_raises(self):
+        empty = MultiLevelBlockIndex(4, "euclidean", small_mbi_config())
+        with pytest.raises(EmptyIndexError):
+            TauTuner(empty).calibrate()
+
+    def test_search_before_calibrate_raises(self, tuned_index):
+        tuner = TauTuner(tuned_index)
+        with pytest.raises(ConfigurationError):
+            tuner.search(np.zeros(8), 5)
+
+
+class TestCalibration:
+    def test_calibration_shape(self, tuned_index):
+        tuner = TauTuner(
+            tuned_index,
+            candidates=(0.2, 0.5),
+            bucket_edges=(0.1, 0.5),
+        )
+        calibration = tuner.calibrate(queries_per_bucket=5)
+        assert isinstance(calibration, TauCalibration)
+        assert len(calibration.taus) == 3
+        assert calibration.costs.shape == (3, 2)
+        assert set(calibration.taus) <= {0.2, 0.5}
+        assert (calibration.costs > 0).all()
+
+    def test_tau_for_fraction_buckets(self, tuned_index):
+        tuner = TauTuner(
+            tuned_index, candidates=(0.3,), bucket_edges=(0.1, 0.5)
+        )
+        calibration = tuner.calibrate(queries_per_bucket=2)
+        assert calibration.tau_for(0.05) == calibration.taus[0]
+        assert calibration.tau_for(0.3) == calibration.taus[1]
+        assert calibration.tau_for(0.9) == calibration.taus[2]
+
+    def test_deterministic_given_rng(self, tuned_index):
+        a = TauTuner(tuned_index, candidates=(0.2, 0.5))
+        b = TauTuner(tuned_index, candidates=(0.2, 0.5))
+        ca = a.calibrate(queries_per_bucket=4, rng=np.random.default_rng(3))
+        cb = b.calibrate(queries_per_bucket=4, rng=np.random.default_rng(3))
+        assert ca.taus == cb.taus
+        np.testing.assert_array_equal(ca.costs, cb.costs)
+
+
+class TestTunedSearch:
+    def test_search_returns_valid_results(self, tuned_index):
+        tuner = TauTuner(tuned_index, candidates=(0.2, 0.5))
+        tuner.calibrate(queries_per_bucket=5)
+        rng = np.random.default_rng(4)
+        query = rng.standard_normal(8)
+        result = tuner.search(query, 5, t_start=100.0, t_end=600.0)
+        assert len(result) == 5
+        assert ((result.timestamps >= 100) & (result.timestamps < 600)).all()
+
+    def test_tau_for_window_uses_fraction(self, tuned_index):
+        tuner = TauTuner(tuned_index, candidates=(0.2, 0.5))
+        calibration = tuner.calibrate(queries_per_bucket=3)
+        # A window covering ~3% of the data lands in the first bucket.
+        tau = tuner.tau_for_window(0.0, 30.0)
+        assert tau == calibration.tau_for(30 / 1024)
+
+    def test_tuned_cost_not_worse_than_worst_fixed_tau(self, tuned_index):
+        """Calibrated tau should be at least as cheap as the worst candidate."""
+        candidates = (0.1, 0.5)
+        tuner = TauTuner(tuned_index, candidates=candidates)
+        tuner.calibrate(queries_per_bucket=10)
+        rng = np.random.default_rng(5)
+        ts = tuned_index.store.timestamps
+
+        def mean_cost(run):
+            total = 0
+            g = np.random.default_rng(6)
+            for _ in range(20):
+                m = int(g.integers(20, 900))
+                lo = int(g.integers(0, 1024 - m))
+                t0, t1 = float(ts[lo]), float(ts[lo + m])
+                q = rng.standard_normal(8)
+                total += run(q, t0, t1).stats.distance_evaluations
+            return total / 20
+
+        tuned_cost = mean_cost(
+            lambda q, t0, t1: tuner.search(q, 10, t0, t1)
+        )
+        fixed_costs = [
+            mean_cost(
+                lambda q, t0, t1, tau=tau: tuned_index.search(
+                    q, 10, t0, t1, tau=tau
+                )
+            )
+            for tau in candidates
+        ]
+        assert tuned_cost <= max(fixed_costs) * 1.1

@@ -1,0 +1,95 @@
+"""Unit tests for the dataset profile registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    available_datasets,
+    get_profile,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+
+EXPECTED = (
+    "movielens-sim",
+    "coms-sim",
+    "glove-sim",
+    "sift-sim",
+    "gist-sim",
+    "deep-sim",
+)
+
+
+class TestRegistry:
+    def test_all_six_paper_datasets_present(self):
+        assert available_datasets() == EXPECTED
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            get_profile("imagenet-sim")
+
+    def test_profiles_reference_paper_corpora(self):
+        papers = {get_profile(name).paper_name for name in EXPECTED}
+        assert papers == {
+            "MovieLens",
+            "COMS",
+            "GloVe-100",
+            "SIFT1M",
+            "GIST1M",
+            "DEEP1B",
+        }
+
+    def test_profile_scaling_is_sane(self):
+        for name in EXPECTED:
+            profile = get_profile(name)
+            n = profile.spec.n_items
+            assert n < profile.paper_items, name
+            leaves = n / profile.leaf_size
+            assert 8 <= leaves <= 256, f"{name}: {leaves} leaves"
+            assert 0.0 < profile.tau <= 1.0
+
+    def test_metric_matches_paper_table2(self):
+        angular = {"movielens-sim", "coms-sim", "glove-sim", "deep-sim"}
+        for name in EXPECTED:
+            expected = "angular" if name in angular else "euclidean"
+            assert get_profile(name).spec.metric == expected, name
+
+    def test_dims_match_paper_table2(self):
+        dims = {
+            "movielens-sim": 32,
+            "coms-sim": 128,
+            "glove-sim": 100,
+            "sift-sim": 128,
+            "gist-sim": 960,
+            "deep-sim": 96,
+        }
+        for name, dim in dims.items():
+            assert get_profile(name).spec.dim == dim, name
+
+    def test_mbi_config_overrides(self):
+        profile = get_profile("movielens-sim")
+        config = profile.mbi_config(tau=0.2, parallel=True)
+        assert config.tau == 0.2
+        assert config.parallel
+        assert config.leaf_size == profile.leaf_size
+
+
+class TestLoadDataset:
+    def test_load_is_memoised(self):
+        a = load_dataset("movielens-sim")
+        b = load_dataset("movielens-sim")
+        assert a is b
+
+    def test_loaded_matches_spec(self):
+        data = load_dataset("movielens-sim")
+        profile = get_profile("movielens-sim")
+        assert len(data) == profile.spec.n_items
+        assert data.vectors.shape[1] == profile.spec.dim
+        assert len(data.queries) == profile.spec.n_queries
+
+    def test_movielens_sim_has_timestamp_ties(self):
+        import numpy as np
+
+        data = load_dataset("movielens-sim")
+        assert len(np.unique(data.timestamps)) < len(data.timestamps)

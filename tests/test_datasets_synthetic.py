@@ -1,0 +1,125 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, SyntheticSpec, generate
+from repro.exceptions import DatasetError
+
+
+def spec(**overrides):
+    base = dict(n_items=500, n_queries=20, dim=16, seed=0)
+    base.update(overrides)
+    return SyntheticSpec(**base)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("n_items", 0),
+            ("n_queries", -1),
+            ("dim", 0),
+            ("generator", "mystery"),
+            ("timestamp_pattern", "exotic"),
+            ("low_rank", 0),
+            ("low_rank", 99),
+            ("time_span", 0.0),
+        ],
+    )
+    def test_invalid_fields_raise(self, field, value):
+        with pytest.raises(DatasetError):
+            spec(**{field: value})
+
+
+class TestGeneration:
+    def test_shapes_and_dtypes(self):
+        data = generate(spec())
+        assert data.vectors.shape == (500, 16)
+        assert data.vectors.dtype == np.float32
+        assert data.queries.shape == (20, 16)
+        assert data.timestamps.shape == (500,)
+
+    def test_timestamps_sorted(self):
+        for pattern in ("uniform", "regular", "bursty"):
+            data = generate(spec(timestamp_pattern=pattern))
+            assert (np.diff(data.timestamps) >= 0).all(), pattern
+
+    def test_bursty_pattern_has_ties(self):
+        data = generate(spec(timestamp_pattern="bursty"))
+        assert len(np.unique(data.timestamps)) < len(data.timestamps)
+
+    def test_regular_pattern_is_equally_spaced(self):
+        data = generate(spec(timestamp_pattern="regular"))
+        gaps = np.diff(data.timestamps)
+        np.testing.assert_allclose(gaps, gaps[0])
+
+    def test_angular_data_is_normalised(self):
+        data = generate(spec(metric="angular"))
+        norms = np.linalg.norm(data.vectors, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-5)
+
+    def test_euclidean_data_not_normalised(self):
+        data = generate(spec(metric="euclidean"))
+        norms = np.linalg.norm(data.vectors, axis=1)
+        assert norms.std() > 0.01
+
+    def test_deterministic_given_seed(self):
+        a, b = generate(spec()), generate(spec())
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+        np.testing.assert_array_equal(a.timestamps, b.timestamps)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_different_seeds_differ(self):
+        a, b = generate(spec(seed=1)), generate(spec(seed=2))
+        assert not np.array_equal(a.vectors, b.vectors)
+
+    def test_clusters_are_clustered(self):
+        # Mean distance to same-cluster points < to other points: proxy via
+        # silhouette-like check using nearest-neighbor label agreement.
+        data = generate(spec(generator="static_clusters", n_clusters=4,
+                             center_scale=3.0, n_items=400))
+        from repro.distances import resolve_metric
+
+        metric = resolve_metric("euclidean")
+        rng = np.random.default_rng(0)
+        sample = rng.choice(400, 50, replace=False)
+        # Clustered data: nearest neighbor much closer than median distance.
+        ratios = []
+        for i in sample:
+            dists = metric.batch(data.vectors[i], data.vectors)
+            dists[i] = np.inf
+            ratios.append(dists.min() / np.median(dists))
+        assert np.mean(ratios) < 0.6
+
+    def test_drift_moves_the_distribution(self):
+        drifting = generate(
+            spec(generator="drifting_clusters", drift=5.0, n_items=2000)
+        )
+        early = drifting.vectors[:300].mean(axis=0)
+        late = drifting.vectors[-300:].mean(axis=0)
+        static = generate(
+            spec(generator="static_clusters", drift=5.0, n_items=2000)
+        )
+        s_early = static.vectors[:300].mean(axis=0)
+        s_late = static.vectors[-300:].mean(axis=0)
+        assert np.linalg.norm(early - late) > np.linalg.norm(s_early - s_late)
+
+    def test_low_rank_reduces_intrinsic_dimension(self):
+        full = generate(spec(generator="uniform", n_items=800))
+        lowrank = generate(spec(generator="uniform", low_rank=4, n_items=800))
+
+        def effective_rank(x):
+            s = np.linalg.svd(x - x.mean(0), compute_uv=False)
+            p = s**2 / (s**2).sum()
+            return float(np.exp(-(p * np.log(p + 1e-12)).sum()))
+
+        assert effective_rank(lowrank.vectors) < effective_rank(full.vectors) / 2
+
+    def test_len_and_metric_name(self):
+        data = generate(spec(metric="angular"))
+        assert len(data) == 500
+        assert data.metric_name == "angular"
+        assert isinstance(data, Dataset)

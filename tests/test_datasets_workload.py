@@ -1,0 +1,126 @@
+"""Unit tests for workload generation and ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GroundTruthCache,
+    SyntheticSpec,
+    compute_ground_truth,
+    exact_answer,
+    generate,
+    make_sweep_workload,
+    make_workload,
+    window_for_fraction,
+)
+from repro.distances import resolve_metric
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(
+        SyntheticSpec(n_items=1000, n_queries=30, dim=8, seed=3)
+    )
+
+
+class TestWindowForFraction:
+    def test_fraction_controls_window_population(self, dataset):
+        rng = np.random.default_rng(0)
+        for fraction in (0.01, 0.1, 0.5, 0.9):
+            sizes = []
+            for _ in range(30):
+                t_start, t_end = window_for_fraction(
+                    dataset.timestamps, fraction, rng
+                )
+                inside = np.count_nonzero(
+                    (dataset.timestamps >= t_start) & (dataset.timestamps < t_end)
+                )
+                sizes.append(inside)
+            target = fraction * len(dataset)
+            assert abs(np.mean(sizes) - target) <= max(2, 0.05 * target)
+
+    def test_full_fraction_covers_everything(self, dataset):
+        rng = np.random.default_rng(1)
+        t_start, t_end = window_for_fraction(dataset.timestamps, 1.0, rng)
+        assert t_start <= dataset.timestamps[0]
+        assert t_end == float("inf")
+
+    def test_invalid_fraction(self, dataset):
+        rng = np.random.default_rng(2)
+        with pytest.raises(DatasetError):
+            window_for_fraction(dataset.timestamps, 0.0, rng)
+        with pytest.raises(DatasetError):
+            window_for_fraction(dataset.timestamps, 1.5, rng)
+
+
+class TestMakeWorkload:
+    def test_defaults_use_every_query_vector(self, dataset):
+        workload = make_workload(dataset, k=10, fraction=0.3)
+        assert len(workload) == 30
+        for query in workload:
+            assert query.k == 10
+            assert query.window_fraction == 0.3
+
+    def test_query_count_cycles_vectors(self, dataset):
+        workload = make_workload(dataset, k=5, fraction=0.2, n_queries=45)
+        assert len(workload) == 45
+        np.testing.assert_array_equal(
+            workload[0].vector, workload[30].vector
+        )
+
+    def test_rejects_bad_k(self, dataset):
+        with pytest.raises(DatasetError):
+            make_workload(dataset, k=0, fraction=0.5)
+
+    def test_deterministic_given_seed(self, dataset):
+        a = make_workload(dataset, 10, 0.4, seed=5)
+        b = make_workload(dataset, 10, 0.4, seed=5)
+        assert [(q.t_start, q.t_end) for q in a] == [
+            (q.t_start, q.t_end) for q in b
+        ]
+
+    def test_sweep_covers_all_fractions(self, dataset):
+        sweep = make_sweep_workload(dataset, 10, (0.1, 0.5), n_queries=5)
+        assert set(sweep) == {0.1, 0.5}
+        assert all(len(v) == 5 for v in sweep.values())
+
+
+class TestGroundTruth:
+    def test_exact_answer_matches_manual_scan(self, dataset):
+        metric = resolve_metric(dataset.metric_name)
+        query = make_workload(dataset, 5, 0.3, n_queries=1)[0]
+        answer = exact_answer(
+            dataset.vectors, dataset.timestamps, metric, query
+        )
+        mask = (dataset.timestamps >= query.t_start) & (
+            dataset.timestamps < query.t_end
+        )
+        candidates = np.nonzero(mask)[0]
+        dists = metric.batch(query.vector, dataset.vectors[candidates])
+        expected = candidates[np.lexsort((candidates, dists))[:5]]
+        np.testing.assert_array_equal(np.sort(answer), np.sort(expected))
+
+    def test_small_window_returns_fewer_than_k(self, dataset):
+        metric = resolve_metric(dataset.metric_name)
+        from repro.datasets import TkNNQuery
+
+        t = float(dataset.timestamps[10])
+        t2 = float(dataset.timestamps[13])
+        query = TkNNQuery(dataset.queries[0], 50, t, t2, 0.003)
+        answer = exact_answer(dataset.vectors, dataset.timestamps, metric, query)
+        assert len(answer) == 3
+
+    def test_compute_ground_truth_ordering(self, dataset):
+        workload = make_workload(dataset, 5, 0.5, n_queries=8)
+        truth = compute_ground_truth(dataset, workload)
+        assert len(truth) == 8
+
+    def test_cache_reuses_results(self, dataset):
+        cache = GroundTruthCache()
+        workload = make_workload(dataset, 5, 0.5, n_queries=4)
+        first = cache.get(dataset, workload)
+        second = cache.get(dataset, workload)
+        assert first is second

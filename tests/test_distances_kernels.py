@@ -1,0 +1,222 @@
+"""Unit tests for the vectorised distance kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distances import kernels
+
+RNG = np.random.default_rng(0)
+
+
+def _vec(dim=8):
+    return RNG.standard_normal(dim)
+
+
+def _mat(n=16, dim=8):
+    return RNG.standard_normal((n, dim))
+
+
+finite_vectors = arrays(
+    np.float64,
+    (6,),
+    elements=st.floats(-100, 100, allow_nan=False, width=64),
+)
+
+
+class TestEuclidean:
+    def test_pairwise_matches_numpy(self):
+        u, v = _vec(), _vec()
+        assert kernels.euclidean_pairwise(u, v) == pytest.approx(
+            np.linalg.norm(u - v)
+        )
+
+    def test_batch_matches_pairwise(self):
+        q, pts = _vec(), _mat()
+        batch = kernels.euclidean_batch(q, pts)
+        for i, p in enumerate(pts):
+            assert batch[i] == pytest.approx(kernels.euclidean_pairwise(q, p))
+
+    def test_cross_matches_batch(self):
+        a, b = _mat(5), _mat(7)
+        cross = kernels.euclidean_cross(a, b)
+        assert cross.shape == (5, 7)
+        for i in range(5):
+            np.testing.assert_allclose(
+                cross[i], kernels.euclidean_batch(a[i], b), rtol=1e-6, atol=1e-8
+            )
+
+    def test_rowwise_matches_batch(self):
+        queries = _mat(4)
+        candidates = RNG.standard_normal((4, 6, 8))
+        rows = kernels.euclidean_rowwise(queries, candidates)
+        for i in range(4):
+            np.testing.assert_allclose(
+                rows[i],
+                kernels.euclidean_batch(queries[i], candidates[i]),
+                rtol=1e-6,
+            )
+
+    def test_cross_self_diagonal_is_zero(self):
+        a = _mat(6)
+        cross = kernels.euclidean_cross(a, a)
+        np.testing.assert_allclose(np.diag(cross), 0.0, atol=1e-6)
+
+    @given(finite_vectors, finite_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, u, v):
+        assert kernels.euclidean_pairwise(u, v) == pytest.approx(
+            kernels.euclidean_pairwise(v, u)
+        )
+
+    @given(finite_vectors, finite_vectors, finite_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, u, v, w):
+        duv = kernels.euclidean_pairwise(u, v)
+        dvw = kernels.euclidean_pairwise(v, w)
+        duw = kernels.euclidean_pairwise(u, w)
+        assert duw <= duv + dvw + 1e-7
+
+
+class TestSquaredEuclidean:
+    def test_is_square_of_euclidean(self):
+        u, v = _vec(), _vec()
+        assert kernels.squared_euclidean_pairwise(u, v) == pytest.approx(
+            kernels.euclidean_pairwise(u, v) ** 2
+        )
+
+    def test_batch_and_cross_consistent(self):
+        q, pts = _vec(), _mat()
+        np.testing.assert_allclose(
+            kernels.squared_euclidean_batch(q, pts),
+            kernels.euclidean_batch(q, pts) ** 2,
+            rtol=1e-6,
+        )
+        a, b = _mat(3), _mat(4)
+        np.testing.assert_allclose(
+            kernels.squared_euclidean_cross(a, b),
+            kernels.euclidean_cross(a, b) ** 2,
+            rtol=1e-6,
+        )
+
+    def test_rowwise(self):
+        queries = _mat(3)
+        candidates = RNG.standard_normal((3, 5, 8))
+        np.testing.assert_allclose(
+            kernels.squared_euclidean_rowwise(queries, candidates),
+            kernels.euclidean_rowwise(queries, candidates) ** 2,
+            rtol=1e-6,
+        )
+
+
+class TestAngular:
+    def test_identical_vectors_have_zero_distance(self):
+        v = _vec()
+        assert kernels.angular_pairwise(v, v) == pytest.approx(0.0, abs=1e-9)
+
+    def test_opposite_vectors_have_distance_two(self):
+        v = _vec()
+        assert kernels.angular_pairwise(v, -v) == pytest.approx(2.0)
+
+    def test_orthogonal_vectors_have_distance_one(self):
+        u = np.array([1.0, 0.0, 0.0])
+        v = np.array([0.0, 1.0, 0.0])
+        assert kernels.angular_pairwise(u, v) == pytest.approx(1.0)
+
+    def test_scale_invariance(self):
+        u, v = _vec(), _vec()
+        assert kernels.angular_pairwise(3.0 * u, v) == pytest.approx(
+            kernels.angular_pairwise(u, 0.5 * v)
+        )
+
+    def test_zero_vector_distance_is_one(self):
+        z = np.zeros(4)
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        assert kernels.angular_pairwise(z, v) == 1.0
+        batch = kernels.angular_batch(z, np.stack([v, v]))
+        np.testing.assert_allclose(batch, 1.0)
+
+    def test_batch_matches_pairwise(self):
+        q, pts = _vec(), _mat()
+        batch = kernels.angular_batch(q, pts)
+        for i, p in enumerate(pts):
+            assert batch[i] == pytest.approx(
+                kernels.angular_pairwise(q, p), abs=1e-8
+            )
+
+    def test_cross_and_rowwise_match_batch(self):
+        a, b = _mat(4), _mat(6)
+        cross = kernels.angular_cross(a, b)
+        for i in range(4):
+            np.testing.assert_allclose(
+                cross[i], kernels.angular_batch(a[i], b), rtol=1e-6, atol=1e-8
+            )
+        candidates = RNG.standard_normal((4, 5, 8))
+        rows = kernels.angular_rowwise(a, candidates)
+        for i in range(4):
+            np.testing.assert_allclose(
+                rows[i],
+                kernels.angular_batch(a[i], candidates[i]),
+                rtol=1e-6,
+                atol=1e-8,
+            )
+
+
+class TestInnerProduct:
+    def test_pairwise_is_negative_dot(self):
+        u, v = _vec(), _vec()
+        assert kernels.inner_product_pairwise(u, v) == pytest.approx(
+            -np.dot(u, v)
+        )
+
+    def test_batch_cross_rowwise_consistent(self):
+        q, pts = _vec(), _mat()
+        np.testing.assert_allclose(
+            kernels.inner_product_batch(q, pts), -(pts @ q), rtol=1e-7
+        )
+        a, b = _mat(3), _mat(4)
+        np.testing.assert_allclose(
+            kernels.inner_product_cross(a, b), -(a @ b.T), rtol=1e-7
+        )
+        candidates = RNG.standard_normal((3, 5, 8))
+        rows = kernels.inner_product_rowwise(a, candidates)
+        for i in range(3):
+            np.testing.assert_allclose(rows[i], -(candidates[i] @ a[i]))
+
+
+class TestTopKSmallest:
+    def test_returns_sorted_k_smallest(self):
+        values = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        np.testing.assert_array_equal(
+            kernels.top_k_smallest(values, 3), [1, 3, 2]
+        )
+
+    def test_k_larger_than_array_returns_all_sorted(self):
+        values = np.array([2.0, 0.0, 1.0])
+        np.testing.assert_array_equal(
+            kernels.top_k_smallest(values, 10), [1, 2, 0]
+        )
+
+    def test_ties_broken_by_index(self):
+        values = np.array([1.0, 0.5, 0.5, 0.5])
+        np.testing.assert_array_equal(
+            kernels.top_k_smallest(values, 2), [1, 2]
+        )
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 40),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        st.integers(1, 45),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_full_sort(self, values, k):
+        got = kernels.top_k_smallest(values, k)
+        expected = np.lexsort((np.arange(len(values)), values))[:k]
+        np.testing.assert_array_equal(got, expected)

@@ -1,0 +1,90 @@
+"""Unit tests for the epsilon sweep and Pareto-frontier selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    PAPER_EPSILONS,
+    OperatingPoint,
+    pareto_frontier,
+    throughput_at_recall,
+)
+from repro.eval.timing import WorkloadMeasurement
+
+
+def point(epsilon, recall, model_qps, qps=None):
+    return OperatingPoint(
+        epsilon=epsilon,
+        measurement=WorkloadMeasurement(
+            n_queries=10,
+            seconds=1.0,
+            qps=qps if qps is not None else model_qps,
+            recall=recall,
+            evals_per_query=100.0,
+            model_qps=model_qps,
+        ),
+    )
+
+
+class TestPaperGrid:
+    def test_grid_matches_section_5_1_3(self):
+        assert PAPER_EPSILONS[0] == 1.0
+        assert PAPER_EPSILONS[-1] == 1.4
+        assert len(PAPER_EPSILONS) == 21
+        steps = np.diff(PAPER_EPSILONS)
+        np.testing.assert_allclose(steps, 0.02)
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            point(1.0, 0.8, 1000),
+            point(1.1, 0.9, 800),
+            point(1.2, 0.85, 500),  # dominated by the 0.9/800 point
+            point(1.3, 0.99, 300),
+        ]
+        frontier = pareto_frontier(points)
+        recalls = [p.recall for p in frontier]
+        assert 0.85 not in recalls
+        assert recalls == sorted(recalls)
+
+    def test_single_point(self):
+        points = [point(1.0, 0.5, 100)]
+        assert pareto_frontier(points) == points
+
+    def test_by_wall_qps(self):
+        points = [
+            point(1.0, 0.8, 10, qps=100),
+            point(1.2, 0.9, 1000, qps=50),
+        ]
+        frontier = pareto_frontier(points, by="qps")
+        assert len(frontier) == 2
+
+    def test_invalid_key(self):
+        with pytest.raises(ValueError):
+            pareto_frontier([point(1.0, 0.5, 1)], by="latency")
+
+
+class TestThroughputAtRecall:
+    def test_picks_fastest_meeting_target(self):
+        points = [
+            point(1.0, 0.90, 900),
+            point(1.1, 0.96, 700),
+            point(1.2, 0.97, 750),
+            point(1.3, 0.999, 200),
+        ]
+        chosen = throughput_at_recall(points, 0.95)
+        assert chosen is not None
+        assert chosen.epsilon == 1.2  # fastest among recall >= 0.95
+
+    def test_unreachable_target_returns_none(self):
+        points = [point(1.0, 0.5, 100)]
+        assert throughput_at_recall(points, 0.99) is None
+
+    def test_properties_delegate_to_measurement(self):
+        p = point(1.1, 0.8, 123, qps=456)
+        assert p.recall == 0.8
+        assert p.model_qps == 123
+        assert p.qps == 456

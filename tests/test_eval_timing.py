@@ -1,0 +1,68 @@
+"""Unit tests for workload timing and the work model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import numpy as np
+
+from repro.core import QueryResult, QueryStats
+from repro.datasets import SyntheticSpec, TkNNQuery, generate, make_workload
+from repro.eval import calibrated_eval_rate, run_workload
+
+
+def fake_run(evals_per_query: int):
+    def run(query: TkNNQuery) -> QueryResult:
+        return QueryResult(
+            positions=np.array([0]),
+            distances=np.array([0.0]),
+            timestamps=np.array([0.0]),
+            stats=QueryStats(distance_evaluations=evals_per_query),
+        )
+
+    return run
+
+
+def tiny_workload(n=5):
+    dataset = generate(SyntheticSpec(n_items=50, n_queries=5, dim=4, seed=0))
+    return dataset, make_workload(dataset, 1, 0.5, n_queries=n)
+
+
+class TestRunWorkload:
+    def test_counts_and_rates(self):
+        _, workload = tiny_workload(8)
+        measurement = run_workload(fake_run(100), workload)
+        assert measurement.n_queries == 8
+        assert measurement.evals_per_query == 100
+        assert measurement.qps > 0
+        assert math.isnan(measurement.model_qps)  # no metric given
+        assert math.isnan(measurement.recall)  # no truth given
+
+    def test_recall_against_truth(self):
+        _, workload = tiny_workload(3)
+        truth = [np.array([0]), np.array([0]), np.array([1])]
+        measurement = run_workload(fake_run(1), workload, truth)
+        assert measurement.recall == 2 / 3
+
+    def test_model_qps_inversely_proportional_to_work(self):
+        _, workload = tiny_workload(4)
+        cheap = run_workload(fake_run(10), workload, metric="euclidean", dim=8)
+        costly = run_workload(
+            fake_run(1000), workload, metric="euclidean", dim=8
+        )
+        assert cheap.model_qps / costly.model_qps == pytest.approx(100)
+
+
+class TestCalibration:
+    def test_rate_is_positive_and_cached(self):
+        r1 = calibrated_eval_rate("euclidean", 16)
+        r2 = calibrated_eval_rate("euclidean", 16)
+        assert r1 == r2
+        assert r1 > 1e5  # vectorised kernels do millions of evals/sec
+
+    def test_rate_falls_with_dimension(self):
+        low = calibrated_eval_rate("euclidean", 8)
+        high = calibrated_eval_rate("euclidean", 512)
+        assert high < low

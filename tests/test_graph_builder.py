@@ -1,0 +1,145 @@
+"""Unit tests for graph build orchestration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import resolve_metric
+from repro.graph import (
+    GraphConfig,
+    build_exact_graph,
+    build_knn_graph,
+    component_labels,
+    exact_knn_lists,
+)
+
+
+def clustered_points(n=400, dim=12, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((6, dim)) * 2.0
+    assignment = rng.integers(0, 6, n)
+    return (centers[assignment] + rng.standard_normal((n, dim))).astype(
+        np.float32
+    )
+
+
+class TestGraphConfig:
+    def test_defaults_are_valid(self):
+        config = GraphConfig()
+        assert config.effective_max_degree == 2 * config.n_neighbors
+
+    def test_rejects_bad_n_neighbors(self):
+        with pytest.raises(ValueError):
+            GraphConfig(n_neighbors=0)
+
+    def test_rejects_max_degree_below_n_neighbors(self):
+        with pytest.raises(ValueError):
+            GraphConfig(n_neighbors=16, max_degree=8)
+
+    def test_rejects_bad_prune_alpha(self):
+        with pytest.raises(ValueError):
+            GraphConfig(prune_alpha=0.9)
+
+    def test_rejects_negative_random_edges(self):
+        with pytest.raises(ValueError):
+            GraphConfig(random_long_edges=-1)
+
+    def test_nndescent_params_sync_n_neighbors(self):
+        config = GraphConfig(n_neighbors=24)
+        assert config.nndescent_params().n_neighbors == 24
+
+
+class TestExactBuilders:
+    def test_exact_knn_lists_match_brute_force(self):
+        points = clustered_points(n=100)
+        metric = resolve_metric("euclidean")
+        ids, dists = exact_knn_lists(points, metric, 5)
+        for node in (0, 50, 99):
+            all_dists = metric.batch(points[node], points)
+            all_dists[node] = np.inf
+            expected = np.argsort(all_dists)[:5]
+            np.testing.assert_array_equal(np.sort(ids[node]), np.sort(expected))
+        assert (np.diff(dists, axis=1) >= -1e-12).all()
+
+    def test_build_exact_graph_counts_evaluations(self):
+        points = clustered_points(n=64)
+        graph, evals = build_exact_graph(
+            points, resolve_metric("euclidean"), 4
+        )
+        assert evals == 64 * 64
+        assert graph.num_nodes == 64
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            build_exact_graph(
+                np.zeros((1, 3)), resolve_metric("euclidean"), 4
+            )
+
+
+class TestBuildKnnGraph:
+    def test_small_input_uses_exact(self):
+        points = clustered_points(n=100)
+        report = build_knn_graph(
+            points,
+            resolve_metric("euclidean"),
+            GraphConfig(n_neighbors=8, exact_threshold=256),
+        )
+        assert report.method == "exact"
+        assert report.n_iters == 0
+
+    def test_large_input_uses_nndescent(self):
+        points = clustered_points(n=500)
+        report = build_knn_graph(
+            points,
+            resolve_metric("euclidean"),
+            GraphConfig(n_neighbors=8, exact_threshold=256),
+        )
+        assert report.method == "nndescent"
+        assert report.n_iters >= 1
+
+    def test_result_is_connected(self):
+        # Two far-apart clusters must still give one component.
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((80, 8)) + 50.0
+        b = rng.standard_normal((80, 8)) - 50.0
+        points = np.concatenate([a, b]).astype(np.float32)
+        report = build_knn_graph(
+            points,
+            resolve_metric("euclidean"),
+            GraphConfig(n_neighbors=6, random_long_edges=0),
+        )
+        count, _ = component_labels(report.graph)
+        assert count == 1
+
+    def test_random_long_edges_widen_adjacency(self):
+        points = clustered_points(n=100)
+        config_with = GraphConfig(n_neighbors=8, random_long_edges=4)
+        config_without = GraphConfig(n_neighbors=8, random_long_edges=0)
+        metric = resolve_metric("euclidean")
+        wide = build_knn_graph(points, metric, config_with).graph
+        narrow = build_knn_graph(points, metric, config_without).graph
+        assert wide.max_degree >= narrow.max_degree + 4
+
+    def test_pruning_reduces_edges(self):
+        points = clustered_points(n=300)
+        metric = resolve_metric("euclidean")
+        pruned = build_knn_graph(
+            points,
+            metric,
+            GraphConfig(n_neighbors=12, prune_alpha=1.0, random_long_edges=0),
+        ).graph
+        unpruned = build_knn_graph(
+            points,
+            metric,
+            GraphConfig(n_neighbors=12, prune_alpha=None, random_long_edges=0),
+        ).graph
+        assert pruned.num_edges() < unpruned.num_edges()
+
+    def test_deterministic_given_seeded_rng(self):
+        points = clustered_points(n=300)
+        metric = resolve_metric("euclidean")
+        config = GraphConfig(n_neighbors=8)
+        g1 = build_knn_graph(points, metric, config, np.random.default_rng(5))
+        g2 = build_knn_graph(points, metric, config, np.random.default_rng(5))
+        assert g1.graph == g2.graph

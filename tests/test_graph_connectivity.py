@@ -1,0 +1,119 @@
+"""Unit tests for connectivity analysis and bridge repair."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances import resolve_metric
+from repro.graph import (
+    KnnGraph,
+    component_labels,
+    ensure_connected,
+)
+from repro.graph.knn_graph import NO_NEIGHBOR
+
+
+def two_island_graph():
+    # Nodes 0-2 form one triangle, 3-5 another; no cross edges.
+    adjacency = np.array(
+        [[1, 2], [0, 2], [0, 1], [4, 5], [3, 5], [3, 4]], dtype=np.int32
+    )
+    return KnnGraph(adjacency)
+
+
+def island_points():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((3, 4)) + 10.0
+    b = rng.standard_normal((3, 4)) - 10.0
+    return np.concatenate([a, b])
+
+
+class TestComponentLabels:
+    def test_connected_graph_is_one_component(self):
+        adjacency = np.array([[1], [2], [0]], dtype=np.int32)
+        count, labels = component_labels(KnnGraph(adjacency))
+        assert count == 1
+        assert len(set(labels.tolist())) == 1
+
+    def test_islands_are_separate_components(self):
+        count, labels = component_labels(two_island_graph())
+        assert count == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_directed_edges_count_as_undirected(self):
+        # 0 -> 1 only; still one component when treated undirected.
+        adjacency = np.array([[1], [NO_NEIGHBOR]], dtype=np.int32)
+        count, _ = component_labels(KnnGraph(adjacency))
+        assert count == 1
+
+
+class TestEnsureConnected:
+    def test_already_connected_is_a_noop(self):
+        adjacency = np.array([[1], [2], [0]], dtype=np.int32)
+        graph = KnnGraph(adjacency)
+        repaired, n_bridges = ensure_connected(
+            graph, np.zeros((3, 2)), resolve_metric("euclidean")
+        )
+        assert n_bridges == 0
+        assert repaired is graph
+
+    def test_bridges_unite_islands(self):
+        graph = two_island_graph()
+        points = island_points()
+        repaired, n_bridges = ensure_connected(
+            graph, points, resolve_metric("euclidean")
+        )
+        assert n_bridges == 1
+        count, _ = component_labels(repaired)
+        assert count == 1
+
+    def test_bridge_links_closest_pair(self):
+        # Put one island node much closer to the other island: the bridge
+        # should use it.
+        points = island_points()
+        points[2] = [-9.0, -9.0, -9.0, -9.0]  # node 2 sits near island B
+        repaired, _ = ensure_connected(
+            two_island_graph(), points, resolve_metric("euclidean")
+        )
+        # node 2 gained a cross-island edge
+        cross = [n for n in repaired.neighbors(2) if n >= 3]
+        assert cross, "expected the bridge to touch the closest node"
+
+    def test_bridges_are_bidirectional(self):
+        graph = two_island_graph()
+        points = island_points()
+        repaired, _ = ensure_connected(
+            graph, points, resolve_metric("euclidean")
+        )
+        rows, cols = np.nonzero(repaired.adjacency != NO_NEIGHBOR)
+        edges = set(
+            zip(rows.tolist(), repaired.adjacency[rows, cols].tolist())
+        )
+        new_edges = [
+            (a, b) for a, b in edges if (a < 3) != (b < 3)
+        ]
+        for a, b in new_edges:
+            assert (b, a) in edges
+
+    def test_many_islands(self):
+        rng = np.random.default_rng(1)
+        n_islands, size = 5, 4
+        blocks = []
+        points = []
+        for i in range(n_islands):
+            base = i * size
+            ring = [
+                [base + (j + 1) % size, base + (j + 2) % size]
+                for j in range(size)
+            ]
+            blocks.extend(ring)
+            points.append(rng.standard_normal((size, 3)) + 100.0 * i)
+        graph = KnnGraph(np.array(blocks, dtype=np.int32))
+        repaired, n_bridges = ensure_connected(
+            graph, np.concatenate(points), resolve_metric("euclidean")
+        )
+        assert n_bridges == n_islands - 1
+        count, _ = component_labels(repaired)
+        assert count == 1

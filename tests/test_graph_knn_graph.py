@@ -1,0 +1,99 @@
+"""Unit tests for the fixed-width graph container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import NO_NEIGHBOR, KnnGraph
+
+
+def simple_graph():
+    # 0 -> 1,2 ; 1 -> 2 ; 2 -> (none) ; 3 -> 0
+    adjacency = np.array(
+        [
+            [1, 2],
+            [2, NO_NEIGHBOR],
+            [NO_NEIGHBOR, NO_NEIGHBOR],
+            [0, NO_NEIGHBOR],
+        ],
+        dtype=np.int32,
+    )
+    return KnnGraph(adjacency)
+
+
+class TestBasics:
+    def test_shape_accessors(self):
+        graph = simple_graph()
+        assert graph.num_nodes == 4
+        assert graph.max_degree == 2
+        assert graph.num_edges() == 4
+
+    def test_neighbors_strips_padding(self):
+        graph = simple_graph()
+        np.testing.assert_array_equal(graph.neighbors(0), [1, 2])
+        np.testing.assert_array_equal(graph.neighbors(1), [2])
+        assert len(graph.neighbors(2)) == 0
+
+    def test_degree(self):
+        graph = simple_graph()
+        assert graph.degree(0) == 2
+        assert graph.degree(2) == 0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            KnnGraph(np.array([1, 2, 3]))
+
+    def test_equality(self):
+        assert simple_graph() == simple_graph()
+        other = KnnGraph(np.zeros((4, 2), dtype=np.int32))
+        assert simple_graph() != other
+        assert simple_graph() != "not a graph"
+
+    def test_nbytes_counts_adjacency(self):
+        graph = simple_graph()
+        assert graph.nbytes() == 4 * 2 * 4  # int32
+
+    def test_repr(self):
+        text = repr(simple_graph())
+        assert "num_nodes=4" in text
+        assert "num_edges=4" in text
+
+
+class TestReverseEdges:
+    def test_every_edge_gains_its_reverse(self):
+        graph = simple_graph().with_reverse_edges(max_degree=4)
+        # 2 had no out-edges; now it points back at 0 and 1.
+        np.testing.assert_array_equal(sorted(graph.neighbors(2)), [0, 1])
+        # 0 gains reverse edge from 3.
+        assert 3 in graph.neighbors(0)
+
+    def test_degree_cap_prefers_forward_closest(self):
+        # Node 0 points at 1, 2 (distance-sorted); many nodes point at 0.
+        adjacency = np.array(
+            [[1, 2], [0, NO_NEIGHBOR], [0, NO_NEIGHBOR], [0, NO_NEIGHBOR]],
+            dtype=np.int32,
+        )
+        graph = KnnGraph(adjacency).with_reverse_edges(max_degree=2)
+        np.testing.assert_array_equal(graph.neighbors(0), [1, 2])
+
+    def test_no_self_loops_or_duplicates(self):
+        adjacency = np.array([[1, 1], [0, NO_NEIGHBOR]], dtype=np.int32)
+        graph = KnnGraph(adjacency).with_reverse_edges(max_degree=4)
+        for node in range(2):
+            neighbors = graph.neighbors(node)
+            assert node not in neighbors
+            assert len(neighbors) == len(set(neighbors.tolist()))
+
+    def test_default_cap_doubles_degree(self):
+        graph = simple_graph().with_reverse_edges()
+        assert graph.max_degree == 4
+
+
+class TestFromNeighborLists:
+    def test_builds_padded_matrix(self):
+        graph = KnnGraph.from_neighbor_lists([[1, 2, 3], [0], []], max_degree=2)
+        assert graph.max_degree == 2
+        np.testing.assert_array_equal(graph.neighbors(0), [1, 2])  # truncated
+        np.testing.assert_array_equal(graph.neighbors(1), [0])
+        assert graph.degree(2) == 0

@@ -1,0 +1,152 @@
+"""Unit tests for the NNDescent kNN-graph builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import resolve_metric
+from repro.graph import NNDescentParams, nn_descent
+from repro.graph.builder import exact_knn_lists
+
+
+def clustered_points(n=1200, dim=16, n_clusters=8, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((n_clusters, dim)) * 2.0
+    assignment = rng.integers(0, n_clusters, n)
+    return (centers[assignment] + rng.standard_normal((n, dim))).astype(
+        np.float32
+    )
+
+
+class TestParams:
+    def test_rejects_bad_n_neighbors(self):
+        with pytest.raises(ValueError):
+            NNDescentParams(n_neighbors=0)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            NNDescentParams(delta=1.0)
+        with pytest.raises(ValueError):
+            NNDescentParams(delta=-0.1)
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ValueError):
+            NNDescentParams(sample_rate=0.0)
+        with pytest.raises(ValueError):
+            NNDescentParams(sample_rate=1.5)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            NNDescentParams(chunk_size=0)
+
+
+class TestStructure:
+    def test_output_shapes_and_sorting(self):
+        points = clustered_points(n=600)
+        metric = resolve_metric("euclidean")
+        result = nn_descent(points, metric, NNDescentParams(n_neighbors=10))
+        assert result.neighbor_ids.shape == (600, 10)
+        assert result.neighbor_dists.shape == (600, 10)
+        # Rows sorted ascending by distance.
+        assert (np.diff(result.neighbor_dists, axis=1) >= -1e-9).all()
+
+    def test_no_self_edges_no_duplicates(self):
+        points = clustered_points(n=500)
+        metric = resolve_metric("euclidean")
+        result = nn_descent(points, metric, NNDescentParams(n_neighbors=8))
+        for node in range(500):
+            row = result.neighbor_ids[node]
+            assert node not in row
+            assert len(set(row.tolist())) == len(row)
+
+    def test_distances_match_ids(self):
+        points = clustered_points(n=400)
+        metric = resolve_metric("euclidean")
+        result = nn_descent(points, metric, NNDescentParams(n_neighbors=6))
+        for node in (0, 100, 399):
+            expected = metric.batch(
+                points[node].astype(np.float32),
+                points[result.neighbor_ids[node]],
+            )
+            np.testing.assert_allclose(
+                result.neighbor_dists[node], expected, rtol=1e-5, atol=1e-6
+            )
+
+    def test_tiny_input_returns_exact_graph(self):
+        points = clustered_points(n=10)
+        metric = resolve_metric("euclidean")
+        result = nn_descent(points, metric, NNDescentParams(n_neighbors=16))
+        assert result.neighbor_ids.shape == (10, 9)
+        assert result.n_iters == 0
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            nn_descent(
+                np.zeros((1, 4), dtype=np.float32),
+                resolve_metric("euclidean"),
+            )
+
+
+class TestQuality:
+    @pytest.mark.parametrize("metric_name", ["euclidean", "angular"])
+    def test_high_agreement_with_exact_graph(self, metric_name):
+        points = clustered_points(n=1200, dim=16)
+        metric = resolve_metric(metric_name)
+        k = 10
+        result = nn_descent(points, metric, NNDescentParams(n_neighbors=k))
+        exact_ids, _ = exact_knn_lists(points, metric, k)
+        hits = 0
+        for node in range(len(points)):
+            hits += len(
+                set(result.neighbor_ids[node].tolist())
+                & set(exact_ids[node].tolist())
+            )
+        coverage = hits / (len(points) * k)
+        assert coverage > 0.85, f"graph coverage too low: {coverage:.3f}"
+
+    def test_deterministic_given_seed(self):
+        points = clustered_points(n=500)
+        metric = resolve_metric("euclidean")
+        r1 = nn_descent(
+            points, metric, NNDescentParams(n_neighbors=8),
+            np.random.default_rng(3),
+        )
+        r2 = nn_descent(
+            points, metric, NNDescentParams(n_neighbors=8),
+            np.random.default_rng(3),
+        )
+        np.testing.assert_array_equal(r1.neighbor_ids, r2.neighbor_ids)
+
+    def test_chunk_size_does_not_change_iteration_semantics(self):
+        # Different chunk sizes may converge slightly differently (the rho
+        # sampling consumes randomness in a different order), but quality
+        # must stay comparable.
+        points = clustered_points(n=700)
+        metric = resolve_metric("euclidean")
+        exact_ids, _ = exact_knn_lists(points, metric, 8)
+
+        def coverage(chunk_size):
+            result = nn_descent(
+                points,
+                metric,
+                NNDescentParams(n_neighbors=8, chunk_size=chunk_size),
+                np.random.default_rng(0),
+            )
+            hits = sum(
+                len(
+                    set(result.neighbor_ids[i].tolist())
+                    & set(exact_ids[i].tolist())
+                )
+                for i in range(len(points))
+            )
+            return hits / exact_ids.size
+
+        assert coverage(64) > 0.85
+        assert coverage(4096) > 0.85
+
+    def test_counters_populated(self):
+        points = clustered_points(n=600)
+        result = nn_descent(points, resolve_metric("euclidean"))
+        assert result.n_iters >= 1
+        assert result.distance_evaluations > 600

@@ -1,0 +1,109 @@
+"""Property tests for NNDescent's vectorised candidate-merge kernel.
+
+`_merge_candidates` is the core of the build: among entries with *finite*
+distance it must keep exactly the best distinct non-self neighbors of the
+union of current and proposed candidates, rows sorted ascending, and never
+invent ids.  When the distinct pool is smaller than ``k`` (only possible
+in the degenerate ``k ~ n`` corner), the surplus slots carry duplicated
+ids with infinite distance — padding that downstream consumers ignore.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances import resolve_metric
+from repro.graph.nndescent import _merge_candidates, _random_init
+
+METRIC = resolve_metric("euclidean")
+
+
+@st.composite
+def merge_case(draw):
+    n = draw(st.integers(6, 30))
+    k = draw(st.integers(1, 5))
+    dim = draw(st.integers(1, 6))
+    chunk_size = draw(st.integers(1, n))
+    cand_width = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    points = rng.standard_normal((n, dim))
+    ids, dists = _random_init(points, min(k, n - 1), METRIC, rng)
+    chunk = np.sort(
+        rng.choice(n, size=min(chunk_size, n), replace=False)
+    )
+    candidates = rng.integers(0, n, size=(len(chunk), cand_width))
+    return points, ids, dists, chunk, candidates
+
+
+def finite_prefix(row_ids, row_dists):
+    keep = np.isfinite(row_dists)
+    return row_ids[keep], row_dists[keep]
+
+
+class TestMergeCandidates:
+    @given(merge_case())
+    @settings(max_examples=100, deadline=None)
+    def test_finite_entries_match_brute_force(self, case):
+        points, ids, dists, chunk, candidates = case
+        k = ids.shape[1]
+        new_ids, new_dists, __ = _merge_candidates(
+            chunk, ids[chunk], dists[chunk], candidates, points, METRIC
+        )
+        for row, node in enumerate(chunk):
+            got_ids, got_dists = finite_prefix(new_ids[row], new_dists[row])
+            pool = set(ids[node].tolist()) | set(candidates[row].tolist())
+            pool.discard(int(node))
+            pool_ids = np.array(sorted(pool))
+            pool_dists = METRIC.batch(points[node], points[pool_ids])
+            order = np.lexsort((pool_ids, pool_dists))[: len(got_ids)]
+            np.testing.assert_array_equal(got_ids, pool_ids[order])
+            np.testing.assert_allclose(
+                got_dists, pool_dists[order], rtol=1e-9
+            )
+            # The finite prefix is as long as the distinct pool allows.
+            assert len(got_ids) == min(k, len(pool_ids))
+
+    @given(merge_case())
+    @settings(max_examples=60, deadline=None)
+    def test_rows_sorted_ascending(self, case):
+        points, ids, dists, chunk, candidates = case
+        new_ids, new_dists, __ = _merge_candidates(
+            chunk, ids[chunk], dists[chunk], candidates, points, METRIC
+        )
+        for row in range(len(chunk)):
+            _, got_dists = finite_prefix(new_ids[row], new_dists[row])
+            assert (np.diff(got_dists) >= -1e-12).all()
+            # Padding (if any) sits strictly after the finite prefix.
+            finite = np.isfinite(new_dists[row])
+            assert not (
+                ~finite[:-1] & finite[1:]
+            ).any(), "finite entry after padding"
+
+    @given(merge_case())
+    @settings(max_examples=60, deadline=None)
+    def test_no_self_and_no_finite_duplicates(self, case):
+        points, ids, dists, chunk, candidates = case
+        new_ids, new_dists, __ = _merge_candidates(
+            chunk, ids[chunk], dists[chunk], candidates, points, METRIC
+        )
+        for row, node in enumerate(chunk):
+            got_ids, _ = finite_prefix(new_ids[row], new_dists[row])
+            row_list = got_ids.tolist()
+            assert node not in row_list
+            assert len(set(row_list)) == len(row_list)
+
+    @given(merge_case())
+    @settings(max_examples=60, deadline=None)
+    def test_changed_count_is_zero_for_idempotent_merge(self, case):
+        points, ids, dists, chunk, candidates = case
+        new_ids, new_dists, __ = _merge_candidates(
+            chunk, ids[chunk], dists[chunk], candidates, points, METRIC
+        )
+        again_ids, _, changed = _merge_candidates(
+            chunk, new_ids, new_dists, candidates, points, METRIC
+        )
+        assert changed == 0
+        np.testing.assert_array_equal(again_ids, new_ids)

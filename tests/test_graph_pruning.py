@@ -1,0 +1,99 @@
+"""Unit tests for occlusion pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import resolve_metric
+from repro.graph import NO_NEIGHBOR, occlusion_prune, pack_rows
+from repro.graph.builder import exact_knn_lists
+
+
+class TestOcclusionPrune:
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            occlusion_prune(
+                np.zeros((2, 1), dtype=np.int32),
+                np.zeros((2, 1)),
+                np.zeros((2, 2)),
+                resolve_metric("euclidean"),
+                alpha=0.5,
+            )
+
+    def test_closest_neighbor_always_survives(self):
+        rng = np.random.default_rng(0)
+        points = rng.standard_normal((100, 8))
+        metric = resolve_metric("euclidean")
+        ids, dists = exact_knn_lists(points, metric, 10)
+        pruned = occlusion_prune(ids, dists, points, metric, alpha=1.0)
+        np.testing.assert_array_equal(pruned[:, 0], ids[:, 0])
+
+    def test_collinear_chain_prunes_far_point(self):
+        # Points on a line: 0 at x=0, 1 at x=1, 2 at x=2.  From node 0 the
+        # edge to 2 is occluded by 1 (d(1,2)=1 < d(0,2)=2).
+        points = np.array([[0.0], [1.0], [2.0]])
+        metric = resolve_metric("euclidean")
+        ids, dists = exact_knn_lists(points, metric, 2)
+        pruned = occlusion_prune(ids, dists, points, metric, alpha=1.0)
+        row0 = pruned[0]
+        assert 1 in row0
+        assert 2 not in row0
+
+    def test_higher_alpha_keeps_more_edges(self):
+        rng = np.random.default_rng(1)
+        points = rng.standard_normal((300, 8))
+        metric = resolve_metric("euclidean")
+        ids, dists = exact_knn_lists(points, metric, 12)
+        strict = occlusion_prune(ids, dists, points, metric, alpha=1.0)
+        relaxed = occlusion_prune(ids, dists, points, metric, alpha=1.4)
+        assert (strict != NO_NEIGHBOR).sum() <= (relaxed != NO_NEIGHBOR).sum()
+
+    def test_surviving_edges_subset_of_input(self):
+        rng = np.random.default_rng(2)
+        points = rng.standard_normal((200, 6))
+        metric = resolve_metric("euclidean")
+        ids, dists = exact_knn_lists(points, metric, 8)
+        pruned = occlusion_prune(ids, dists, points, metric)
+        for node in range(200):
+            survivors = set(pruned[node][pruned[node] != NO_NEIGHBOR].tolist())
+            assert survivors <= set(ids[node].tolist())
+
+    def test_chunking_is_transparent(self):
+        rng = np.random.default_rng(3)
+        points = rng.standard_normal((150, 6))
+        metric = resolve_metric("euclidean")
+        ids, dists = exact_knn_lists(points, metric, 8)
+        a = occlusion_prune(ids, dists, points, metric, chunk_size=7)
+        b = occlusion_prune(ids, dists, points, metric, chunk_size=150)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("metric_name", ["angular", "sqeuclidean", "ip"])
+    def test_other_metrics_run(self, metric_name):
+        rng = np.random.default_rng(4)
+        points = rng.standard_normal((120, 8))
+        metric = resolve_metric(metric_name)
+        ids, dists = exact_knn_lists(points, metric, 6)
+        pruned = occlusion_prune(ids, dists, points, metric)
+        assert pruned.shape == ids.shape
+
+
+class TestPackRows:
+    def test_packs_valid_entries_left(self):
+        rows = np.array(
+            [[NO_NEIGHBOR, 3, NO_NEIGHBOR, 7], [1, NO_NEIGHBOR, 2, NO_NEIGHBOR]],
+            dtype=np.int32,
+        )
+        packed = pack_rows(rows)
+        np.testing.assert_array_equal(packed[0], [3, 7, NO_NEIGHBOR, NO_NEIGHBOR])
+        np.testing.assert_array_equal(packed[1], [1, 2, NO_NEIGHBOR, NO_NEIGHBOR])
+
+    def test_preserves_order_of_valid_entries(self):
+        rows = np.array([[5, NO_NEIGHBOR, 1, 9]], dtype=np.int32)
+        packed = pack_rows(rows)
+        np.testing.assert_array_equal(packed[0], [5, 1, 9, NO_NEIGHBOR])
+
+    def test_all_invalid_row(self):
+        rows = np.full((1, 3), NO_NEIGHBOR, dtype=np.int32)
+        packed = pack_rows(rows)
+        np.testing.assert_array_equal(packed, rows)

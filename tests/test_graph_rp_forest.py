@@ -1,0 +1,76 @@
+"""Unit tests for random projection trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.rp_forest import rp_forest_candidate_pairs, rp_tree_leaves
+
+
+class TestRPTreeLeaves:
+    def test_leaves_partition_all_points(self):
+        rng = np.random.default_rng(0)
+        points = rng.standard_normal((500, 16))
+        leaves = rp_tree_leaves(points, leaf_size=32, rng=rng)
+        seen = np.concatenate(leaves)
+        assert len(seen) == 500
+        np.testing.assert_array_equal(np.sort(seen), np.arange(500))
+
+    def test_leaf_size_respected_modulo_min_split(self):
+        rng = np.random.default_rng(1)
+        points = rng.standard_normal((1000, 8))
+        leaves = rp_tree_leaves(points, leaf_size=50, rng=rng)
+        assert max(len(leaf) for leaf in leaves) <= 50
+
+    def test_rejects_tiny_leaf_size(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            rp_tree_leaves(np.zeros((10, 2)), leaf_size=1, rng=rng)
+
+    def test_small_input_is_single_leaf(self):
+        rng = np.random.default_rng(0)
+        points = rng.standard_normal((3, 4))
+        leaves = rp_tree_leaves(points, leaf_size=8, rng=rng)
+        assert len(leaves) == 1
+        assert len(leaves[0]) == 3
+
+    def test_duplicate_points_terminate(self):
+        # All-identical points give degenerate projections; the fallback
+        # split must still terminate and partition everything.
+        rng = np.random.default_rng(2)
+        points = np.ones((200, 4))
+        leaves = rp_tree_leaves(points, leaf_size=16, rng=rng)
+        assert sum(len(leaf) for leaf in leaves) == 200
+
+    def test_leaves_group_nearby_points(self):
+        # Two well-separated clusters: most leaves should be pure.
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((100, 8)) + 20.0
+        b = rng.standard_normal((100, 8)) - 20.0
+        points = np.concatenate([a, b])
+        leaves = rp_tree_leaves(points, leaf_size=25, rng=rng)
+        pure = sum(
+            1 for leaf in leaves if (leaf < 100).all() or (leaf >= 100).all()
+        )
+        assert pure / len(leaves) > 0.9
+
+    def test_deterministic_given_rng_seed(self):
+        points = np.random.default_rng(4).standard_normal((300, 8))
+        leaves1 = rp_tree_leaves(points, 32, np.random.default_rng(9))
+        leaves2 = rp_tree_leaves(points, 32, np.random.default_rng(9))
+        assert len(leaves1) == len(leaves2)
+        for l1, l2 in zip(leaves1, leaves2):
+            np.testing.assert_array_equal(l1, l2)
+
+
+class TestForest:
+    def test_forest_concatenates_trees(self):
+        rng = np.random.default_rng(5)
+        points = rng.standard_normal((400, 8))
+        single = rp_tree_leaves(points, 32, np.random.default_rng(5))
+        forest = rp_forest_candidate_pairs(
+            points, 32, num_trees=3, rng=np.random.default_rng(5)
+        )
+        assert len(forest) > len(single)
+        assert sum(len(leaf) for leaf in forest) == 3 * 400

@@ -1,0 +1,161 @@
+"""Unit tests for the time-filtered graph search (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import resolve_metric
+from repro.graph import GraphConfig, build_knn_graph, graph_search
+
+METRIC = resolve_metric("euclidean")
+
+
+@pytest.fixture(scope="module")
+def searchable():
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal((6, 12)) * 1.5
+    assignment = rng.integers(0, 6, 800)
+    points = (centers[assignment] + rng.standard_normal((800, 12))).astype(
+        np.float32
+    )
+    report = build_knn_graph(
+        points, METRIC, GraphConfig(n_neighbors=10), np.random.default_rng(1)
+    )
+    return report.graph, points
+
+
+class TestValidation:
+    def test_rejects_bad_k(self, searchable):
+        graph, points = searchable
+        with pytest.raises(ValueError):
+            graph_search(graph, points, METRIC, points[0], k=0)
+
+    def test_rejects_bad_epsilon(self, searchable):
+        graph, points = searchable
+        with pytest.raises(ValueError):
+            graph_search(graph, points, METRIC, points[0], k=1, epsilon=0.9)
+
+    def test_rejects_bad_max_candidates(self, searchable):
+        graph, points = searchable
+        with pytest.raises(ValueError):
+            graph_search(
+                graph, points, METRIC, points[0], k=1, max_candidates=0
+            )
+
+    def test_rejects_out_of_range_entry(self, searchable):
+        graph, points = searchable
+        with pytest.raises(ValueError):
+            graph_search(graph, points, METRIC, points[0], k=1, entry=len(points))
+        with pytest.raises(ValueError):
+            graph_search(graph, points, METRIC, points[0], k=1, entry=-1)
+
+
+class TestUnfilteredSearch:
+    def test_finds_exact_neighbor_of_data_point(self, searchable):
+        graph, points = searchable
+        outcome = graph_search(
+            graph, points, METRIC, points[42], k=1, epsilon=1.2
+        )
+        assert outcome.ids[0] == 42
+        assert outcome.dists[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_results_sorted_by_distance(self, searchable):
+        graph, points = searchable
+        rng = np.random.default_rng(2)
+        outcome = graph_search(
+            graph, points, METRIC, rng.standard_normal(12), k=10, epsilon=1.3
+        )
+        assert (np.diff(outcome.dists) >= 0).all()
+
+    def test_high_recall_at_generous_epsilon(self, searchable):
+        graph, points = searchable
+        rng = np.random.default_rng(3)
+        hits, total = 0, 0
+        for _ in range(20):
+            query = points[rng.integers(0, len(points))] + 0.1 * rng.standard_normal(12)
+            exact = np.argsort(METRIC.batch(query, points))[:10]
+            outcome = graph_search(
+                graph, points, METRIC, query, k=10, epsilon=1.3,
+                max_candidates=128,
+                entry=rng.integers(0, len(points), 4),
+            )
+            hits += len(set(outcome.ids.tolist()) & set(exact.tolist()))
+            total += 10
+        assert hits / total > 0.9
+
+    def test_stats_are_populated(self, searchable):
+        graph, points = searchable
+        outcome = graph_search(graph, points, METRIC, points[0], k=5)
+        assert outcome.stats.nodes_visited >= 1
+        assert outcome.stats.distance_evaluations >= outcome.stats.nodes_visited
+
+
+class TestFilteredSearch:
+    def test_results_respect_filter(self, searchable):
+        graph, points = searchable
+        outcome = graph_search(
+            graph, points, METRIC, points[0], k=20, epsilon=1.3,
+            allowed=range(100, 200),
+        )
+        assert ((outcome.ids >= 100) & (outcome.ids < 200)).all()
+
+    def test_empty_filter_returns_nothing(self, searchable):
+        graph, points = searchable
+        outcome = graph_search(
+            graph, points, METRIC, points[0], k=5, allowed=range(50, 50)
+        )
+        assert len(outcome.ids) == 0
+
+    def test_filter_smaller_than_k_returns_at_most_span(self, searchable):
+        graph, points = searchable
+        outcome = graph_search(
+            graph, points, METRIC, points[0], k=50, epsilon=1.4,
+            allowed=range(10, 15), max_candidates=256,
+        )
+        assert len(outcome.ids) <= 5
+
+    def test_narrow_filter_explores_more(self, searchable):
+        graph, points = searchable
+        rng = np.random.default_rng(4)
+        query = rng.standard_normal(12)
+        wide = graph_search(
+            graph, points, METRIC, query, k=10, allowed=range(0, 800)
+        )
+        narrow = graph_search(
+            graph, points, METRIC, query, k=10, allowed=range(0, 40)
+        )
+        assert narrow.stats.nodes_visited > wide.stats.nodes_visited
+
+    def test_max_visits_caps_exploration(self, searchable):
+        graph, points = searchable
+        outcome = graph_search(
+            graph, points, METRIC, points[0], k=10,
+            allowed=range(0, 10), max_visits=25,
+        )
+        assert outcome.stats.nodes_visited <= 26
+
+
+class TestMultiEntry:
+    def test_multiple_entries_accepted(self, searchable):
+        graph, points = searchable
+        outcome = graph_search(
+            graph, points, METRIC, points[0], k=5,
+            entry=np.array([0, 100, 200]),
+        )
+        assert len(outcome.ids) == 5
+
+    def test_duplicate_entries_deduplicated(self, searchable):
+        graph, points = searchable
+        outcome = graph_search(
+            graph, points, METRIC, points[0], k=5, entry=[7, 7, 7]
+        )
+        assert len(outcome.ids) == 5
+
+    def test_list_entry_equivalent_to_array(self, searchable):
+        graph, points = searchable
+        a = graph_search(graph, points, METRIC, points[3], k=5, entry=[1, 2])
+        b = graph_search(
+            graph, points, METRIC, points[3], k=5, entry=np.array([1, 2])
+        )
+        np.testing.assert_array_equal(a.ids, b.ids)

@@ -1,0 +1,198 @@
+"""Cross-module integration tests: the full TkNN pipeline end-to-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BSBFIndex,
+    GraphConfig,
+    MBIConfig,
+    MultiLevelBlockIndex,
+    SFIndex,
+    SearchParams,
+)
+from repro.baselines import exact_tknn
+from repro.datasets import (
+    SyntheticSpec,
+    compute_ground_truth,
+    generate,
+    make_workload,
+)
+from repro.eval import (
+    bsbf_run_fn,
+    mbi_run_fn,
+    mean_recall,
+    run_workload,
+    sf_run_fn,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Dataset plus all three methods, built once for the module."""
+    dataset = generate(
+        SyntheticSpec(
+            n_items=2000,
+            n_queries=40,
+            dim=24,
+            metric="euclidean",
+            generator="drifting_clusters",
+            n_clusters=10,
+            drift=2.0,
+            seed=11,
+        ),
+        name="integration",
+    )
+    graph = GraphConfig(n_neighbors=10, exact_threshold=300)
+    search = SearchParams(epsilon=1.25, max_candidates=96)
+    config = MBIConfig(leaf_size=125, tau=0.5, graph=graph, search=search)
+
+    mbi = MultiLevelBlockIndex(24, "euclidean", config)
+    mbi.extend(dataset.vectors, dataset.timestamps)
+
+    bsbf = BSBFIndex(24, "euclidean")
+    bsbf.extend(dataset.vectors, dataset.timestamps)
+
+    sf = SFIndex(24, "euclidean", graph_config=graph, search_params=search)
+    sf.extend(dataset.vectors, dataset.timestamps)
+    sf.build()
+    return dataset, mbi, bsbf, sf
+
+
+class TestRecallAcrossWindowFractions:
+    @pytest.mark.parametrize("fraction", [0.02, 0.1, 0.3, 0.7, 0.95])
+    def test_mbi_recall_meets_target(self, world, fraction):
+        dataset, mbi, _, _ = world
+        workload = make_workload(dataset, 10, fraction, n_queries=30, seed=1)
+        truth = compute_ground_truth(dataset, workload)
+        measurement = run_workload(
+            mbi_run_fn(mbi, mbi.config.search), workload, truth
+        )
+        assert measurement.recall > 0.9, f"fraction {fraction}"
+
+    def test_bsbf_is_exact_everywhere(self, world):
+        dataset, _, bsbf, _ = world
+        for fraction in (0.05, 0.5, 1.0):
+            workload = make_workload(dataset, 10, fraction, n_queries=20, seed=2)
+            truth = compute_ground_truth(dataset, workload)
+            measurement = run_workload(bsbf_run_fn(bsbf), workload, truth)
+            assert measurement.recall == 1.0
+
+    def test_sf_recall_on_long_windows(self, world):
+        dataset, _, _, sf = world
+        workload = make_workload(dataset, 10, 0.9, n_queries=30, seed=3)
+        truth = compute_ground_truth(dataset, workload)
+        measurement = run_workload(
+            sf_run_fn(sf, SearchParams(epsilon=1.3, max_candidates=96)),
+            workload,
+            truth,
+        )
+        assert measurement.recall > 0.9
+
+
+class TestCostShape:
+    def test_bsbf_cost_grows_with_window(self, world):
+        dataset, _, bsbf, _ = world
+        costs = {}
+        for fraction in (0.05, 0.9):
+            workload = make_workload(dataset, 10, fraction, n_queries=20, seed=4)
+            measurement = run_workload(bsbf_run_fn(bsbf), workload)
+            costs[fraction] = measurement.evals_per_query
+        assert costs[0.9] > 5 * costs[0.05]
+
+    def test_sf_cost_shrinks_with_window(self, world):
+        dataset, _, _, sf = world
+        params = SearchParams(epsilon=1.2, max_candidates=96)
+        costs = {}
+        for fraction in (0.05, 0.9):
+            workload = make_workload(dataset, 10, fraction, n_queries=20, seed=5)
+            measurement = run_workload(sf_run_fn(sf, params), workload)
+            costs[fraction] = measurement.evals_per_query
+        assert costs[0.05] > costs[0.9]
+
+    def test_mbi_cost_bounded_at_both_extremes(self, world):
+        """MBI's raison d'etre: near-flat cost across window lengths."""
+        dataset, mbi, bsbf, sf = world
+        params = SearchParams(epsilon=1.2, max_candidates=96)
+        for fraction in (0.03, 0.95):
+            workload = make_workload(dataset, 10, fraction, n_queries=20, seed=6)
+            mbi_cost = run_workload(
+                mbi_run_fn(mbi, params), workload
+            ).evals_per_query
+            bsbf_cost = run_workload(bsbf_run_fn(bsbf), workload).evals_per_query
+            sf_cost = run_workload(sf_run_fn(sf, params), workload).evals_per_query
+            worst_baseline = max(bsbf_cost, sf_cost)
+            assert mbi_cost <= worst_baseline * 1.05, (
+                f"fraction {fraction}: mbi={mbi_cost:.0f} "
+                f"bsbf={bsbf_cost:.0f} sf={sf_cost:.0f}"
+            )
+
+
+class TestIncrementalGrowth:
+    def test_queries_stay_correct_while_growing(self):
+        rng = np.random.default_rng(12)
+        dim = 12
+        config = MBIConfig(
+            leaf_size=32,
+            graph=GraphConfig(n_neighbors=8, exact_threshold=10_000),
+            search=SearchParams(epsilon=1.3, max_candidates=64),
+        )
+        index = MultiLevelBlockIndex(dim, "euclidean", config)
+        recalls = []
+        for step in range(10):
+            block = rng.standard_normal((60, dim)).astype(np.float32)
+            times = step * 60.0 + np.arange(60, dtype=np.float64)
+            index.extend(block, times)
+            query = rng.standard_normal(dim)
+            lo = float(rng.uniform(0, len(index) * 0.5))
+            hi = float(rng.uniform(lo + 1, len(index)))
+            result = index.search(query, 5, lo, hi)
+            truth = exact_tknn(index.store, index.metric, query, 5, lo, hi)
+            recalls.append(
+                mean_recall([result.positions], [truth.positions])
+            )
+        assert np.mean(recalls) > 0.9
+
+    def test_growth_never_loses_vectors(self):
+        rng = np.random.default_rng(13)
+        config = MBIConfig(
+            leaf_size=16,
+            graph=GraphConfig(n_neighbors=4, exact_threshold=10_000),
+        )
+        index = MultiLevelBlockIndex(4, "euclidean", config)
+        for i in range(100):
+            index.insert(rng.standard_normal(4), float(i))
+            # Every stored vector must be findable via an exact-size window.
+            result = index.search(
+                index.store.get(i)[0], 1, float(i), float(i) + 0.5
+            )
+            assert result.positions[0] == i
+
+
+class TestSelectionModesAgree:
+    def test_count_and_time_modes_similar_recall(self):
+        dataset = generate(
+            SyntheticSpec(
+                n_items=1000, n_queries=20, dim=16, seed=21,
+                timestamp_pattern="uniform",
+            )
+        )
+        results = {}
+        for mode in ("count", "time"):
+            config = MBIConfig(
+                leaf_size=64,
+                selection_mode=mode,
+                graph=GraphConfig(n_neighbors=8, exact_threshold=10_000),
+                search=SearchParams(epsilon=1.3, max_candidates=64),
+            )
+            index = MultiLevelBlockIndex(16, "euclidean", config)
+            index.extend(dataset.vectors, dataset.timestamps)
+            workload = make_workload(dataset, 10, 0.4, n_queries=20, seed=7)
+            truth = compute_ground_truth(dataset, workload)
+            results[mode] = run_workload(
+                mbi_run_fn(index, config.search), workload, truth
+            ).recall
+        assert abs(results["count"] - results["time"]) < 0.1
+        assert min(results.values()) > 0.85

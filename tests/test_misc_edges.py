@@ -1,0 +1,121 @@
+"""Edge cases across modules that the focused suites leave uncovered."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GraphConfig,
+    IVFConfig,
+    IVFPQConfig,
+    LSHParams,
+    MBIConfig,
+    MultiLevelBlockIndex,
+    PersistenceError,
+    SearchParams,
+    save_index,
+)
+from repro.datasets import SyntheticSpec, generate
+from repro.graph import HNSWParams, build_hnsw
+from repro.graph.hnsw import deserialize_hnsw, serialize_hnsw
+from repro.quantization import PQParams, ProductQuantizer
+
+from .conftest import small_mbi_config
+
+
+class TestConfigCopies:
+    def test_with_tau_is_identity_preserving(self):
+        config = MBIConfig(
+            leaf_size=77,
+            tau=0.4,
+            selection_mode="time",
+            backend="ivfpq",
+            graph=GraphConfig(n_neighbors=9),
+            ivf=IVFConfig(points_per_list=17),
+            ivfpq=IVFPQConfig(pq_subspaces=2),
+            hnsw=HNSWParams(m=5),
+            lsh=LSHParams(n_tables=3),
+            search=SearchParams(epsilon=1.07),
+            parallel=True,
+            max_workers=3,
+            seed=5,
+        )
+        assert config.with_tau(config.tau) == config
+        changed = config.with_tau(0.2)
+        assert changed.tau == 0.2
+        assert changed.ivfpq == config.ivfpq
+        assert changed.lsh == config.lsh
+        assert changed.hnsw == config.hnsw
+
+
+class TestHNSWFlatSerialization:
+    def test_single_layer_round_trip(self):
+        rng = np.random.default_rng(0)
+        points = rng.standard_normal((80, 6)).astype(np.float32)
+        from repro.distances import resolve_metric
+
+        index, _ = build_hnsw(
+            points,
+            resolve_metric("euclidean"),
+            HNSWParams(m=4, seed_levels=False),
+            np.random.default_rng(1),
+        )
+        clone = deserialize_hnsw(serialize_hnsw(index))
+        assert clone.max_level == 0
+        assert clone.base_graph == index.base_graph
+
+
+class TestPQEncodeErrors:
+    def test_wrong_dimension_raises(self):
+        rng = np.random.default_rng(2)
+        pq = ProductQuantizer.train(
+            rng.standard_normal((100, 8)), PQParams(n_subspaces=2, n_centroids=8)
+        )
+        with pytest.raises(ValueError):
+            pq.encode(rng.standard_normal((5, 9)))
+
+
+class TestDatasetEdges:
+    def test_zero_queries(self):
+        data = generate(SyntheticSpec(n_items=50, n_queries=0, dim=4, seed=1))
+        assert data.queries.shape == (0, 4)
+
+    def test_single_item(self):
+        data = generate(SyntheticSpec(n_items=1, n_queries=1, dim=4, seed=2))
+        assert len(data) == 1
+
+
+class TestPersistenceErrors:
+    def test_unwritable_path(self):
+        index = MultiLevelBlockIndex(4, "euclidean", small_mbi_config())
+        index.insert(np.zeros(4), 0.0)
+        with pytest.raises(PersistenceError):
+            save_index(index, "/nonexistent-dir/snapshot.npz")
+
+
+class TestSearchParamEdges:
+    def test_brute_force_threshold_zero_still_answers(self):
+        index = MultiLevelBlockIndex(
+            4, "euclidean", small_mbi_config(leaf_size=32)
+        )
+        rng = np.random.default_rng(3)
+        index.extend(
+            rng.standard_normal((64, 4)).astype(np.float32),
+            np.arange(64, dtype=np.float64),
+        )
+        params = SearchParams(epsilon=1.4, brute_force_threshold=0)
+        result = index.search(np.zeros(4), 3, 10.0, 20.0, params=params)
+        assert len(result) == 3
+
+    def test_huge_k_clamps_to_window(self):
+        index = MultiLevelBlockIndex(
+            4, "euclidean", small_mbi_config(leaf_size=32)
+        )
+        rng = np.random.default_rng(4)
+        index.extend(
+            rng.standard_normal((64, 4)).astype(np.float32),
+            np.arange(64, dtype=np.float64),
+        )
+        result = index.search(np.zeros(4), 1000)
+        assert len(result) == 64

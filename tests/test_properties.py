@@ -1,0 +1,141 @@
+"""Property-based tests of cross-module invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BSBFIndex,
+    GraphConfig,
+    MBIConfig,
+    MultiLevelBlockIndex,
+    SearchParams,
+)
+from repro.baselines import exact_tknn
+from repro.core.tree import leaf_block_index
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def build_index(vectors, timestamps, leaf_size, tau=0.5):
+    config = MBIConfig(
+        leaf_size=leaf_size,
+        tau=tau,
+        graph=GraphConfig(n_neighbors=4, exact_threshold=10_000),
+        search=SearchParams(epsilon=1.4, max_candidates=64),
+    )
+    index = MultiLevelBlockIndex(vectors.shape[1], "euclidean", config)
+    index.extend(vectors, timestamps)
+    return index
+
+
+@st.composite
+def timestamped_data(draw, max_n=150, dim=4):
+    n = draw(st.integers(2, max_n))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, dim)).astype(np.float32)
+    timestamps = np.sort(rng.uniform(0, 100, n))
+    return vectors, timestamps
+
+
+class TestMBIStructuralInvariants:
+    @given(timestamped_data(), st.integers(1, 40))
+    @SETTINGS
+    def test_blocks_partition_positions_per_level(self, data, leaf_size):
+        vectors, timestamps = data
+        index = build_index(vectors, timestamps, leaf_size)
+        by_height: dict[int, list[range]] = {}
+        for block in index.iter_blocks():
+            by_height.setdefault(block.height, []).append(block.positions)
+        # Leaf level tiles [0, capacity) contiguously.
+        leaves = sorted(by_height[0], key=lambda r: r.start)
+        assert leaves[0].start == 0
+        for prev, nxt in zip(leaves, leaves[1:]):
+            assert prev.stop == nxt.start
+        # Every built internal block spans exactly its children.
+        for block in index.iter_blocks():
+            if block.height == 0:
+                continue
+            assert block.capacity == leaf_size * (2**block.height)
+
+    @given(timestamped_data(), st.integers(1, 40))
+    @SETTINGS
+    def test_all_full_leaves_are_built(self, data, leaf_size):
+        vectors, timestamps = data
+        index = build_index(vectors, timestamps, leaf_size)
+        n = len(index)
+        for ordinal in range(n // leaf_size):
+            block = index.blocks[leaf_block_index(ordinal)]
+            assert block.is_built
+
+    @given(timestamped_data(), st.integers(1, 40))
+    @SETTINGS
+    def test_store_matches_inserted_data(self, data, leaf_size):
+        vectors, timestamps = data
+        index = build_index(vectors, timestamps, leaf_size)
+        np.testing.assert_array_equal(index.store.vectors, vectors)
+        np.testing.assert_array_equal(index.store.timestamps, timestamps)
+
+
+class TestQueryInvariants:
+    @given(timestamped_data(), st.integers(1, 20), st.data())
+    @SETTINGS
+    def test_results_within_window_and_sorted(self, data, leaf_size, payload):
+        vectors, timestamps = data
+        index = build_index(vectors, timestamps, leaf_size)
+        t_start = payload.draw(st.floats(0, 100, allow_nan=False))
+        t_end = payload.draw(st.floats(t_start, 100, allow_nan=False))
+        k = payload.draw(st.integers(1, 20))
+        query = vectors[payload.draw(st.integers(0, len(vectors) - 1))]
+        result = index.search(query, k, t_start, t_end)
+        assert len(result) <= k
+        if len(result):
+            assert (result.timestamps >= t_start).all()
+            assert (result.timestamps < t_end).all()
+            assert (np.diff(result.distances) >= -1e-12).all()
+
+    @given(timestamped_data(max_n=120), st.data())
+    @SETTINGS
+    def test_result_count_matches_exact_when_window_small(self, data, payload):
+        vectors, timestamps = data
+        index = build_index(vectors, timestamps, leaf_size=16)
+        n = len(vectors)
+        a = payload.draw(st.integers(0, n - 1))
+        b = payload.draw(st.integers(a, min(a + 10, n - 1)))
+        t_start = float(timestamps[a])
+        t_end = float(timestamps[b]) if b < n else 101.0
+        query = vectors[payload.draw(st.integers(0, n - 1))]
+        result = index.search(query, 50, t_start, t_end)
+        truth = exact_tknn(
+            index.store, index.metric, query, 50, t_start, t_end
+        )
+        # The search block set covers the window, and brute force/graph
+        # search inside a covered window can always produce every vector
+        # when k exceeds the window size.
+        assert len(result) == len(truth)
+
+    @given(timestamped_data(max_n=100), st.floats(0.05, 1.0), st.data())
+    @SETTINGS
+    def test_mbi_agrees_with_bsbf_on_tiny_windows(self, data, tau, payload):
+        vectors, timestamps = data
+        index = build_index(vectors, timestamps, leaf_size=8, tau=tau)
+        bsbf = BSBFIndex(vectors.shape[1])
+        bsbf.extend(vectors, timestamps)
+        n = len(vectors)
+        a = payload.draw(st.integers(0, n - 1))
+        t_start = float(timestamps[a])
+        t_end = float(timestamps[min(a + 3, n - 1)]) + 1e-9
+        query = vectors[payload.draw(st.integers(0, n - 1))]
+        mine = index.search(query, 3, t_start, t_end)
+        exact = bsbf.search(query, 3, t_start, t_end)
+        np.testing.assert_array_equal(
+            np.sort(mine.positions), np.sort(exact.positions)
+        )

@@ -1,0 +1,167 @@
+"""Unit tests for the IVF block backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IVFConfig, SearchParams
+from repro.core.backends import get_builder
+from repro.core.config import MBIConfig
+from repro.distances import resolve_metric
+from repro.quantization import IVFBackend
+from repro.storage import VectorStore
+
+
+def make_backend(n=512, dim=8, points_per_list=32, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((8, dim)) * 3.0
+    assignment = rng.integers(0, 8, n)
+    vectors = (centers[assignment] + rng.standard_normal((n, dim))).astype(
+        np.float32
+    )
+    store = VectorStore.from_arrays(vectors, np.arange(n, dtype=np.float64))
+    metric = resolve_metric("euclidean")
+    config = MBIConfig(
+        backend="ivf", ivf=IVFConfig(points_per_list=points_per_list)
+    )
+    builder = get_builder("ivf")
+    backend, evals = builder(
+        store, range(0, n), metric, config, np.random.default_rng(1)
+    )
+    return backend, store, metric, evals
+
+
+class TestIVFConfig:
+    @pytest.mark.parametrize(
+        "field, value",
+        [("points_per_list", 0), ("base_probes", 0), ("kmeans_iters", 0)],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            IVFConfig(**{field: value})
+
+    def test_n_lists_for(self):
+        config = IVFConfig(points_per_list=64)
+        assert config.n_lists_for(640) == 10
+        assert config.n_lists_for(10) == 1
+        assert config.n_lists_for(1) == 1
+
+
+class TestBuild:
+    def test_structure(self):
+        backend, _, _, evals = make_backend()
+        assert isinstance(backend, IVFBackend)
+        assert backend.n_lists == 16
+        assert len(backend.member_ids) == 512
+        assert backend.offsets[0] == 0
+        assert backend.offsets[-1] == 512
+        assert evals > 0
+        # member lists partition all local ids
+        np.testing.assert_array_equal(
+            np.sort(backend.member_ids), np.arange(512)
+        )
+
+    def test_members_assigned_to_their_cell(self):
+        backend, store, metric, _ = make_backend()
+        points = store.vectors
+        for cell in range(backend.n_lists):
+            members = backend.member_ids[
+                backend.offsets[cell] : backend.offsets[cell + 1]
+            ]
+            if len(members) == 0:
+                continue
+            d = metric.cross(
+                points[members].astype(np.float64),
+                backend.centroids.astype(np.float64),
+            )
+            np.testing.assert_array_equal(d.argmin(axis=1), cell)
+
+
+class TestProbeMapping:
+    def test_epsilon_one_probes_minimum(self):
+        backend, _, _, _ = make_backend()
+        assert backend.probes_for(1.0) == 1
+
+    def test_epsilon_max_probes_everything(self):
+        backend, _, _, _ = make_backend()
+        assert backend.probes_for(1.4) == backend.n_lists
+
+    def test_monotone_in_epsilon(self):
+        backend, _, _, _ = make_backend()
+        probes = [backend.probes_for(e) for e in (1.0, 1.1, 1.2, 1.3, 1.4)]
+        assert probes == sorted(probes)
+
+
+class TestSearch:
+    def test_full_probe_is_exact_within_window(self):
+        backend, store, metric, _ = make_backend()
+        rng = np.random.default_rng(2)
+        query = rng.standard_normal(8)
+        params = SearchParams(epsilon=1.4, max_candidates=64)
+        outcome = backend.search(
+            query, 10, range(100, 400), params, np.random.default_rng(3)
+        )
+        dists = metric.batch(query, store.vectors[100:400].astype(np.float64))
+        expected = 100 + np.lexsort((np.arange(300), dists))[:10]
+        np.testing.assert_array_equal(np.sort(outcome.ids), np.sort(expected))
+
+    def test_results_respect_window(self):
+        backend, _, _, _ = make_backend()
+        query = np.zeros(8)
+        outcome = backend.search(
+            query, 20, range(50, 80), SearchParams(epsilon=1.2),
+            np.random.default_rng(4),
+        )
+        assert ((outcome.ids >= 50) & (outcome.ids < 80)).all()
+
+    def test_empty_window(self):
+        backend, _, _, _ = make_backend()
+        outcome = backend.search(
+            np.zeros(8), 5, range(10, 10), SearchParams(),
+            np.random.default_rng(5),
+        )
+        assert len(outcome.ids) == 0
+
+    def test_recall_grows_with_epsilon(self):
+        backend, store, metric, _ = make_backend(n=1024)
+        rng = np.random.default_rng(6)
+        recalls = []
+        for epsilon in (1.0, 1.2, 1.4):
+            hits = 0
+            for qi in range(20):
+                query = store.vectors[rng.integers(0, 1024)].astype(
+                    np.float64
+                ) + 0.1 * rng.standard_normal(8)
+                outcome = backend.search(
+                    query, 10, range(0, 1024),
+                    SearchParams(epsilon=epsilon),
+                    np.random.default_rng(qi),
+                )
+                dists = metric.batch(query, store.vectors.astype(np.float64))
+                exact = set(np.argsort(dists)[:10].tolist())
+                hits += len(set(outcome.ids.tolist()) & exact)
+            recalls.append(hits / 200)
+        assert recalls[-1] == 1.0
+        assert recalls[0] <= recalls[1] <= recalls[2] + 1e-9
+
+    def test_counts_evaluations(self):
+        backend, _, _, _ = make_backend()
+        outcome = backend.search(
+            np.zeros(8), 5, range(0, 512), SearchParams(epsilon=1.0),
+            np.random.default_rng(7),
+        )
+        assert outcome.distance_evaluations >= backend.n_lists
+        assert outcome.nodes_visited == 0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        backend, store, metric, _ = make_backend()
+        arrays = backend.to_arrays()
+        clone = IVFBackend.from_arrays(arrays, store, range(0, 512), metric)
+        assert clone == backend
+
+    def test_nbytes_positive(self):
+        backend, _, _, _ = make_backend()
+        assert backend.nbytes() > 0

@@ -1,0 +1,97 @@
+"""Unit tests for the k-means substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantization import kmeans, kmeans_plus_plus
+
+
+def blobs(n=300, k=4, dim=6, sep=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((k, dim)) * sep
+    assignment = np.repeat(np.arange(k), n // k)
+    points = centers[assignment] + rng.standard_normal((len(assignment), dim))
+    return points, centers, assignment
+
+
+class TestKMeansPlusPlus:
+    def test_returns_k_centroids(self):
+        points, _, _ = blobs()
+        centroids = kmeans_plus_plus(points, 4, np.random.default_rng(1))
+        assert centroids.shape == (4, 6)
+
+    def test_seeds_are_data_points(self):
+        points, _, _ = blobs(n=40, k=2)
+        centroids = kmeans_plus_plus(points, 3, np.random.default_rng(2))
+        for c in centroids:
+            assert any(np.allclose(c, p) for p in points)
+
+    def test_spreads_across_separated_blobs(self):
+        points, centers, _ = blobs(k=4, sep=30.0)
+        centroids = kmeans_plus_plus(points, 4, np.random.default_rng(3))
+        # Each seed should be near a distinct true center.
+        claimed = set()
+        for c in centroids:
+            nearest = int(np.argmin(((centers - c) ** 2).sum(axis=1)))
+            claimed.add(nearest)
+        assert len(claimed) == 4
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((20, 3))
+        centroids = kmeans_plus_plus(points, 5, np.random.default_rng(4))
+        assert centroids.shape == (5, 3)
+
+
+class TestKMeans:
+    def test_rejects_bad_k(self):
+        points, _, _ = blobs(n=20, k=2)
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, len(points) + 1)
+
+    def test_recovers_separated_blobs(self):
+        points, centers, assignment = blobs(k=4, sep=20.0)
+        result = kmeans(points, 4, np.random.default_rng(5))
+        # Cluster labels should be a permutation of the true assignment.
+        for cluster in range(4):
+            members = result.assignments == cluster
+            true_labels = assignment[members]
+            assert len(np.unique(true_labels)) == 1
+
+    def test_assignments_are_nearest_centroid(self):
+        points, _, _ = blobs()
+        result = kmeans(points, 5, np.random.default_rng(6))
+        d = ((points[:, None, :] - result.centroids[None]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(result.assignments, d.argmin(axis=1))
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points, _, _ = blobs()
+        few = kmeans(points, 2, np.random.default_rng(7))
+        many = kmeans(points, 8, np.random.default_rng(7))
+        assert many.inertia < few.inertia
+
+    def test_k_equals_n_gives_zero_inertia(self):
+        points, _, _ = blobs(n=20, k=2)
+        result = kmeans(points, len(points), np.random.default_rng(8))
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_one(self):
+        points, _, _ = blobs()
+        result = kmeans(points, 1, np.random.default_rng(9))
+        np.testing.assert_allclose(
+            result.centroids[0], points.mean(axis=0), rtol=1e-6
+        )
+
+    def test_deterministic_given_seed(self):
+        points, _, _ = blobs()
+        a = kmeans(points, 4, np.random.default_rng(10))
+        b = kmeans(points, 4, np.random.default_rng(10))
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+
+    def test_no_empty_clusters_on_degenerate_data(self):
+        points = np.concatenate([np.zeros((50, 2)), np.ones((2, 2))])
+        result = kmeans(points, 4, np.random.default_rng(11))
+        assert result.centroids.shape == (4, 2)

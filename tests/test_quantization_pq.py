@@ -1,0 +1,155 @@
+"""Unit tests for product quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantization import PQParams, ProductQuantizer
+
+
+def training_data(n=600, dim=16, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((6, dim)) * 2.0
+    assignment = rng.integers(0, 6, n)
+    return (centers[assignment] + rng.standard_normal((n, dim))).astype(
+        np.float64
+    )
+
+
+class TestPQParams:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("n_subspaces", 0),
+            ("n_centroids", 1),
+            ("n_centroids", 257),
+            ("kmeans_iters", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            PQParams(**{field: value})
+
+
+class TestTrainEncode:
+    def test_shapes(self):
+        points = training_data()
+        pq = ProductQuantizer.train(
+            points, PQParams(n_subspaces=4, n_centroids=32)
+        )
+        assert pq.n_subspaces == 4
+        assert pq.n_centroids == 32
+        assert pq.sub_dim == 4
+        codes = pq.encode(points)
+        assert codes.shape == (600, 4)
+        assert codes.dtype == np.uint8
+
+    def test_rejects_too_few_training_vectors(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer.train(
+                training_data(n=10), PQParams(n_centroids=64)
+            )
+
+    def test_padding_for_indivisible_dim(self):
+        points = training_data(dim=10)
+        pq = ProductQuantizer.train(
+            points, PQParams(n_subspaces=4, n_centroids=16)
+        )
+        assert pq.padded_dim == 12
+        assert pq.decode(pq.encode(points)).shape == (600, 10)
+
+    def test_reconstruction_error_shrinks_with_larger_codebooks(self):
+        points = training_data()
+
+        def mse(n_centroids):
+            pq = ProductQuantizer.train(
+                points, PQParams(n_subspaces=4, n_centroids=n_centroids)
+            )
+            reconstructed = pq.decode(pq.encode(points))
+            return float(((reconstructed - points) ** 2).mean())
+
+        assert mse(64) < mse(4)
+
+    def test_reconstruction_error_shrinks_with_more_subspaces(self):
+        points = training_data()
+
+        def mse(m):
+            pq = ProductQuantizer.train(
+                points, PQParams(n_subspaces=m, n_centroids=16)
+            )
+            reconstructed = pq.decode(pq.encode(points))
+            return float(((reconstructed - points) ** 2).mean())
+
+        assert mse(8) < mse(2)
+
+    def test_deterministic_given_rng(self):
+        points = training_data()
+        a = ProductQuantizer.train(
+            points, PQParams(n_subspaces=4), np.random.default_rng(1)
+        )
+        b = ProductQuantizer.train(
+            points, PQParams(n_subspaces=4), np.random.default_rng(1)
+        )
+        assert a == b
+
+
+class TestADC:
+    def test_adc_matches_distance_to_reconstruction(self):
+        points = training_data()
+        pq = ProductQuantizer.train(
+            points, PQParams(n_subspaces=4, n_centroids=32)
+        )
+        rng = np.random.default_rng(2)
+        query = rng.standard_normal(16)
+        codes = pq.encode(points[:50])
+        table = pq.adc_table(query)
+        adc = pq.adc_distances(table, codes)
+        reconstructed = pq.decode(codes)
+        true_sq = ((reconstructed - query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(adc, true_sq, rtol=1e-4, atol=1e-4)
+
+    def test_adc_ranking_correlates_with_true_ranking(self):
+        points = training_data(n=400)
+        pq = ProductQuantizer.train(
+            points, PQParams(n_subspaces=8, n_centroids=64)
+        )
+        rng = np.random.default_rng(3)
+        hits = 0
+        for _ in range(10):
+            query = points[rng.integers(0, 400)] + 0.05 * rng.standard_normal(16)
+            table = pq.adc_table(query)
+            adc = pq.adc_distances(table, pq.encode(points))
+            true = ((points - query) ** 2).sum(axis=1)
+            adc_top = set(np.argsort(adc)[:20].tolist())
+            true_top = set(np.argsort(true)[:10].tolist())
+            hits += len(adc_top & true_top)
+        assert hits / 100 > 0.8
+
+    def test_table_shape(self):
+        points = training_data()
+        pq = ProductQuantizer.train(
+            points, PQParams(n_subspaces=4, n_centroids=32)
+        )
+        table = pq.adc_table(np.zeros(16))
+        assert table.shape == (4, 32)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        points = training_data()
+        pq = ProductQuantizer.train(points, PQParams(n_subspaces=4))
+        clone = ProductQuantizer.from_arrays(pq.to_arrays())
+        assert clone == pq
+        np.testing.assert_array_equal(
+            clone.encode(points[:10]), pq.encode(points[:10])
+        )
+
+    def test_nbytes(self):
+        points = training_data()
+        pq = ProductQuantizer.train(points, PQParams(n_subspaces=4))
+        assert pq.nbytes() == pq.codebooks.nbytes
+
+    def test_rejects_bad_codebook_shape(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(np.zeros((4, 8)), dim=16)

@@ -1,0 +1,131 @@
+"""Unit and property tests for TimeWindow."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidQueryError
+from repro.storage import TimeWindow
+
+finite_times = st.floats(-1e9, 1e9, allow_nan=False)
+
+
+class TestConstruction:
+    def test_valid_window(self):
+        window = TimeWindow(1.0, 5.0)
+        assert window.span == 4.0
+
+    def test_inverted_window_raises(self):
+        with pytest.raises(InvalidQueryError):
+            TimeWindow(5.0, 1.0)
+
+    def test_nan_bounds_raise(self):
+        with pytest.raises(InvalidQueryError):
+            TimeWindow(float("nan"), 1.0)
+        with pytest.raises(InvalidQueryError):
+            TimeWindow(0.0, float("nan"))
+
+    def test_empty_window_is_allowed(self):
+        window = TimeWindow(3.0, 3.0)
+        assert window.span == 0.0
+        assert not window.contains(3.0)
+
+    def test_all_time(self):
+        window = TimeWindow.all_time()
+        assert window.contains(-1e300)
+        assert window.contains(1e300)
+        assert math.isinf(window.span)
+
+
+class TestContains:
+    def test_half_open_semantics(self):
+        window = TimeWindow(1.0, 2.0)
+        assert window.contains(1.0)      # inclusive start
+        assert not window.contains(2.0)  # exclusive end
+        assert window.contains(1.5)
+        assert not window.contains(0.999)
+
+
+class TestOverlap:
+    def test_disjoint_windows(self):
+        a, b = TimeWindow(0.0, 1.0), TimeWindow(2.0, 3.0)
+        assert a.overlap(b) == 0.0
+        assert not a.overlaps(b)
+
+    def test_touching_windows_do_not_overlap(self):
+        a, b = TimeWindow(0.0, 1.0), TimeWindow(1.0, 2.0)
+        assert a.overlap(b) == 0.0
+        assert not a.overlaps(b)
+
+    def test_nested_window(self):
+        outer, inner = TimeWindow(0.0, 10.0), TimeWindow(2.0, 5.0)
+        assert outer.overlap(inner) == 3.0
+        assert inner.overlap_ratio(outer) == pytest.approx(0.3)
+
+    @given(finite_times, finite_times, finite_times, finite_times)
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_is_symmetric(self, a, b, c, d):
+        w1 = TimeWindow(min(a, b), max(a, b))
+        w2 = TimeWindow(min(c, d), max(c, d))
+        assert w1.overlap(w2) == w2.overlap(w1)
+
+    @given(finite_times, finite_times, finite_times, finite_times)
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_bounded_by_spans(self, a, b, c, d):
+        w1 = TimeWindow(min(a, b), max(a, b))
+        w2 = TimeWindow(min(c, d), max(c, d))
+        assert w1.overlap(w2) <= min(w1.span, w2.span) + 1e-9
+
+
+class TestOverlapRatio:
+    def test_fully_covered_block_has_ratio_one(self):
+        query = TimeWindow(0.0, 100.0)
+        block = TimeWindow(10.0, 20.0)
+        assert query.overlap_ratio(block) == pytest.approx(1.0)
+
+    def test_disjoint_ratio_is_zero(self):
+        query = TimeWindow(0.0, 1.0)
+        block = TimeWindow(5.0, 6.0)
+        assert query.overlap_ratio(block) == 0.0
+
+    def test_infinite_block_span_gives_infinitesimal_positive_ratio(self):
+        # Virtual blocks: positive but below every threshold in (0, 1].
+        query = TimeWindow(0.0, 10.0)
+        virtual = TimeWindow.all_time()
+        ratio = query.overlap_ratio(virtual)
+        assert 0.0 < ratio < 1e-300
+
+    def test_open_ended_block(self):
+        query = TimeWindow(5.0, 15.0)
+        open_block = TimeWindow(10.0, float("inf"))
+        ratio = query.overlap_ratio(open_block)
+        assert 0.0 < ratio < 1e-300
+
+    def test_zero_span_block_covered_by_query(self):
+        query = TimeWindow(0.0, 10.0)
+        instant = TimeWindow(5.0, 5.0)
+        assert query.overlap_ratio(instant) == 1.0
+
+    @given(
+        st.floats(0, 1e6, allow_nan=False),
+        st.floats(0, 1e6, allow_nan=False),
+        st.floats(0, 1e6, allow_nan=False),
+        st.floats(1e-6, 1e6, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ratio_in_unit_interval(self, qs, qspan, bs, bspan):
+        query = TimeWindow(qs, qs + qspan)
+        block = TimeWindow(bs, bs + bspan)
+        assert 0.0 <= query.overlap_ratio(block) <= 1.0 + 1e-9
+
+
+class TestOrdering:
+    def test_windows_sort_by_start_then_end(self):
+        windows = [TimeWindow(2.0, 3.0), TimeWindow(0.0, 9.0), TimeWindow(0.0, 1.0)]
+        ordered = sorted(windows)
+        assert ordered[0] == TimeWindow(0.0, 1.0)
+        assert ordered[-1] == TimeWindow(2.0, 3.0)
