@@ -55,6 +55,13 @@ from .exceptions import (
     UnknownMetricError,
 )
 from .graph import GraphConfig, NNDescentParams
+from .observability import (
+    MetricsRegistry,
+    QueryTrace,
+    TraceSummary,
+    get_registry,
+    summarize_traces,
+)
 from .storage import TimeWindow, VectorStore
 
 __version__ = "1.0.0"
@@ -77,22 +84,27 @@ __all__ = [
     "LSHParams",
     "MBIConfig",
     "Metric",
+    "MetricsRegistry",
     "MultiLevelBlockIndex",
     "NNDescentParams",
     "PersistenceError",
     "QueryResult",
     "QueryStats",
+    "QueryTrace",
     "ReproError",
     "SFIndex",
     "SearchParams",
     "TauTuner",
     "TimeWindow",
     "TimestampOrderError",
+    "TraceSummary",
     "UnknownMetricError",
     "VectorStore",
     "available_metrics",
+    "get_registry",
     "load_index",
     "resolve_metric",
     "save_index",
+    "summarize_traces",
     "__version__",
 ]

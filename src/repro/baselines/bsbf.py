@@ -13,10 +13,20 @@ import numpy as np
 
 from ..distances.metrics import Metric, resolve_metric
 from ..exceptions import EmptyIndexError, InvalidQueryError
+from ..observability.metrics import get_registry
 from ..storage.timeline import TimeWindow
 from ..storage.vector_store import VectorStore
 from ..core.brute import brute_force_topk
 from ..core.results import QueryResult, QueryStats
+
+_METRICS = get_registry()
+_QUERIES = _METRICS.counter(
+    "baseline_bsbf_queries_total", "TkNN queries answered by the BSBF baseline"
+)
+_DIST_EVALS = _METRICS.counter(
+    "baseline_bsbf_distance_evals_total",
+    "Distance computations spent scanning BSBF query windows",
+)
 
 
 class BSBFIndex:
@@ -91,11 +101,10 @@ class BSBFIndex:
         found_positions, found_dists = brute_force_topk(
             self._store, self._metric, query, k, positions
         )
-        stats = QueryStats(
-            blocks_searched=1,
-            distance_evaluations=positions.stop - positions.start,
-            window_size=positions.stop - positions.start,
-        )
+        span = positions.stop - positions.start
+        stats = QueryStats.for_brute_force(span, window_size=span)
+        _QUERIES.inc()
+        _DIST_EVALS.inc(span)
         return QueryResult(
             positions=found_positions,
             distances=found_dists,

@@ -24,10 +24,23 @@ from ..exceptions import EmptyIndexError, InvalidQueryError
 from ..graph.builder import GraphConfig, build_knn_graph
 from ..graph.knn_graph import KnnGraph
 from ..graph.search import graph_search
+from ..observability.metrics import get_registry
 from ..storage.timeline import TimeWindow
 from ..storage.vector_store import VectorStore
 from ..core.config import SearchParams
 from ..core.results import QueryResult, QueryStats
+
+_METRICS = get_registry()
+_QUERIES = _METRICS.counter(
+    "baseline_sf_queries_total", "TkNN queries answered by the SF baseline"
+)
+_DIST_EVALS = _METRICS.counter(
+    "baseline_sf_distance_evals_total",
+    "Distance computations spent answering SF queries",
+)
+_BUILD_SECONDS = _METRICS.counter(
+    "baseline_sf_build_seconds_total", "Seconds spent (re)building SF's graph"
+)
 
 
 class SFIndex:
@@ -109,8 +122,10 @@ class SFIndex:
         rng = np.random.default_rng([self._seed, len(self._store)])
         started = time.perf_counter()
         report = build_knn_graph(points, self._metric, self._graph_config, rng)
-        self._total_build_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self._total_build_seconds += elapsed
         self._total_distance_evaluations += report.distance_evaluations
+        _BUILD_SECONDS.inc(elapsed)
         self._graph = report.graph
         self._graph_size = len(self._store)
 
@@ -157,6 +172,7 @@ class SFIndex:
         positions = self._store.resolve_window(window)
         # The graph only covers vectors present at build time.
         allowed = range(positions.start, min(positions.stop, self._graph_size))
+        _QUERIES.inc()
         if allowed.start >= allowed.stop:
             return QueryResult.empty(
                 QueryStats(window_size=positions.stop - positions.start)
@@ -170,18 +186,19 @@ class SFIndex:
             found_positions, found_dists = brute_force_topk(
                 self._store, self._metric, query, k, allowed
             )
+            _DIST_EVALS.inc(span)
             return QueryResult(
                 positions=found_positions,
                 distances=found_dists,
                 timestamps=self._store.timestamps[found_positions],
-                stats=QueryStats(
-                    blocks_searched=1,
-                    distance_evaluations=span,
-                    window_size=positions.stop - positions.start,
+                stats=QueryStats.for_brute_force(
+                    span, window_size=positions.stop - positions.start
                 ),
             )
         points = self._store.slice(0, self._graph_size)
-        entries = self._pick_entries(points, query, allowed, params, rng)
+        entries, entry_evals = self._pick_entries(
+            points, query, allowed, params, rng
+        )
         outcome = graph_search(
             self._graph,
             points,
@@ -193,13 +210,14 @@ class SFIndex:
             allowed=allowed,
             entry=entries,
         )
-        stats = QueryStats(
-            blocks_searched=1,
-            graph_blocks=1,
+        stats = QueryStats.for_graph_search(
             nodes_visited=outcome.stats.nodes_visited,
-            distance_evaluations=outcome.stats.distance_evaluations + len(entries),
+            distance_evaluations=(
+                outcome.stats.distance_evaluations + entry_evals
+            ),
             window_size=positions.stop - positions.start,
         )
+        _DIST_EVALS.inc(stats.distance_evaluations)
         return QueryResult(
             positions=outcome.ids.astype(np.int64),
             distances=outcome.dists,
@@ -214,13 +232,18 @@ class SFIndex:
         allowed: range,
         params: SearchParams,
         rng: np.random.Generator,
-    ) -> np.ndarray:
-        """Best of a random in-window sample (same strategy as MBI blocks)."""
+    ) -> tuple[np.ndarray, int]:
+        """Best of a random in-window sample (same strategy as MBI blocks).
+
+        Returns ``(entries, evaluations)`` so the caller can charge the
+        sampling work per the counting convention in
+        :mod:`repro.core.results`.
+        """
         span = allowed.stop - allowed.start
         sample_size = min(params.entry_sample, span)
         if sample_size <= 0:
-            return np.zeros(1, dtype=np.int64)
+            return np.zeros(1, dtype=np.int64), 0
         candidates = allowed.start + rng.choice(span, sample_size, replace=False)
         dists = self._metric.batch(query, points[candidates])
         best = np.argsort(dists)[: params.n_entries]
-        return candidates[best]
+        return candidates[best], int(sample_size)

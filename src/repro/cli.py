@@ -6,6 +6,7 @@ Subcommands::
     repro build DATASET -o index.npz       build an MBI index and snapshot it
     repro info index.npz                   describe a snapshot
     repro query index.npz --dataset NAME   run TkNN queries against a snapshot
+    repro explain                          EXPLAIN-trace one TkNN query
     repro bench                            how to regenerate the paper's tables
 
 Every command is also reachable via ``python -m repro.cli``.
@@ -89,6 +90,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "-n", "--num-queries", type=int, default=5, help="queries to run"
+    )
+
+    explain = commands.add_parser(
+        "explain",
+        help="trace one TkNN query end to end (block selection, "
+        "per-block strategy, timings, distance counts)",
+    )
+    explain.add_argument(
+        "--dataset",
+        default=None,
+        help="registry dataset to build over (default: a quick synthetic "
+        "dataset generated in-process)",
+    )
+    explain.add_argument(
+        "--n", type=int, default=2000, help="synthetic dataset size"
+    )
+    explain.add_argument(
+        "--dim", type=int, default=16, help="synthetic dimensionality"
+    )
+    explain.add_argument(
+        "--leaf-size", type=int, default=125, help="override S_L"
+    )
+    explain.add_argument("--tau", type=float, default=0.5, help="override tau")
+    explain.add_argument("-k", type=int, default=10, help="neighbors")
+    explain.add_argument(
+        "--fraction",
+        type=float,
+        default=0.4,
+        help="window fraction of the timeline (centered)",
+    )
+    explain.add_argument(
+        "--max-items", type=int, default=None, help="truncate the dataset"
+    )
+    explain.add_argument(
+        "--seed", type=int, default=0, help="query / entry-sampling seed"
+    )
+    explain.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also dump the process metrics registry after the trace",
     )
 
     commands.add_parser(
@@ -230,6 +271,70 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core.config import MBIConfig
+    from .datasets.synthetic import SyntheticSpec, generate
+    from .graph.builder import GraphConfig
+    from .observability.metrics import get_registry
+
+    if args.dataset is not None:
+        profile = get_profile(args.dataset)
+        dataset = load_dataset(args.dataset)
+        config = profile.mbi_config(leaf_size=args.leaf_size, tau=args.tau)
+    else:
+        spec = SyntheticSpec(
+            n_items=args.n,
+            n_queries=8,
+            dim=args.dim,
+            generator="drifting_clusters",
+            n_clusters=8,
+            seed=args.seed,
+        )
+        dataset = generate(spec, name="explain-synthetic")
+        config = MBIConfig(
+            leaf_size=args.leaf_size,
+            tau=args.tau,
+            # Small blocks build fastest through the exact builder.
+            graph=GraphConfig(n_neighbors=8, exact_threshold=100_000),
+        )
+
+    vectors = dataset.vectors
+    timestamps = dataset.timestamps
+    if args.max_items is not None:
+        vectors = vectors[: args.max_items]
+        timestamps = timestamps[: args.max_items]
+
+    print(
+        f"building MBI over {len(vectors):,} vectors "
+        f"(dim {dataset.spec.dim}, {dataset.metric_name}, "
+        f"S_L={config.leaf_size}, tau={config.tau}) ..."
+    )
+    index = MultiLevelBlockIndex(dataset.spec.dim, dataset.metric_name, config)
+    index.extend(vectors, timestamps)
+
+    # A centered window of the requested fraction: straddling the root's
+    # midpoint makes the selection walk descend, so the trace shows the
+    # multi-block structure the tau-rule produces.
+    fraction = min(max(args.fraction, 0.01), 1.0)
+    t_lo, t_hi = float(timestamps[0]), float(timestamps[-1])
+    mid = (t_lo + t_hi) / 2
+    half = (t_hi - t_lo) * fraction / 2
+    t_start, t_end = mid - half, mid + half
+
+    rng = np.random.default_rng(args.seed)
+    query = dataset.queries[args.seed % max(1, len(dataset.queries))]
+    trace = index.explain(
+        query, args.k, t_start, t_end, rng=rng
+    )
+    print()
+    print(trace.render())
+    if args.metrics:
+        print()
+        print("process metrics registry:")
+        print(get_registry().render())
+    return 0
+
+
 def _cmd_bench(_: argparse.Namespace) -> int:
     print(
         "Run the full evaluation harness (Tables 2-4, Figures 5-9, theory\n"
@@ -250,6 +355,7 @@ _COMMANDS = {
     "build": _cmd_build,
     "info": _cmd_info,
     "query": _cmd_query,
+    "explain": _cmd_explain,
     "bench": _cmd_bench,
 }
 

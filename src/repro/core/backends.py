@@ -142,7 +142,9 @@ class GraphBackend(BlockBackend):
         rng: np.random.Generator,
     ) -> BackendOutcome:
         points = self._points()
-        entries = pick_entries(points, self._metric, query, allowed, params, rng)
+        entries, entry_evals = pick_entries(
+            points, self._metric, query, allowed, params, rng
+        )
         outcome = graph_search(
             self.graph,
             points,
@@ -159,7 +161,7 @@ class GraphBackend(BlockBackend):
             dists=outcome.dists,
             nodes_visited=outcome.stats.nodes_visited,
             distance_evaluations=(
-                outcome.stats.distance_evaluations + len(entries)
+                outcome.stats.distance_evaluations + entry_evals
             ),
         )
 
@@ -187,21 +189,29 @@ def pick_entries(
     allowed: range,
     params: SearchParams,
     rng: np.random.Generator,
-) -> np.ndarray:
+) -> tuple[np.ndarray, int]:
     """Entry points for graph search: best of a random in-window sample.
 
     Algorithm 2 starts from one random vector of the block; sampling a few
     candidates *inside the query window* and keeping the nearest makes
     short-window searches start where results can actually be.
+
+    Returns:
+        ``(entries, evaluations)`` — the chosen entry node ids and how many
+        candidate distances were computed to choose them.  Callers must add
+        ``evaluations`` (not ``len(entries)``) to their distance counters;
+        sampling scores up to ``params.entry_sample`` candidates but keeps
+        only ``params.n_entries``, and the counting convention of
+        :mod:`repro.core.results` charges every kernel evaluation.
     """
     span = allowed.stop - allowed.start
     sample_size = min(params.entry_sample, span)
     if sample_size <= 0:
-        return np.zeros(1, dtype=np.int64)
+        return np.zeros(1, dtype=np.int64), 0
     candidates = allowed.start + rng.choice(span, sample_size, replace=False)
     dists = metric.batch(query, points[candidates])
     best = np.argsort(dists)[: params.n_entries]
-    return candidates[best]
+    return candidates[best], int(sample_size)
 
 
 # --------------------------------------------------------------- the registry

@@ -29,6 +29,8 @@ from ..distances.metrics import Metric, resolve_metric
 from ..exceptions import EmptyIndexError, InvalidQueryError
 from ..graph.knn_graph import NO_NEIGHBOR
 from ..graph.knn_graph import KnnGraph
+from ..observability.metrics import get_registry
+from ..observability.trace import QueryTrace
 from ..storage.timeline import TimeWindow
 from ..storage.vector_store import VectorStore
 from .backends import GraphBackend, get_builder
@@ -38,6 +40,37 @@ from .config import MBIConfig, SearchParams
 from .results import QueryResult, QueryStats, merge_partial_results
 from .selection import select_blocks
 from .tree import leaf_block_index, leaf_range_of
+
+_METRICS = get_registry()
+_SEARCH_QUERIES = _METRICS.counter(
+    "mbi_search_queries_total", "TkNN queries answered by MBI"
+)
+_SEARCH_BLOCKS = _METRICS.counter(
+    "mbi_search_blocks_total", "Blocks searched across all MBI queries"
+)
+_SEARCH_DIST_EVALS = _METRICS.counter(
+    "mbi_search_distance_evals_total",
+    "Distance computations spent answering MBI queries",
+)
+_SEARCH_SECONDS = _METRICS.histogram(
+    "mbi_search_seconds", "Per-query MBI search latency"
+)
+_BUILD_BLOCKS = _METRICS.counter(
+    "mbi_build_blocks_total", "Block indexes built (seal + merge chain)"
+)
+_BUILD_SECONDS = _METRICS.counter(
+    "mbi_build_seconds_total", "Seconds spent building block indexes"
+)
+_BUILD_DIST_EVALS = _METRICS.counter(
+    "mbi_build_distance_evals_total",
+    "Distance computations spent building block indexes",
+)
+_BLOCKS_GAUGE = _METRICS.gauge(
+    "mbi_blocks", "Materialised blocks in the most recently updated index"
+)
+_VECTORS_GAUGE = _METRICS.gauge(
+    "mbi_store_vectors", "Vectors stored in the most recently updated index"
+)
 
 
 class MultiLevelBlockIndex:
@@ -232,6 +265,11 @@ class MultiLevelBlockIndex:
         block.distance_evaluations = evaluations
         self._total_build_seconds += elapsed
         self._total_distance_evaluations += evaluations
+        _BUILD_BLOCKS.inc()
+        _BUILD_SECONDS.inc(elapsed)
+        _BUILD_DIST_EVALS.inc(evaluations)
+        _BLOCKS_GAUGE.set(len(self._blocks))
+        _VECTORS_GAUGE.set(len(self._store))
 
     # ---------------------------------------------------------------- queries
 
@@ -244,6 +282,7 @@ class MultiLevelBlockIndex:
         params: SearchParams | None = None,
         rng: np.random.Generator | None = None,
         tau: float | None = None,
+        trace: QueryTrace | None = None,
     ) -> QueryResult:
         """Answer a TkNN query ``(query, k, t_start, t_end)`` (Algorithm 4).
 
@@ -259,6 +298,10 @@ class MultiLevelBlockIndex:
                 paper suggests pre-computing the optimal tau per query
                 interval (Section 5.4.2) — see
                 :class:`repro.core.tuning.TauTuner`.
+            trace: Optional :class:`repro.observability.QueryTrace` to fill
+                with the selection walk, per-block decisions, and timings.
+                The default ``None`` records nothing and allocates no trace
+                objects (see :meth:`explain` for the convenient form).
 
         Returns:
             The approximate TkNN result, at most ``k`` entries.
@@ -272,14 +315,29 @@ class MultiLevelBlockIndex:
         self._validate_query(query, k)
         window = TimeWindow(float(t_start), float(t_end))
         positions = self._store.resolve_window(window)
-        if positions.start >= positions.stop:
-            return QueryResult.empty(QueryStats())
         if params is None:
             params = self._config.search
         if rng is None:
             rng = self._rng
-
         effective_tau = tau if tau is not None else self._config.tau
+
+        started = time.perf_counter()
+        if trace is not None:
+            trace.k = k
+            trace.t_start = window.start
+            trace.t_end = window.end
+            trace.tau = effective_tau
+            trace.selection_mode = self._config.selection_mode
+            trace.brute_force_threshold = params.brute_force_threshold
+            trace.window_positions = (positions.start, positions.stop)
+
+        if positions.start >= positions.stop:
+            _SEARCH_QUERIES.inc()
+            if trace is not None:
+                trace.stats = QueryStats()
+                trace.seconds = time.perf_counter() - started
+            return QueryResult.empty(QueryStats())
+
         selected = select_blocks(
             self._blocks,
             len(self._store),
@@ -289,22 +347,57 @@ class MultiLevelBlockIndex:
             mode=self._config.selection_mode,
             query_window=window,
             timestamps=self._store.timestamps,
+            trace=trace,
         )
         partials: list[tuple[np.ndarray, np.ndarray]] = []
         stats = QueryStats(window_size=positions.stop - positions.start)
         for block in selected:
             block_result, block_stats = self._search_block(
-                block, query, k, positions, params, rng
+                block, query, k, positions, params, rng, trace
             )
             partials.append(block_result)
             stats = stats.merged_with(block_stats)
         merged_positions, merged_dists = merge_partial_results(partials, k)
+
+        _SEARCH_QUERIES.inc()
+        _SEARCH_BLOCKS.inc(stats.blocks_searched)
+        _SEARCH_DIST_EVALS.inc(stats.distance_evaluations)
+        _SEARCH_SECONDS.observe(time.perf_counter() - started)
+        if trace is not None:
+            trace.stats = stats
+            trace.result_positions = tuple(int(p) for p in merged_positions)
+            trace.result_distances = tuple(float(d) for d in merged_dists)
+            trace.seconds = time.perf_counter() - started
         return QueryResult(
             positions=merged_positions,
             distances=merged_dists,
             timestamps=self._store.timestamps[merged_positions],
             stats=stats,
         )
+
+    def explain(
+        self,
+        query: np.ndarray,
+        k: int,
+        t_start: float = float("-inf"),
+        t_end: float = float("inf"),
+        params: SearchParams | None = None,
+        rng: np.random.Generator | None = None,
+        tau: float | None = None,
+    ) -> QueryTrace:
+        """Run one traced TkNN query and return its EXPLAIN trace.
+
+        Identical to :meth:`search` (same arguments, same randomness
+        consumption) except that every decision is recorded into the
+        returned :class:`repro.observability.QueryTrace`.  Render it with
+        :meth:`QueryTrace.render` or the ``repro explain`` CLI.
+        """
+        trace = QueryTrace()
+        self.search(
+            query, k, t_start, t_end, params=params, rng=rng, tau=tau,
+            trace=trace,
+        )
+        return trace
 
     def search_batch(
         self,
@@ -315,6 +408,7 @@ class MultiLevelBlockIndex:
         params: SearchParams | None = None,
         rng: np.random.Generator | None = None,
         max_workers: int | None = None,
+        trace_sink: list[QueryTrace] | None = None,
     ) -> list[QueryResult]:
         """Answer many TkNN queries sharing one time window.
 
@@ -332,6 +426,10 @@ class MultiLevelBlockIndex:
             params: Query-time parameters; defaults to the index config's.
             rng: Seeds the per-query generators; defaults to index state.
             max_workers: Thread-pool size; ``None`` runs sequentially.
+            trace_sink: When given, one :class:`QueryTrace` per query is
+                appended to this list, in input order — aggregate them with
+                :func:`repro.observability.summarize_traces`.  ``None``
+                (the default) traces nothing.
         """
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2 or queries.shape[1] != self.dim:
@@ -342,21 +440,29 @@ class MultiLevelBlockIndex:
         if rng is None:
             rng = self._rng
         seeds = rng.integers(0, 2**63 - 1, size=len(queries))
+        tracing = trace_sink is not None
 
-        def run(i: int) -> QueryResult:
-            return self.search(
+        def run(i: int) -> tuple[QueryResult, QueryTrace | None]:
+            trace = QueryTrace() if tracing else None
+            result = self.search(
                 queries[i],
                 k,
                 t_start,
                 t_end,
                 params=params,
                 rng=np.random.default_rng(int(seeds[i])),
+                trace=trace,
             )
+            return result, trace
 
         if max_workers is None:
-            return [run(i) for i in range(len(queries))]
-        with ThreadPoolExecutor(max_workers) as pool:
-            return list(pool.map(run, range(len(queries))))
+            pairs = [run(i) for i in range(len(queries))]
+        else:
+            with ThreadPoolExecutor(max_workers) as pool:
+                pairs = list(pool.map(run, range(len(queries))))
+        if tracing:
+            trace_sink.extend(trace for _, trace in pairs)
+        return [result for result, _ in pairs]
 
     def _search_block(
         self,
@@ -366,33 +472,67 @@ class MultiLevelBlockIndex:
         window: range,
         params: SearchParams,
         rng: np.random.Generator,
+        trace: QueryTrace | None = None,
     ) -> tuple[tuple[np.ndarray, np.ndarray], QueryStats]:
-        """TkNN inside one selected block: SF on built blocks, BSBF otherwise."""
+        """TkNN inside one selected block: SF on built blocks, BSBF otherwise.
+
+        Per-block stats follow the counting convention of
+        :mod:`repro.core.results` via the :class:`QueryStats` constructors —
+        both strategies charge every metric-kernel evaluation they perform.
+        """
         filled_stop = min(block.positions.stop, len(self._store))
         local = range(
             max(window.start, block.positions.start),
             min(window.stop, filled_stop),
         )
         span = local.stop - local.start
+        if trace is not None:
+            block_started = time.perf_counter()
         if block.backend is None or span <= params.brute_force_threshold:
             # Open (non-full) leaf — Algorithm 4 line 6 — or a window slice
             # small enough that an exact scan beats the block index.
             found = brute_force_topk(self._store, self._metric, query, k, local)
-            stats = QueryStats(
-                blocks_searched=1,
-                distance_evaluations=span,
-            )
+            stats = QueryStats.for_brute_force(span)
+            if trace is not None:
+                trace.record_block(
+                    block_index=block.index,
+                    height=block.height,
+                    positions=(block.positions.start, block.positions.stop),
+                    window=(local.start, local.stop),
+                    built=block.backend is not None,
+                    strategy="brute",
+                    reason=(
+                        "open-leaf" if block.backend is None
+                        else "short-window"
+                    ),
+                    nodes_visited=0,
+                    distance_evaluations=stats.distance_evaluations,
+                    seconds=time.perf_counter() - block_started,
+                    n_results=len(found[0]),
+                )
             return found, stats
 
         offset = block.positions.start
         allowed = range(local.start - offset, local.stop - offset)
         outcome = block.backend.search(query, k, allowed, params, rng)
-        stats = QueryStats(
-            blocks_searched=1,
-            graph_blocks=1,
+        stats = QueryStats.for_graph_search(
             nodes_visited=outcome.nodes_visited,
             distance_evaluations=outcome.distance_evaluations,
         )
+        if trace is not None:
+            trace.record_block(
+                block_index=block.index,
+                height=block.height,
+                positions=(block.positions.start, block.positions.stop),
+                window=(local.start, local.stop),
+                built=True,
+                strategy="graph",
+                reason="built-block",
+                nodes_visited=outcome.nodes_visited,
+                distance_evaluations=stats.distance_evaluations,
+                seconds=time.perf_counter() - block_started,
+                n_results=len(outcome.ids),
+            )
         return ((offset + outcome.ids).astype(np.int64), outcome.dists), stats
 
     def _validate_query(self, query: np.ndarray, k: int) -> None:

@@ -1,4 +1,28 @@
-"""Query result and statistics value objects shared by all indexes."""
+"""Query result and statistics value objects shared by all indexes.
+
+.. _counting-convention:
+
+**The distance-counting convention.**  ``QueryStats.distance_evaluations``
+counts every query-to-point distance the metric kernel actually computed
+while answering the query, across all strategies, so the number is
+comparable between methods and additive across blocks:
+
+* a **brute-force scan** over ``m`` in-window vectors costs exactly ``m``;
+* a **graph search** costs its entry-sampling distances (``entry_sample``
+  candidates scored to pick start nodes, *not* merely the few entries
+  kept), plus the entry re-evaluations inside Algorithm 2, plus one per
+  frontier expansion;
+* quantized backends (IVF/IVF-PQ) count coarse-cell scoring, ADC table
+  construction equivalents, and exact re-ranking distances.
+
+All index classes build their per-block stats through
+:meth:`QueryStats.for_brute_force` and :meth:`QueryStats.for_graph_search`
+so the convention lives in exactly one place.  Merging partial stats with
+:meth:`QueryStats.merged_with` is associative and commutative with
+``QueryStats()`` as the identity (property-tested in
+``tests/test_properties_stats.py``), which is what makes per-block counters
+and whole-query counters mutually consistent.
+"""
 
 from __future__ import annotations
 
@@ -27,8 +51,53 @@ class QueryStats:
     distance_evaluations: int = 0
     window_size: int = 0
 
+    @classmethod
+    def for_brute_force(
+        cls, scanned: int, window_size: int = 0
+    ) -> "QueryStats":
+        """Stats for one exact scan over ``scanned`` vectors.
+
+        This is the single place the brute-force side of the
+        :ref:`counting convention <counting-convention>` is encoded: a scan
+        computes exactly one distance per vector in range, and visits no
+        graph nodes.  ``scanned`` is clamped at zero so degenerate empty
+        ranges cannot produce negative counters.
+        """
+        return cls(
+            blocks_searched=1,
+            distance_evaluations=max(0, scanned),
+            window_size=window_size,
+        )
+
+    @classmethod
+    def for_graph_search(
+        cls,
+        nodes_visited: int,
+        distance_evaluations: int,
+        window_size: int = 0,
+    ) -> "QueryStats":
+        """Stats for one graph (or other backend) search of a block.
+
+        ``distance_evaluations`` must already include entry-sampling work —
+        backends account for it via :func:`repro.core.backends.pick_entries`,
+        which reports how many candidates it scored (the
+        :ref:`counting convention <counting-convention>`).
+        """
+        return cls(
+            blocks_searched=1,
+            graph_blocks=1,
+            nodes_visited=nodes_visited,
+            distance_evaluations=max(0, distance_evaluations),
+            window_size=window_size,
+        )
+
     def merged_with(self, other: "QueryStats") -> "QueryStats":
-        """Combine counters from two partial searches of the same query."""
+        """Combine counters from two partial searches of the same query.
+
+        Associative and commutative, with ``QueryStats()`` as the identity:
+        additive counters sum and ``window_size`` takes the maximum (every
+        partial search of the same query shares one window).
+        """
         return QueryStats(
             blocks_searched=self.blocks_searched + other.blocks_searched,
             graph_blocks=self.graph_blocks + other.graph_blocks,

@@ -23,12 +23,16 @@ Two ratio definitions are supported (see ``MBIConfig.selection_mode``):
 
 from __future__ import annotations
 
-from typing import Mapping
+import math
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from ..storage.timeline import TimeWindow
 from .block import Block
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability.trace import QueryTrace
 from .tree import (
     leaf_range_of,
     left_child,
@@ -47,6 +51,7 @@ def select_blocks(
     mode: str = "count",
     query_window: TimeWindow | None = None,
     timestamps: np.ndarray | None = None,
+    trace: "QueryTrace | None" = None,
 ) -> list[Block]:
     """Choose the search block set for a query.
 
@@ -60,6 +65,9 @@ def select_blocks(
         mode: ``"count"`` or ``"time"``.
         query_window: The query's time window; required in ``"time"`` mode.
         timestamps: The store's timestamp array; required in ``"time"`` mode.
+        trace: Optional :class:`repro.observability.QueryTrace` receiving one
+            :class:`~repro.observability.SelectionEvent` per visited node
+            (``None`` records nothing and allocates nothing).
 
     Returns:
         Selected blocks in ascending time order.  The union of their
@@ -87,6 +95,7 @@ def select_blocks(
         query_window,
         timestamps,
         selected,
+        trace,
     )
     return selected
 
@@ -103,21 +112,35 @@ def _select(
     query_window: TimeWindow | None,
     timestamps: np.ndarray | None,
     selected: list[Block],
+    trace: "QueryTrace | None",
 ) -> None:
     leaf_lo, leaf_hi = leaf_range_of(index, height)
     capacity_lo = leaf_lo * leaf_size
     capacity_hi = leaf_hi * leaf_size
     filled_hi = min(capacity_hi, n_stored)
+    span = (capacity_lo, capacity_hi)
     if filled_hi <= capacity_lo:
+        if trace is not None:
+            trace.record_selection(
+                index, height, span, 0, math.nan, tau, "rejected", "no-data"
+            )
         return  # the subtree holds no data yet
     overlap = min(window.stop, filled_hi) - max(window.start, capacity_lo)
     if overlap <= 0:
+        if trace is not None:
+            trace.record_selection(
+                index, height, span, 0, math.nan, tau, "rejected", "no-overlap"
+            )
         return  # Case 1
 
     block = blocks.get(index)
     if height == 0:
         # Case 2 (leaf): every leaf with data is materialised.
         assert block is not None, f"leaf block {index} missing"
+        if trace is not None:
+            trace.record_selection(
+                index, height, span, overlap, math.nan, tau, "selected", "leaf"
+            )
         selected.append(block)
         return
 
@@ -130,8 +153,29 @@ def _select(
         # children.  This matches the paper's Figure 4, where tau = 1
         # selects the fully covered internal blocks B13 and B17.
         if ratio > tau or ratio >= 1.0:
+            if trace is not None:
+                trace.record_selection(
+                    index,
+                    height,
+                    span,
+                    overlap,
+                    ratio,
+                    tau,
+                    "selected",
+                    "fully-covered" if ratio >= 1.0 else "ratio>tau",
+                )
             selected.append(block)
             return
+        if trace is not None:
+            trace.record_selection(
+                index, height, span, overlap, ratio, tau,
+                "descended", "ratio<=tau",
+            )
+    elif trace is not None:
+        trace.record_selection(
+            index, height, span, overlap, math.nan, tau,
+            "descended", "virtual-block",
+        )
     # Case 3: virtual block, or materialised with ratio <= tau.
     _select(
         left_child(index, height),
@@ -145,6 +189,7 @@ def _select(
         query_window,
         timestamps,
         selected,
+        trace,
     )
     _select(
         right_child(index, height),
@@ -158,6 +203,7 @@ def _select(
         query_window,
         timestamps,
         selected,
+        trace,
     )
 
 

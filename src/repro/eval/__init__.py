@@ -8,7 +8,12 @@ from .pareto import (
     throughput_at_recall,
 )
 from .recall import mean_recall, recall_at_k
-from .reporting import format_series, format_table
+from .reporting import (
+    format_series,
+    format_table,
+    format_trace_summaries,
+    format_trace_summary,
+)
 from .runner import (
     DEFAULT_FRACTIONS,
     DEFAULT_RECALL_TARGET,
@@ -16,6 +21,7 @@ from .runner import (
     MethodSuite,
     bsbf_run_fn,
     build_suite,
+    collect_trace_summary,
     mbi_run_fn,
     sf_run_fn,
     sweep_method_over_fractions,
@@ -41,9 +47,12 @@ __all__ = [
     "bsbf_run_fn",
     "build_suite",
     "calibrated_eval_rate",
+    "collect_trace_summary",
     "epsilon_sweep",
     "format_series",
     "format_table",
+    "format_trace_summaries",
+    "format_trace_summary",
     "mbi_run_fn",
     "mean_recall",
     "measure_streaming",

@@ -7,7 +7,10 @@ captured stdout.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability.trace import TraceSummary
 
 
 def format_table(
@@ -126,6 +129,35 @@ def format_ascii_chart(
     lines.append(f"{'':>10}  {x_lo:<10.3g}{'':^{max(0, width - 20)}}{x_hi:>10.3g}")
     lines.append("  ".join(legend))
     return "\n".join(lines)
+
+
+def format_trace_summary(
+    summary: "TraceSummary", title: str | None = None
+) -> str:
+    """Render one :class:`~repro.observability.TraceSummary` as a table."""
+    return format_table(
+        ["trace metric", "value"], summary.as_rows(), title=title
+    )
+
+
+def format_trace_summaries(
+    summaries: dict[str, "TraceSummary"], title: str | None = None
+) -> str:
+    """Render several trace summaries side by side (one column per label).
+
+    Benchmarks use this to attach per-strategy cost accounting to their
+    rows: pass ``{f"fraction={f}": summary}`` per sweep cell.
+    """
+    labels = list(summaries)
+    if not labels:
+        return (title or "") + "\n(no trace summaries)"
+    row_names = [name for name, _ in summaries[labels[0]].as_rows()]
+    columns = {label: dict(summaries[label].as_rows()) for label in labels}
+    rows = [
+        [name, *(columns[label].get(name, float("nan")) for label in labels)]
+        for name in row_names
+    ]
+    return format_table(["trace metric", *labels], rows, title=title)
 
 
 def _cell(value: object) -> str:

@@ -21,6 +21,7 @@ from ..datasets.ground_truth import GroundTruthCache
 from ..datasets.registry import DatasetProfile, get_profile, load_dataset
 from ..datasets.synthetic import Dataset
 from ..datasets.workload import TkNNQuery, make_workload
+from ..observability.trace import QueryTrace, TraceSummary, summarize_traces
 from .pareto import (
     OperatingPoint,
     epsilon_sweep,
@@ -165,6 +166,46 @@ def bsbf_run_fn(bsbf: BSBFIndex) -> RunQueryFn:
     return run
 
 
+def collect_trace_summary(
+    mbi: MultiLevelBlockIndex,
+    workload: list[TkNNQuery],
+    params: SearchParams | None = None,
+    seed: int | None = 0,
+    tau: float | None = None,
+) -> TraceSummary:
+    """Run a workload with tracing on and aggregate the traces.
+
+    This is the per-strategy cost accounting the benchmark tables attach to
+    their rows: mean search-block-set size, graph-vs-brute split, and work
+    counters, measured on exactly the queries the row timed.
+
+    Args:
+        mbi: The index to explain.
+        workload: Queries to trace.
+        params: Query-time parameters; defaults to the index config's.
+        seed: Entry-sampling seed (``None`` uses index state).
+        tau: Optional per-query tau override.
+
+    Returns:
+        A :class:`repro.observability.TraceSummary` over the workload.
+    """
+    rng = np.random.default_rng(seed) if seed is not None else None
+    traces: list[QueryTrace] = []
+    for query in workload:
+        traces.append(
+            mbi.explain(
+                query.vector,
+                query.k,
+                query.t_start,
+                query.t_end,
+                params=params,
+                rng=rng,
+                tau=tau,
+            )
+        )
+    return summarize_traces(traces)
+
+
 @dataclass(frozen=True)
 class FractionPoint:
     """One (method, window-fraction) cell of a Figure 5/9-style sweep.
@@ -174,11 +215,14 @@ class FractionPoint:
         method: Method label.
         point: Chosen operating point (None when the recall target was not
             reachable on the epsilon grid).
+        trace_summary: Aggregated per-query EXPLAIN traces for this cell
+            (MBI only, when the sweep ran with ``collect_traces=True``).
     """
 
     fraction: float
     method: str
     point: OperatingPoint | None
+    trace_summary: TraceSummary | None = None
 
 
 def sweep_method_over_fractions(
@@ -191,6 +235,7 @@ def sweep_method_over_fractions(
     seed: int = 0,
     truth_cache: GroundTruthCache | None = None,
     tau: float | None = None,
+    collect_traces: bool = False,
 ) -> list[FractionPoint]:
     """Measure one method across window fractions at a fixed recall target.
 
@@ -208,6 +253,11 @@ def sweep_method_over_fractions(
         seed: Workload seed.
         truth_cache: Shared ground-truth cache.
         tau: Override MBI's block-selection threshold for this sweep.
+        collect_traces: For ``"mbi"``, additionally run each fraction's
+            workload with tracing on (at the chosen operating point's
+            epsilon) and attach a :class:`~repro.observability.TraceSummary`
+            to the returned points.  Off by default — traced runs are extra
+            work and must never contaminate the timed measurements.
 
     Returns:
         One :class:`FractionPoint` per fraction.
@@ -252,7 +302,27 @@ def sweep_method_over_fractions(
                 dim=suite.dim,
             )
             point = throughput_at_recall(points, recall_target)
-        results.append(FractionPoint(fraction=fraction, method=method, point=point))
+        trace_summary = None
+        if collect_traces and method == "mbi":
+            epsilon = (
+                point.epsilon
+                if point is not None and point.epsilon == point.epsilon
+                else base_params.epsilon
+            )
+            trace_summary = collect_trace_summary(
+                mbi,
+                workload,
+                params=base_params.with_epsilon(epsilon),
+                seed=seed,
+            )
+        results.append(
+            FractionPoint(
+                fraction=fraction,
+                method=method,
+                point=point,
+                trace_summary=trace_summary,
+            )
+        )
     return results
 
 

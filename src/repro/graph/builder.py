@@ -15,11 +15,13 @@ Two builders are provided:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..distances.metrics import Metric
+from ..observability.metrics import get_registry
 from .connectivity import ensure_connected
 from .knn_graph import KnnGraph
 from .nndescent import NNDescentParams, NNDescentResult, nn_descent
@@ -178,6 +180,7 @@ def build_knn_graph(
         config = GraphConfig()
     points = np.asarray(points, dtype=np.float32)
     n = len(points)
+    started = time.perf_counter()
     if n <= config.exact_threshold:
         ids, dists = exact_knn_lists(points, metric, config.n_neighbors)
         evaluations = n * n
@@ -204,6 +207,17 @@ def build_knn_graph(
     # A kNN graph over clustered data is often split into per-cluster
     # components; greedy search cannot cross components, so repair them.
     graph, n_bridges = ensure_connected(graph, points, metric, rng)
+    registry = get_registry()
+    registry.counter(
+        "graph_build_calls_total", "kNN-graph builds (exact + NNDescent)"
+    ).inc()
+    registry.counter(
+        "graph_build_distance_evals_total",
+        "Distance computations spent building kNN graphs",
+    ).inc(evaluations)
+    registry.counter(
+        "graph_build_seconds_total", "Seconds spent building kNN graphs"
+    ).inc(time.perf_counter() - started)
     return GraphBuildReport(
         graph=graph,
         method=method,

@@ -65,7 +65,7 @@ class HNSWBackend(BlockBackend):
         )
         # Combine the hierarchy's entry with in-window sampled entries so a
         # narrow filter still starts where results can be.
-        sampled = pick_entries(
+        sampled, sample_evals = pick_entries(
             points, self._metric, query, allowed, params, rng
         )
         entries = np.unique(np.append(sampled, descent_entry))
@@ -87,7 +87,7 @@ class HNSWBackend(BlockBackend):
             distance_evaluations=(
                 outcome.stats.distance_evaluations
                 + descent_evals
-                + len(sampled)
+                + sample_evals
             ),
         )
 

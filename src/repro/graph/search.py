@@ -20,7 +20,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..distances.metrics import Metric
+from ..observability.metrics import get_registry
 from .knn_graph import KnnGraph
+
+_METRICS = get_registry()
+_CALLS = _METRICS.counter(
+    "graph_search_calls_total", "Algorithm 2 invocations (all callers)"
+)
+_NODES = _METRICS.counter(
+    "graph_search_nodes_visited_total", "Nodes popped from the candidate heap"
+)
+_DIST_EVALS = _METRICS.counter(
+    "graph_search_distance_evals_total",
+    "Distance computations inside graph search (entries + expansions)",
+)
 
 
 @dataclass(frozen=True)
@@ -159,6 +172,9 @@ def graph_search(
     ordered = sorted((-neg_dist, -neg_id) for neg_dist, neg_id in results)
     ids = np.array([node for _, node in ordered], dtype=np.int64)
     dists_out = np.array([d for d, _ in ordered], dtype=np.float64)
+    _CALLS.inc()
+    _NODES.inc(nodes_visited)
+    _DIST_EVALS.inc(distance_evaluations)
     return SearchOutcome(
         ids=ids,
         dists=dists_out,

@@ -1,0 +1,45 @@
+"""Observability: per-query EXPLAIN traces and the process-wide metrics registry.
+
+Two complementary views of the work the library does:
+
+* :mod:`repro.observability.trace` — :class:`QueryTrace`, a per-query record
+  of the block-selection walk, per-block strategy choices, timings, and
+  counters.  Opt-in per query; the untraced path allocates nothing.
+* :mod:`repro.observability.metrics` — :class:`MetricsRegistry`, cheap
+  always-on counters/gauges/histograms every subsystem reports into.
+
+See ``docs/observability.md`` for the trace schema, the metric naming
+convention, and a ``repro explain`` walkthrough.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .trace import (
+    BlockSearchEvent,
+    QueryTrace,
+    SelectionEvent,
+    TraceSummary,
+    merge_traces_stats,
+    summarize_traces,
+)
+
+__all__ = [
+    "BlockSearchEvent",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "SelectionEvent",
+    "TraceSummary",
+    "get_registry",
+    "merge_traces_stats",
+    "summarize_traces",
+]

@@ -1,0 +1,324 @@
+"""Process-wide metrics registry (counters, gauges, histograms).
+
+Every subsystem that does measurable work — MBI build/seal/merge, block
+selection, graph search, NNDescent construction, the baselines — reports
+into one :class:`MetricsRegistry` so benchmarks and tests can assert on
+*work done* rather than wall-clock noise.  The registry is deliberately
+zero-dependency and thread-safe (MBI builds blocks and answers batch
+queries from thread pools).
+
+Naming convention (documented in ``docs/observability.md``)::
+
+    <subsystem>_<quantity>_<unit>
+
+* ``subsystem`` — ``mbi``, ``selection``, ``graph_search``, ``graph_build``,
+  ``baseline_bsbf``, ``baseline_sf``, ...
+* ``quantity`` — what is being counted (``queries``, ``blocks_built``,
+  ``distance_evals``, ``nodes_visited``...)
+* ``unit`` — ``total`` for monotonically increasing counters, ``seconds``
+  for cumulative time, bare names for gauges, ``_seconds``/``_count``
+  suffixes come from histogram rendering.
+
+Example::
+
+    from repro.observability import get_registry
+
+    registry = get_registry()
+    before = registry.counter("mbi_search_distance_evals_total").value
+    index.search(query, k=10)
+    spent = registry.counter("mbi_search_distance_evals_total").value - before
+
+Metric objects are stable for the registry's lifetime: :meth:`~MetricsRegistry.reset`
+zeroes values in place, so references held by instrumented modules stay
+valid.  Use a fresh :class:`MetricsRegistry` for fully isolated unit tests.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Iterable
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Default histogram bucket upper bounds (seconds-flavoured log scale).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+)
+
+
+def _validate_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} violates the naming convention "
+            "(lowercase snake_case, starting with a letter)"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing counter.
+
+    Attributes:
+        name: Registry name (``*_total`` by convention).
+        help: One-line description.
+    """
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value:g})"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. current block count)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self._value:g})"
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative bucket counts, like Prometheus).
+
+    Attributes:
+        name: Registry name.
+        help: One-line description.
+        bounds: Ascending bucket upper bounds; an implicit ``+inf`` bucket
+            catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "help", "bounds", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram buckets must be non-empty and ascending: {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        # Bisect without importing bisect: bucket lists are tiny.
+        i = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            i += 1
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (NaN when empty)."""
+        return self._sum / self._count if self._count else math.nan
+
+    def buckets(self) -> dict[float, int]:
+        """Cumulative count per upper bound (including ``+inf``)."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative: dict[float, int] = {}
+        running = 0
+        for bound, n in zip((*self.bounds, math.inf), counts):
+            running += n
+            cumulative[bound] = running
+        return cumulative
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, count={self._count}, sum={self._sum:g})"
+
+
+class MetricsRegistry:
+    """Thread-safe, zero-dependency registry of named metrics.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: repeated calls
+    with the same name return the same object, so instrumented modules can
+    cache metric handles at import time.  Registering the same name as two
+    different metric kinds raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        _validate_name(name)
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif type(metric) is not kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, help, buckets)
+        )
+
+    def names(self) -> tuple[str, ...]:
+        """Sorted names of all registered metrics."""
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The metric registered under ``name``, or None."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> dict[str, float | dict[str, float]]:
+        """Point-in-time values of every metric.
+
+        Counters and gauges map to their float value; histograms map to a
+        dict with ``count``, ``sum``, and ``mean``.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, float | dict[str, float]] = {}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "count": float(metric.count),
+                    "sum": metric.sum,
+                    "mean": metric.mean,
+                }
+            else:
+                out[name] = metric.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every metric in place (registrations and handles survive)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric._reset()
+
+    def render(self) -> str:
+        """Human-readable dump, one metric per line (histograms multi-line)."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Histogram):
+                lines.append(
+                    f"{name}_count {metric.count}"
+                )
+                lines.append(f"{name}_sum {metric.sum:.6g}")
+                for bound, n in metric.buckets().items():
+                    label = "+inf" if math.isinf(bound) else f"{bound:g}"
+                    lines.append(f"{name}_bucket{{le={label}}} {n}")
+            else:
+                lines.append(f"{name} {metric.value:g}")
+        return "\n".join(lines)
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every subsystem reports into."""
+    return _DEFAULT_REGISTRY

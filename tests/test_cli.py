@@ -104,6 +104,53 @@ class TestBuildInfoQuery:
         assert "backend=ivf" in capsys.readouterr().out
 
 
+class TestExplain:
+    def test_explain_renders_a_multi_block_trace(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--n",
+                "1000",
+                "--dim",
+                "8",
+                "--leaf-size",
+                "125",
+                "--fraction",
+                "0.4",
+                "-k",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TkNN query: k=5" in out
+        assert "block selection walk:" in out
+        assert "block searches:" in out
+        # The centered window straddles the root midpoint, so the walk
+        # must descend and select at least two blocks.
+        assert out.count("SELECT") >= 2
+        assert "tau=" in out
+        assert "merge: kept" in out
+
+    def test_explain_metrics_flag_dumps_registry(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--n",
+                "600",
+                "--dim",
+                "8",
+                "--leaf-size",
+                "100",
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "process metrics registry:" in out
+        assert "mbi_search_queries_total" in out
+
+
 class TestErrors:
     def test_unknown_dataset_is_a_clean_error(self, capsys):
         code = main(["build", "imagenet", "-o", "/tmp/x.npz"])

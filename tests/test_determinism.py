@@ -1,0 +1,111 @@
+"""Deterministic-build regression test.
+
+Two indexes built from the same data with the same config and seed must be
+bit-for-bit interchangeable: identical block structure, identical traces
+(compared through :meth:`QueryTrace.signature`, which ignores wall-clock
+timings), and identical top-k answers.  This pins down the per-block
+seeding scheme — a regression here means results stopped being
+reproducible across runs, machines, or build orders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MultiLevelBlockIndex
+
+from .conftest import small_mbi_config
+
+
+def _build(clustered_data, seed=42, chunk=None):
+    vectors, timestamps, _ = clustered_data
+    index = MultiLevelBlockIndex(
+        vectors.shape[1], "euclidean", small_mbi_config(leaf_size=100, seed=seed)
+    )
+    if chunk is None:
+        index.extend(vectors, timestamps)
+    else:
+        for start in range(0, len(vectors), chunk):
+            index.extend(
+                vectors[start : start + chunk],
+                timestamps[start : start + chunk],
+            )
+    return index
+
+
+@pytest.fixture(scope="module")
+def twin_indexes(clustered_data):
+    return _build(clustered_data), _build(clustered_data)
+
+
+class TestTwinBuilds:
+    def test_same_block_structure(self, twin_indexes):
+        a, b = twin_indexes
+        assert a.num_blocks == b.num_blocks
+        assert a.num_leaves == b.num_leaves
+        for block_a, block_b in zip(a.iter_blocks(), b.iter_blocks()):
+            assert block_a.index == block_b.index
+            assert block_a.height == block_b.height
+            assert block_a.positions == block_b.positions
+            assert block_a.is_built == block_b.is_built
+
+    def test_identical_traces(self, twin_indexes, clustered_data):
+        a, b = twin_indexes
+        _, _, queries = clustered_data
+        for i in range(6):
+            trace_a = a.explain(
+                queries[i], 10, 15.0, 85.0, rng=np.random.default_rng(i)
+            )
+            trace_b = b.explain(
+                queries[i], 10, 15.0, 85.0, rng=np.random.default_rng(i)
+            )
+            assert trace_a.signature() == trace_b.signature()
+            assert trace_a.selection == trace_b.selection
+            assert trace_a.stats == trace_b.stats
+
+    def test_identical_topk_ids_and_distances(
+        self, twin_indexes, clustered_data
+    ):
+        a, b = twin_indexes
+        _, _, queries = clustered_data
+        for i in range(6):
+            result_a = a.search(
+                queries[i], 10, 15.0, 85.0, rng=np.random.default_rng(i)
+            )
+            result_b = b.search(
+                queries[i], 10, 15.0, 85.0, rng=np.random.default_rng(i)
+            )
+            np.testing.assert_array_equal(
+                result_a.positions, result_b.positions
+            )
+            np.testing.assert_array_equal(
+                result_a.distances, result_b.distances
+            )
+
+    def test_chunked_build_matches_bulk_build(self, clustered_data):
+        """Build order (one extend vs many) must not change the answers."""
+        bulk = _build(clustered_data)
+        chunked = _build(clustered_data, chunk=230)
+        _, _, queries = clustered_data
+        for i in range(4):
+            trace_a = bulk.explain(
+                queries[i], 8, 20.0, 80.0, rng=np.random.default_rng(i)
+            )
+            trace_b = chunked.explain(
+                queries[i], 8, 20.0, 80.0, rng=np.random.default_rng(i)
+            )
+            assert trace_a.signature() == trace_b.signature()
+
+    def test_different_seed_may_only_change_graph_paths(self, clustered_data):
+        """Structure (selection walk) is seed-independent; only the graph
+        traversal may differ."""
+        a = _build(clustered_data, seed=1)
+        b = _build(clustered_data, seed=2)
+        _, _, queries = clustered_data
+        trace_a = a.explain(queries[0], 10, 15.0, 85.0)
+        trace_b = b.explain(queries[0], 10, 15.0, 85.0)
+        assert trace_a.selection == trace_b.selection
+        assert [e.strategy for e in trace_a.blocks] == [
+            e.strategy for e in trace_b.blocks
+        ]

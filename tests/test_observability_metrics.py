@@ -1,0 +1,208 @@
+"""Unit tests of the metrics registry (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(-3)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram("x_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+        buckets = h.buckets()
+        assert buckets[0.1] == 1
+        assert buckets[1.0] == 2
+        assert buckets[math.inf] == 3
+
+    def test_mean_of_empty_histogram_is_nan(self):
+        assert math.isnan(Histogram("x").mean)
+
+    def test_rejects_non_ascending_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        r = MetricsRegistry()
+        assert r.counter("a_total") is r.counter("a_total")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a_total")
+        with pytest.raises(ValueError):
+            r.gauge("a_total")
+
+    def test_name_validation(self):
+        r = MetricsRegistry()
+        for bad in ("", "Bad", "1abc", "has-dash", "has space"):
+            with pytest.raises(ValueError):
+                r.counter(bad)
+
+    def test_snapshot_includes_all_kinds(self):
+        r = MetricsRegistry()
+        r.counter("c_total").inc(2)
+        r.gauge("g").set(7)
+        r.histogram("h").observe(0.5)
+        snap = r.snapshot()
+        assert snap["c_total"] == 2.0
+        assert snap["g"] == 7.0
+        assert snap["h"]["count"] == 1.0
+        assert snap["h"]["mean"] == pytest.approx(0.5)
+
+    def test_reset_zeroes_in_place_keeping_handles(self):
+        r = MetricsRegistry()
+        c = r.counter("c_total")
+        h = r.histogram("h")
+        c.inc(5)
+        h.observe(1.0)
+        r.reset()
+        assert c.value == 0.0
+        assert h.count == 0
+        # The handle is still the registered object and still works.
+        c.inc()
+        assert r.counter("c_total").value == 1.0
+
+    def test_render_lists_every_metric(self):
+        r = MetricsRegistry()
+        r.counter("c_total").inc(3)
+        r.gauge("g").set(1.5)
+        r.histogram("h", buckets=(1.0,)).observe(0.5)
+        text = r.render()
+        assert "c_total 3" in text
+        assert "g 1.5" in text
+        assert "h_count 1" in text
+        assert "h_bucket{le=1} 1" in text
+        assert "h_bucket{le=+inf} 1" in text
+
+    def test_thread_safety_under_contention(self):
+        r = MetricsRegistry()
+        c = r.counter("c_total")
+        h = r.histogram("h")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+                h.observe(0.01)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+        assert h.count == 8000
+
+
+class TestProcessRegistryIntegration:
+    def test_default_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_mbi_operations_report_into_default_registry(self):
+        from tests.conftest import small_mbi_config
+
+        from repro import MultiLevelBlockIndex
+
+        registry = get_registry()
+        built_before = registry.counter("mbi_build_blocks_total").value
+        queries_before = registry.counter("mbi_search_queries_total").value
+        evals_before = registry.counter(
+            "mbi_search_distance_evals_total"
+        ).value
+
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((256, 8)).astype(np.float32)
+        timestamps = np.arange(256, dtype=np.float64)
+        index = MultiLevelBlockIndex(
+            8, "euclidean", small_mbi_config(leaf_size=64)
+        )
+        index.extend(vectors, timestamps)
+        result = index.search(vectors[0], 5, 10.0, 200.0)
+
+        assert registry.counter("mbi_build_blocks_total").value >= (
+            built_before + 4
+        )
+        assert (
+            registry.counter("mbi_search_queries_total").value
+            == queries_before + 1
+        )
+        spent = (
+            registry.counter("mbi_search_distance_evals_total").value
+            - evals_before
+        )
+        assert spent == result.stats.distance_evaluations
+
+    def test_bsbf_reports_into_default_registry(self):
+        from repro import BSBFIndex
+
+        registry = get_registry()
+        before = registry.counter("baseline_bsbf_distance_evals_total").value
+        rng = np.random.default_rng(1)
+        bsbf = BSBFIndex(4)
+        bsbf.extend(
+            rng.standard_normal((50, 4)), np.arange(50, dtype=np.float64)
+        )
+        result = bsbf.search(np.zeros(4), 3, 5.0, 25.0)
+        spent = (
+            registry.counter("baseline_bsbf_distance_evals_total").value
+            - before
+        )
+        assert spent == result.stats.distance_evaluations == 20
+
+    def test_graph_search_reports_into_default_registry(self):
+        from repro.graph.builder import build_knn_graph
+        from repro.graph.search import graph_search
+
+        registry = get_registry()
+        before = registry.counter("graph_search_calls_total").value
+        rng = np.random.default_rng(2)
+        points = rng.standard_normal((64, 4)).astype(np.float32)
+        from repro.distances.metrics import resolve_metric
+
+        metric = resolve_metric("euclidean")
+        report = build_knn_graph(points, metric)
+        graph_search(report.graph, points, metric, points[0], 3)
+        assert registry.counter("graph_search_calls_total").value == before + 1
+        assert registry.counter("graph_build_calls_total").value > 0
