@@ -1,0 +1,163 @@
+"""Serving layer — sustained QPS under concurrent ingest (closed loop).
+
+The paper's setting is a stream that never stops: new vectors keep
+arriving while queries must keep being answered.  This driver measures
+that contention directly on :class:`repro.service.IndexService`:
+
+* one writer thread ingests synthetic vectors as fast as the WAL admits
+  (per fsync policy), and
+* ``N`` closed-loop query threads each fire their next TkNN request the
+  moment the previous one returns (through the admission queue, so
+  micro-batching is exercised).
+
+Reported per fsync policy: sustained QPS, ingest rate, and query latency
+percentiles.  The shape assertions are deliberately loose — absolute
+numbers are hardware-dependent — but the service must keep answering
+while ingesting, and the no-durability policy must not be slower to
+ingest than fsync-per-record.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.config import MBIConfig, SearchParams
+from repro.eval import format_table
+from repro.graph.builder import GraphConfig
+from repro.service import IndexService, ServiceConfig
+
+DIM = 32
+LEAF = 256
+K = 10
+QUERY_THREADS = 4
+WARMUP_RECORDS = 2_000
+DURATION = 2.0  # seconds of closed-loop load per policy
+POLICIES = ("never", "interval", "always")
+
+
+def service_mbi_config() -> MBIConfig:
+    return MBIConfig(
+        leaf_size=LEAF,
+        tau=0.5,
+        graph=GraphConfig(n_neighbors=12),
+        search=SearchParams(epsilon=1.2, max_candidates=96),
+    )
+
+
+def drive(tmp_path, policy: str) -> dict[str, float]:
+    rng = np.random.default_rng(0)
+    warmup = rng.standard_normal((WARMUP_RECORDS, DIM)).astype(np.float32)
+    svc = IndexService.open(
+        tmp_path / f"qps-{policy}",
+        dim=DIM,
+        mbi_config=service_mbi_config(),
+        config=ServiceConfig(fsync=policy, max_queue=4096),
+    )
+    svc.ingest_batch(warmup, np.arange(float(WARMUP_RECORDS)))
+    svc.wait_builds()
+
+    stop = threading.Event()
+    ingested = [0]
+    latencies: list[list[float]] = [[] for _ in range(QUERY_THREADS)]
+
+    def writer() -> None:
+        w_rng = np.random.default_rng(1)
+        i = WARMUP_RECORDS
+        while not stop.is_set():
+            svc.ingest(
+                w_rng.standard_normal(DIM).astype(np.float32), float(i)
+            )
+            i += 1
+        ingested[0] = i - WARMUP_RECORDS
+
+    def querier(slot: int) -> None:
+        q_rng = np.random.default_rng(100 + slot)
+        sink = latencies[slot]
+        while not stop.is_set():
+            query = q_rng.standard_normal(DIM)
+            started = time.perf_counter()
+            svc.query(query, K, timeout=30.0)
+            sink.append(time.perf_counter() - started)
+
+    threads = [threading.Thread(target=writer)]
+    threads += [
+        threading.Thread(target=querier, args=(slot,))
+        for slot in range(QUERY_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    time.sleep(DURATION)
+    stop.set()
+    for t in threads:
+        t.join(timeout=60)
+    svc.close()
+
+    lat = np.array([x for sink in latencies for x in sink])
+    return {
+        "qps": len(lat) / DURATION,
+        "ingest_rate": ingested[0] / DURATION,
+        "p50_ms": float(np.percentile(lat, 50) * 1e3) if len(lat) else 0.0,
+        "p99_ms": float(np.percentile(lat, 99) * 1e3) if len(lat) else 0.0,
+        "queries": float(len(lat)),
+        "ingested": float(ingested[0]),
+    }
+
+
+def test_serving_qps_under_ingest(benchmark, report, tmp_path):
+    results = {policy: drive(tmp_path, policy) for policy in POLICIES}
+
+    rows = [
+        [
+            policy,
+            f"{r['qps']:,.0f}",
+            f"{r['p50_ms']:.2f}ms",
+            f"{r['p99_ms']:.2f}ms",
+            f"{r['ingest_rate']:,.0f}/s",
+        ]
+        for policy, r in results.items()
+    ]
+    report(
+        "Serving — QPS under ingest",
+        format_table(
+            ["fsync", "QPS", "p50", "p99", "ingest rate"],
+            rows,
+            title=(
+                f"Closed loop: {QUERY_THREADS} query threads + 1 writer, "
+                f"{DURATION:.0f}s per policy, k={K}, dim={DIM}, "
+                f"{WARMUP_RECORDS:,} warm records"
+            ),
+        ),
+    )
+
+    for policy, r in results.items():
+        # The service must make progress on BOTH sides of the contention.
+        assert r["queries"] > 0, f"{policy}: no queries completed"
+        assert r["ingested"] > 0, f"{policy}: no records ingested"
+    # Skipping durability must not ingest slower than fsync-per-record
+    # (wide 2x slack: on fast tmpfs both can be CPU-bound).
+    assert (
+        results["never"]["ingest_rate"]
+        >= results["always"]["ingest_rate"] / 2
+    )
+
+    # Wall-clock benchmark: one queued query on a quiet, warm service.
+    svc = IndexService.open(
+        tmp_path / "bench",
+        dim=DIM,
+        mbi_config=service_mbi_config(),
+        config=ServiceConfig(fsync="never"),
+    )
+    rng = np.random.default_rng(2)
+    svc.ingest_batch(
+        rng.standard_normal((WARMUP_RECORDS, DIM)).astype(np.float32),
+        np.arange(float(WARMUP_RECORDS)),
+    )
+    svc.wait_builds()
+    query = rng.standard_normal(DIM)
+    try:
+        benchmark(lambda: svc.query(query, K, timeout=30.0))
+    finally:
+        svc.close()

@@ -23,7 +23,9 @@ The package is organised as:
 * :mod:`repro.storage` — timestamped append-only vector storage;
 * :mod:`repro.distances` — metrics and vectorised kernels;
 * :mod:`repro.datasets` — synthetic datasets, workloads, ground truth;
-* :mod:`repro.eval` — recall, timing, epsilon sweeps, experiment runners.
+* :mod:`repro.eval` — recall, timing, epsilon sweeps, experiment runners;
+* :mod:`repro.service` — the concurrent, durable serving layer (WAL +
+  snapshots + admission control; ``repro serve`` / ``repro ingest``).
 """
 
 from .baselines import BSBFIndex, BestOfBaselines, ExactOracle, SFIndex
@@ -44,15 +46,21 @@ from .core import (
 from .core.persistence import load_index, save_index
 from .distances import Metric, available_metrics, resolve_metric
 from .exceptions import (
+    AdmissionError,
     ConfigurationError,
     DatasetError,
+    DeadlineExceededError,
     DimensionMismatchError,
     EmptyIndexError,
     InvalidQueryError,
     PersistenceError,
     ReproError,
+    ServiceClosedError,
+    ServiceError,
     TimestampOrderError,
     UnknownMetricError,
+    VectorInputError,
+    WalCorruptionError,
 )
 from .graph import GraphConfig, NNDescentParams
 from .observability import (
@@ -62,17 +70,20 @@ from .observability import (
     get_registry,
     summarize_traces,
 )
+from .service import IndexService, ServiceConfig, WriteAheadLog
 from .storage import TimeWindow, VectorStore
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "BSBFIndex",
     "BestOfBaselines",
     "Block",
     "BlockBackend",
     "ConfigurationError",
     "DatasetError",
+    "DeadlineExceededError",
     "DimensionMismatchError",
     "EmptyIndexError",
     "ExactOracle",
@@ -80,6 +91,7 @@ __all__ = [
     "GraphConfig",
     "IVFConfig",
     "IVFPQConfig",
+    "IndexService",
     "InvalidQueryError",
     "LSHParams",
     "MBIConfig",
@@ -94,12 +106,18 @@ __all__ = [
     "ReproError",
     "SFIndex",
     "SearchParams",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
     "TauTuner",
     "TimeWindow",
     "TimestampOrderError",
     "TraceSummary",
     "UnknownMetricError",
+    "VectorInputError",
     "VectorStore",
+    "WalCorruptionError",
+    "WriteAheadLog",
     "available_metrics",
     "get_registry",
     "load_index",

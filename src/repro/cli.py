@@ -7,6 +7,8 @@ Subcommands::
     repro info index.npz                   describe a snapshot
     repro query index.npz --dataset NAME   run TkNN queries against a snapshot
     repro explain                          EXPLAIN-trace one TkNN query
+    repro ingest --data-dir DIR            durably ingest into a service dir
+    repro serve --data-dir DIR             serve TkNN over HTTP (recovers)
     repro bench                            how to regenerate the paper's tables
 
 Every command is also reachable via ``python -m repro.cli``.
@@ -132,10 +134,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump the process metrics registry after the trace",
     )
 
+    ingest = commands.add_parser(
+        "ingest",
+        help="durably ingest vectors into a service data directory "
+        "(WAL + snapshot); resumes where a previous ingest stopped",
+    )
+    _add_service_arguments(ingest)
+    ingest.add_argument(
+        "--dataset",
+        default=None,
+        help="registry dataset to ingest (default: synthetic)",
+    )
+    ingest.add_argument(
+        "--n", type=int, default=2000, help="synthetic dataset size"
+    )
+    ingest.add_argument(
+        "--dim", type=int, default=16, help="synthetic dimensionality"
+    )
+    ingest.add_argument(
+        "--max-items", type=int, default=None, help="truncate the dataset"
+    )
+    ingest.add_argument(
+        "--seed", type=int, default=0, help="synthetic dataset seed"
+    )
+    ingest.add_argument(
+        "--no-final-snapshot",
+        action="store_true",
+        help="skip the final checkpoint (recovery will replay the WAL)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="recover a service data directory and serve TkNN over HTTP "
+        "(stdlib-only; see docs/serving.md for the endpoints)",
+    )
+    _add_service_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8780, help="bind port")
+    serve.add_argument(
+        "--dim",
+        type=int,
+        default=None,
+        help="dimensionality when starting a fresh (empty) data dir",
+    )
+    serve.add_argument(
+        "--metric", default="euclidean", help="metric for a fresh data dir"
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=1024, help="admission queue bound"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32, help="micro-batch size cap"
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds",
+    )
+
     commands.add_parser(
         "bench", help="how to regenerate the paper's tables and figures"
     )
     return parser
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by the durable-service commands."""
+    parser.add_argument(
+        "--data-dir", required=True, help="service state directory"
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="always",
+        help="WAL durability policy (see docs/serving.md)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        help="records between automatic checkpoints (0 = manual only)",
+    )
+    parser.add_argument(
+        "--leaf-size", type=int, default=125, help="S_L for a fresh index"
+    )
+    parser.add_argument(
+        "--tau", type=float, default=0.5, help="tau for a fresh index"
+    )
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -335,6 +421,139 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_mbi_config(args: argparse.Namespace):
+    from .core.config import MBIConfig
+    from .graph.builder import GraphConfig
+
+    return MBIConfig(
+        leaf_size=args.leaf_size,
+        tau=args.tau,
+        # Small blocks build fastest through the exact builder.
+        graph=GraphConfig(n_neighbors=8, exact_threshold=100_000),
+    )
+
+
+def _service_config(args: argparse.Namespace):
+    from .service import ServiceConfig
+
+    extras = {}
+    if getattr(args, "max_queue", None) is not None:
+        extras["max_queue"] = args.max_queue
+    if getattr(args, "max_batch", None) is not None:
+        extras["max_batch"] = args.max_batch
+    if getattr(args, "timeout", None) is not None:
+        extras["default_timeout"] = args.timeout
+    return ServiceConfig(
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
+        **extras,
+    )
+
+
+def _ingest_source(args: argparse.Namespace):
+    """The ``(vectors, timestamps, dim, metric)`` stream to ingest."""
+    if args.dataset is not None:
+        dataset = load_dataset(args.dataset)
+        vectors, timestamps = dataset.vectors, dataset.timestamps
+        dim, metric = dataset.spec.dim, dataset.metric_name
+    else:
+        from .datasets.synthetic import SyntheticSpec, generate
+
+        spec = SyntheticSpec(
+            n_items=args.n,
+            n_queries=8,
+            dim=args.dim,
+            generator="drifting_clusters",
+            n_clusters=8,
+            seed=args.seed,
+        )
+        dataset = generate(spec, name="ingest-synthetic")
+        vectors, timestamps = dataset.vectors, dataset.timestamps
+        dim, metric = dataset.spec.dim, dataset.metric_name
+    if args.max_items is not None:
+        vectors = vectors[: args.max_items]
+        timestamps = timestamps[: args.max_items]
+    return vectors, timestamps, dim, metric
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .service import IndexService
+
+    vectors, timestamps, dim, metric = _ingest_source(args)
+    service = IndexService.open(
+        args.data_dir,
+        dim=dim,
+        metric=metric,
+        mbi_config=_service_mbi_config(args),
+        config=_service_config(args),
+    )
+    already = service.applied_records
+    if already:
+        print(f"resuming: {already:,} records already durable")
+        vectors = vectors[already:]
+        timestamps = timestamps[already:]
+    started = time.perf_counter()
+    with service:
+        for vector, timestamp in zip(vectors, timestamps):
+            service.ingest(vector, float(timestamp))
+        elapsed = time.perf_counter() - started
+        if not args.no_final_snapshot:
+            service.close(checkpoint=True)
+        total = service.applied_records
+    rate = len(vectors) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"ingested {len(vectors):,} records in {elapsed:.2f}s "
+        f"({rate:,.0f} rec/s, fsync={args.fsync}); "
+        f"{total:,} records durable in {args.data_dir}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .service import IndexService, make_server
+
+    service = IndexService.open(
+        args.data_dir,
+        dim=args.dim,
+        metric=args.metric,
+        mbi_config=_service_mbi_config(args),
+        config=_service_config(args),
+    )
+    report = service.last_recovery
+    if report is not None and (
+        report.snapshot_path is not None or report.replayed_records
+    ):
+        print(
+            f"recovered {service.applied_records:,} records "
+            f"(snapshot: {report.snapshot_records:,}, "
+            f"WAL replay: {report.replayed_records:,}"
+            f"{', torn tail discarded' if report.torn_tail else ''})"
+        )
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {service.applied_records:,} records "
+        f"(dim {service.index.dim}) on http://{host}:{port} — "
+        "endpoints: /healthz /metrics /query /ingest /checkpoint"
+    )
+
+    def _shutdown(signum: int, _frame: object) -> None:
+        print(f"signal {signum}: draining ...", file=sys.stderr)
+        server.shutdown()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.close()
+        print("drained; bye")
+    return 0
+
+
 def _cmd_bench(_: argparse.Namespace) -> int:
     print(
         "Run the full evaluation harness (Tables 2-4, Figures 5-9, theory\n"
@@ -356,6 +575,8 @@ _COMMANDS = {
     "info": _cmd_info,
     "query": _cmd_query,
     "explain": _cmd_explain,
+    "ingest": _cmd_ingest,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
 }
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -183,12 +183,53 @@ class MultiLevelBlockIndex:
         seals every completed ancestor — the only inserts with non-constant
         cost, amortising to ``O(n^0.14 log n)`` per vector (Section 4.4.2).
         """
+        position, chain = self.insert_deferred(vector, timestamp)
+        if chain:
+            self._build_chain(chain)
+        return position
+
+    def insert_deferred(
+        self, vector: np.ndarray, timestamp: float
+    ) -> tuple[int, list[Block]]:
+        """Insert one vector but *defer* any block builds to the caller.
+
+        This is the constant-cost half of Algorithm 3: the vector is
+        appended and every block completed by this insert (the sealed leaf
+        plus its finished ancestors, in bottom-up order) is materialised in
+        the tree but **not** built.  The caller is responsible for passing
+        the returned chain to :meth:`build_blocks`, typically on a
+        background executor so queries keep running during the expensive
+        graph constructions (the paper's "Parallelization of MBI"; this is
+        what :class:`repro.service.IndexService` does).
+
+        Until a returned block is built, queries that select it fall back
+        to an exact scan of its span — correct, just slower — so deferring
+        never changes correctness, only the work profile.
+
+        Returns:
+            ``(position, chain)`` where ``chain`` is the (possibly empty)
+            list of newly completed blocks awaiting :meth:`build_blocks`.
+        """
         position = self._store.append(vector, timestamp)
         leaf_ordinal = position // self._config.leaf_size
         self._ensure_open_leaf(leaf_ordinal)
+        chain: list[Block] = []
         if (position + 1) % self._config.leaf_size == 0:
-            self._seal_and_merge(leaf_ordinal)
-        return position
+            chain = self._materialise_chain(leaf_ordinal)
+        return position, chain
+
+    def build_blocks(self, blocks: Iterable[Block]) -> None:
+        """Build the kNN index of each not-yet-built block, in order.
+
+        The complement of :meth:`insert_deferred`.  Safe to call while
+        other threads are searching: building only *sets* each block's
+        ``backend`` (one atomic reference assignment); it never mutates the
+        store or the block tree.  Already-built blocks are skipped, so
+        replaying a chain is idempotent.
+        """
+        for block in blocks:
+            if block.backend is None:
+                self._build_block(block)
 
     def extend(self, vectors: np.ndarray, timestamps: np.ndarray) -> range:
         """Insert a timestamp-sorted batch; returns the position range."""
@@ -213,8 +254,12 @@ class MultiLevelBlockIndex:
             index=index, height=0, positions=range(lo, lo + leaf_size)
         )
 
-    def _seal_and_merge(self, leaf_ordinal: int) -> None:
-        """Build the full leaf's graph, then every completed ancestor's."""
+    def _materialise_chain(self, leaf_ordinal: int) -> list[Block]:
+        """Materialise the just-sealed leaf's merge chain (without building).
+
+        Returns the sealed leaf plus every ancestor completed by it, in
+        bottom-up creation order (Algorithm 3's block numbering).
+        """
         leaf_size = self._config.leaf_size
         chain: list[Block] = [self._blocks[leaf_block_index(leaf_ordinal)]]
         index = leaf_block_index(leaf_ordinal)
@@ -232,6 +277,10 @@ class MultiLevelBlockIndex:
             chain.append(block)
             remaining //= 2
             height += 1
+        return chain
+
+    def _build_chain(self, chain: list[Block]) -> None:
+        """Build a merge chain's block indexes, optionally in parallel."""
         if self._config.parallel and len(chain) > 1:
             with ThreadPoolExecutor(self._config.max_workers) as pool:
                 list(pool.map(self._build_block, chain))

@@ -91,10 +91,20 @@ def load_index(path: str | Path) -> MultiLevelBlockIndex:
         with np.load(path) as archive:
             header_bytes = bytes(archive["header"])
             header = json.loads(header_bytes.decode("utf-8"))
-            if header.get("format_version") != FORMAT_VERSION:
+            version = header.get("format_version")
+            if version != FORMAT_VERSION:
+                # Fail fast, *before* any reconstruction: a future format
+                # would otherwise surface as a confusing KeyError deep in
+                # backend loading.
+                if isinstance(version, int) and version > FORMAT_VERSION:
+                    raise PersistenceError(
+                        f"snapshot {path} has format version {version}, "
+                        f"which is newer than the latest supported version "
+                        f"{FORMAT_VERSION}; upgrade the library to read it"
+                    )
                 raise PersistenceError(
                     f"snapshot {path} has format version "
-                    f"{header.get('format_version')}, expected {FORMAT_VERSION}"
+                    f"{version}, expected {FORMAT_VERSION}"
                 )
             vectors = archive["vectors"]
             timestamps = archive["timestamps"]

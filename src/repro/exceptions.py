@@ -54,8 +54,42 @@ class InvalidQueryError(ReproError):
     """A TkNN query is malformed (bad ``k``, inverted time window, wrong dim)."""
 
 
+class VectorInputError(ReproError):
+    """A vector or timestamp payload is malformed (dtype, shape, or NaN).
+
+    Raised by :class:`repro.storage.VectorStore` before any internal state
+    is touched, so a rejected append can never corrupt capacity bookkeeping
+    or the sorted-by-time invariant.
+    """
+
+
 class PersistenceError(ReproError):
     """An index snapshot could not be written or read back."""
+
+
+class WalCorruptionError(PersistenceError):
+    """A write-ahead-log segment failed CRC or structural validation.
+
+    A *torn tail* (a partially written final record after a crash) is not
+    corruption — replay silently stops there.  This error means bytes in
+    the middle of a segment are bad, which a crash cannot produce.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by :mod:`repro.service`."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request arrived after the service started (or finished) draining."""
+
+
+class AdmissionError(ServiceError):
+    """The bounded request queue is full; the request was rejected."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline passed before the service could answer it."""
 
 
 class DatasetError(ReproError):

@@ -95,6 +95,13 @@ class Counter:
         with self._lock:
             self._value = 0.0
 
+    def _dump(self) -> float:
+        return self._value
+
+    def _restore(self, state: float) -> None:
+        with self._lock:
+            self._value = float(state)
+
     def __repr__(self) -> str:
         return f"Counter({self.name}={self._value:g})"
 
@@ -128,6 +135,13 @@ class Gauge:
     def _reset(self) -> None:
         with self._lock:
             self._value = 0.0
+
+    def _dump(self) -> float:
+        return self._value
+
+    def _restore(self, state: float) -> None:
+        with self._lock:
+            self._value = float(state)
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self._value:g})"
@@ -209,6 +223,22 @@ class Histogram:
             self._counts = [0] * (len(self.bounds) + 1)
             self._sum = 0.0
             self._count = 0
+
+    def _dump(self) -> tuple[list[int], float, int]:
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+    def _restore(self, state: tuple[list[int], float, int]) -> None:
+        counts, total, count = state
+        if len(counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"histogram {self.name} state has {len(counts)} buckets, "
+                f"expected {len(self.bounds) + 1}"
+            )
+        with self._lock:
+            self._counts = list(counts)
+            self._sum = float(total)
+            self._count = int(count)
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, count={self._count}, sum={self._sum:g})"
@@ -296,6 +326,34 @@ class MetricsRegistry:
             metrics = list(self._metrics.values())
         for metric in metrics:
             metric._reset()
+
+    def dump_state(self) -> dict[str, object]:
+        """Full restorable state of every metric (see :meth:`restore_state`).
+
+        Unlike :meth:`snapshot` (which flattens histograms to summary
+        numbers for human consumption), the returned mapping preserves
+        exact bucket counts and can be fed back to :meth:`restore_state`.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric._dump() for name, metric in metrics.items()}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Restore every metric to a :meth:`dump_state` snapshot, in place.
+
+        Metrics registered *after* the snapshot are reset to zero; metric
+        objects themselves survive (handles cached by instrumented modules
+        stay valid).  Together with :meth:`dump_state` this is the
+        save/restore hook the shared ``_metrics_isolation`` pytest fixture
+        uses so tests stop leaking counter state across modules.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        for name, metric in metrics.items():
+            if name in state:
+                metric._restore(state[name])
+            else:
+                metric._reset()
 
     def render(self) -> str:
         """Human-readable dump, one metric per line (histograms multi-line)."""

@@ -1,0 +1,94 @@
+"""A writer-preference readers/writer lock for the serving layer.
+
+:class:`repro.service.IndexService` is single-writer/multi-reader: queries
+(readers) run concurrently against a consistent view, while the *apply*
+step of an ingest (writer) takes brief exclusive ownership.  Expensive
+block builds intentionally run **outside** the lock — they only flip a
+block's ``backend`` reference, which is atomic under the GIL — so a query
+is never blocked behind a graph construction.
+
+Writer preference matters here: with a steady query load, a
+readers-preference lock would starve ingest indefinitely.  A waiting
+writer therefore blocks *new* readers; in-flight readers finish first.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Readers/writer lock with writer preference.
+
+    Use the context managers::
+
+        with lock.read():   # shared
+            ...
+        with lock.write():  # exclusive
+            ...
+
+    Not reentrant: a thread must not acquire the lock (in either mode)
+    while already holding it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Hold the lock in shared (reader) mode."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Hold the lock in exclusive (writer) mode."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def acquire_read(self) -> None:
+        """Block until shared mode is available (no writer active/waiting)."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release one shared hold."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until exclusive mode is available."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @property
+    def active_readers(self) -> int:
+        """Readers currently holding the lock (diagnostic)."""
+        return self._readers

@@ -1,0 +1,187 @@
+"""A zero-dependency HTTP frontend for :class:`~repro.service.IndexService`.
+
+Built on :mod:`http.server` (``ThreadingHTTPServer``) so the serving layer
+needs nothing beyond the standard library.  One handler thread per
+connection feeds the service's admission queue; the queue — not the HTTP
+layer — is the concurrency bottleneck by design, so overload turns into
+fast 429s instead of unbounded thread pile-ups.
+
+Endpoints (all JSON):
+
+==========  =======  ====================================================
+path        method   behaviour
+==========  =======  ====================================================
+/healthz    GET      liveness + record/block counts
+/metrics    GET      the process metrics registry, text format
+/query      POST     ``{"query": [...], "k": 10, "t_start"?, "t_end"?,
+                     "timeout"?}`` → positions/distances/timestamps
+/ingest     POST     ``{"vector": [...], "timestamp": 1.5}`` or
+                     ``{"vectors": [[...]], "timestamps": [...]}``
+/checkpoint POST     force a snapshot + WAL rotation
+==========  =======  ====================================================
+
+Status codes: 400 malformed, 408 deadline expired, 429 queue full,
+503 draining/closed.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import (
+    AdmissionError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceClosedError,
+)
+from ..observability.metrics import get_registry
+from .service import IndexService
+
+_MAX_BODY = 64 * 1024 * 1024
+
+
+def make_server(
+    service: IndexService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Build (but do not start) an HTTP server bound to ``service``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` (handy for tests).
+    """
+
+    class Handler(_ServiceHandler):
+        pass
+
+    Handler.service = service
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(
+    service: IndexService, host: str = "127.0.0.1", port: int = 8780
+) -> None:
+    """Run the frontend until interrupted; drains the service on exit."""
+    server = make_server(service, host, port)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.close()
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    service: IndexService  # injected by make_server
+    protocol_version = "HTTP/1.1"
+
+    # Silence per-request stderr logging; metrics cover observability.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _reply(self, status: int, payload: dict | str) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0 or length > _MAX_BODY:
+            raise ValueError(f"bad Content-Length {length}")
+        payload = json.loads(self.rfile.read(length))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------- GET
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/healthz":
+            service = self.service
+            status = 503 if service.closed else 200
+            self._reply(
+                status,
+                {
+                    "status": "draining" if service.closed else "ok",
+                    "records": service.applied_records,
+                    "blocks": service.index.num_blocks,
+                    "pending_queries": service.pending_queries,
+                },
+            )
+        elif self.path == "/metrics":
+            self._reply(200, get_registry().render() + "\n")
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    # ------------------------------------------------------------------ POST
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/query":
+                self._handle_query()
+            elif self.path == "/ingest":
+                self._handle_ingest()
+            elif self.path == "/checkpoint":
+                path = self.service.checkpoint()
+                self._reply(200, {"snapshot": str(path)})
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+        except DeadlineExceededError as error:
+            self._reply(408, {"error": str(error)})
+        except AdmissionError as error:
+            self._reply(429, {"error": str(error)})
+        except ServiceClosedError as error:
+            self._reply(503, {"error": str(error)})
+        except (ReproError, ValueError, KeyError, TypeError) as error:
+            self._reply(400, {"error": str(error)})
+
+    def _handle_query(self) -> None:
+        payload = self._read_json()
+        query = np.asarray(payload["query"], dtype=np.float64)
+        k = int(payload.get("k", 10))
+        result = self.service.query(
+            query,
+            k,
+            float(payload.get("t_start", float("-inf"))),
+            float(payload.get("t_end", float("inf"))),
+            timeout=(
+                float(payload["timeout"]) if "timeout" in payload else None
+            ),
+        )
+        self._reply(
+            200,
+            {
+                "positions": [int(p) for p in result.positions],
+                "distances": [float(d) for d in result.distances],
+                "timestamps": [float(t) for t in result.timestamps],
+                "blocks_searched": result.stats.blocks_searched,
+                "distance_evaluations": result.stats.distance_evaluations,
+            },
+        )
+
+    def _handle_ingest(self) -> None:
+        payload = self._read_json()
+        if "vectors" in payload:
+            vectors = np.asarray(payload["vectors"], dtype=np.float64)
+            timestamps = np.asarray(payload["timestamps"], dtype=np.float64)
+            positions = self.service.ingest_batch(vectors, timestamps)
+            self._reply(
+                200, {"positions": [positions.start, positions.stop]}
+            )
+        else:
+            position = self.service.ingest(
+                np.asarray(payload["vector"], dtype=np.float64),
+                float(payload["timestamp"]),
+            )
+            self._reply(200, {"position": position})

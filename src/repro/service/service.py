@@ -1,0 +1,758 @@
+"""`IndexService` — a concurrent, durable TkNN serving layer over MBI.
+
+The paper's MBI targets *time-accumulating* data: inserts never stop while
+queries run.  :class:`IndexService` turns the single-threaded library index
+into a serving substrate with three properties:
+
+**Concurrency (single-writer / multi-reader).**  Queries hold a shared
+:class:`~repro.service.locks.RWLock`; the ingest *apply* step (append one
+vector, materialise any completed blocks) holds it exclusively but is
+O(dim).  The expensive part of an insert — building sealed blocks' kNN
+graphs (the paper's bottom-up merge) — runs on a background executor with
+**no lock held**: building only flips each block's ``backend`` reference,
+and until that happens queries answer the block with an exact scan.
+Queries therefore always see a consistent *prefix* of the insert stream.
+
+**Durability (WAL + snapshots + recovery).**  Every ingest is appended to
+a CRC-checked write-ahead log (see :mod:`repro.service.wal`) *before* it
+is applied; snapshots via :mod:`repro.core.persistence` bound replay time;
+recovery = load the newest intact snapshot, replay the WAL tail, resume.
+Data directory layout::
+
+    data_dir/
+      snapshot-<N>.npz   # index state covering the first N records
+      wal-<N>.log        # records N, N+1, ... (newest segment is active)
+
+Snapshots are written to a temp file and atomically renamed, so a crash
+mid-snapshot leaves the previous one intact.  Because block builds are
+deterministic per block (seeded by ``(config.seed, block.index)``), a
+recovered index is *bit-identical in its answers* to one that never
+crashed, over the durable prefix.
+
+**Admission control.**  A bounded queue with per-request deadlines and
+micro-batching (see :mod:`repro.service.admission`) sheds load instead of
+queueing unboundedly, and :meth:`IndexService.close` drains gracefully.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import MBIConfig, SearchParams
+from ..core.mbi import MultiLevelBlockIndex
+from ..core.persistence import load_index, save_index
+from ..core.results import QueryResult
+from ..distances.metrics import Metric
+from ..exceptions import (
+    AdmissionError,
+    DeadlineExceededError,
+    DimensionMismatchError,
+    InvalidQueryError,
+    PersistenceError,
+    ServiceClosedError,
+    ServiceError,
+    TimestampOrderError,
+    VectorInputError,
+)
+from ..observability.metrics import get_registry
+from ..observability.trace import QueryTrace
+from .admission import AdmissionQueue, QueryRequest
+from .locks import RWLock
+from .wal import (
+    FSYNC_POLICIES,
+    WriteAheadLog,
+    iter_segment_records,
+    replay_wal,
+)
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.npz$")
+_SEGMENT_RE = re.compile(r"^wal-(\d+)\.log$")
+
+_METRICS = get_registry()
+_INFLIGHT = _METRICS.gauge(
+    "service_inflight", "Admitted queries not yet answered"
+)
+_REQUESTS = _METRICS.counter(
+    "service_requests_total", "Queries admitted by the service"
+)
+_ANSWERED = _METRICS.counter(
+    "service_answered_total", "Queries answered successfully"
+)
+_REJECTED = _METRICS.counter(
+    "service_rejected_total", "Queries rejected (queue full or closed)"
+)
+_EXPIRED = _METRICS.counter(
+    "service_deadline_expired_total",
+    "Admitted queries dropped because their deadline passed",
+)
+_BATCHES = _METRICS.counter(
+    "service_batches_total", "Micro-batches executed"
+)
+_BATCH_SIZE = _METRICS.histogram(
+    "service_batch_size",
+    "Requests per executed micro-batch",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
+_QUERY_SECONDS = _METRICS.histogram(
+    "service_query_seconds", "Queue + execution latency per answered query"
+)
+_INGESTED = _METRICS.counter(
+    "service_ingested_records_total", "Vectors durably ingested"
+)
+_SNAPSHOTS = _METRICS.counter(
+    "service_snapshots_total", "Snapshots written by checkpoints"
+)
+_RECOVERIES = _METRICS.counter(
+    "service_recoveries_total", "Successful open-with-recovery operations"
+)
+_REPLAYED = _METRICS.counter(
+    "service_replayed_records_total", "WAL records replayed during recovery"
+)
+_PENDING_BUILDS = _METRICS.gauge(
+    "service_pending_builds", "Sealed block chains awaiting background build"
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of :class:`IndexService`.
+
+    Attributes:
+        fsync: WAL durability policy (``"always"``/``"interval"``/
+            ``"never"``; see :mod:`repro.service.wal`).
+        fsync_interval: Max seconds between fsyncs under ``"interval"``.
+        snapshot_every: Records between automatic checkpoints; ``0``
+            disables automatic snapshots (call :meth:`~IndexService.checkpoint`).
+        max_queue: Bound of the admission queue.
+        max_batch: Max requests folded into one ``search_batch`` call.
+        default_timeout: Default per-request deadline in seconds
+            (``None`` = no deadline).
+        search_workers: Inner thread pool for batched searches
+            (``None`` = run each micro-batch sequentially).
+        build_workers: Background build executor width.  The default of 1
+            serialises chain builds, which keeps the build-time counters
+            exact; queries never wait on builds either way.
+    """
+
+    fsync: str = "always"
+    fsync_interval: float = 0.05
+    snapshot_every: int = 0
+    max_queue: int = 1024
+    max_batch: int = 32
+    default_timeout: float | None = None
+    search_workers: int | None = None
+    build_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {self.fsync!r}"
+            )
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0, got {self.snapshot_every}"
+            )
+        if self.build_workers < 1:
+            raise ValueError(
+                f"build_workers must be >= 1, got {self.build_workers}"
+            )
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`IndexService.open` found on disk.
+
+    Attributes:
+        snapshot_path: The snapshot loaded, or ``None`` (cold start).
+        snapshot_records: Records covered by that snapshot.
+        replayed_records: WAL records replayed on top of it.
+        torn_tail: Whether a torn WAL tail was discarded.
+        skipped_snapshots: Snapshot files that failed to load and were
+            skipped in favour of an older one.
+    """
+
+    snapshot_path: Path | None = None
+    snapshot_records: int = 0
+    replayed_records: int = 0
+    torn_tail: bool = False
+    skipped_snapshots: int = 0
+
+
+class IndexService:
+    """Concurrent, durable TkNN serving layer over one MBI index.
+
+    Construct with :meth:`open` (create-or-recover from a data directory).
+    The service is usable as a context manager; exiting drains and closes.
+
+    Example:
+        >>> svc = IndexService.open(tmp_path, dim=8)        # doctest: +SKIP
+        >>> svc.ingest(np.zeros(8), timestamp=0.0)          # doctest: +SKIP
+        >>> svc.query(np.zeros(8), k=1)                     # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        index: MultiLevelBlockIndex,
+        data_dir: str | Path,
+        config: ServiceConfig | None = None,
+        *,
+        applied_records: int | None = None,
+        recovery: RecoveryReport | None = None,
+    ) -> None:
+        self._index = index
+        self._data_dir = Path(data_dir)
+        self._data_dir.mkdir(parents=True, exist_ok=True)
+        self._config = config if config is not None else ServiceConfig()
+        self._applied = (
+            len(index) if applied_records is None else int(applied_records)
+        )
+        if self._applied != len(index):
+            raise ServiceError(
+                f"applied_records={self._applied} disagrees with index "
+                f"length {len(index)}"
+            )
+        self.last_recovery = recovery
+
+        self._rwlock = RWLock()
+        self._ingest_lock = threading.RLock()
+        self._rng = np.random.default_rng(index.config.seed)
+        self._rng_lock = threading.Lock()
+        self._closed = False
+
+        self._wal = WriteAheadLog(
+            self._segment_path(self._applied),
+            index.dim,
+            fsync=self._config.fsync,
+            fsync_interval=self._config.fsync_interval,
+        )
+        # Records already in the active segment (recovery reuses segments).
+        self._segment_base = self._applied - self._wal.record_count
+
+        self._build_pool = ThreadPoolExecutor(
+            self._config.build_workers, thread_name_prefix="repro-build"
+        )
+        self._build_futures: list[Future] = []
+        self._build_futures_lock = threading.Lock()
+
+        self._queue = AdmissionQueue(self._config.max_queue)
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="repro-serve-worker", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str | Path,
+        *,
+        dim: int | None = None,
+        metric: Metric | str = "euclidean",
+        mbi_config: MBIConfig | None = None,
+        config: ServiceConfig | None = None,
+    ) -> "IndexService":
+        """Create-or-recover a service from a data directory.
+
+        When the directory holds prior state, the newest intact snapshot is
+        loaded and the WAL tail replayed on top of it (``dim``/``metric``/
+        ``mbi_config`` are then taken from the snapshot and may be omitted).
+        A fresh directory starts an empty index, for which ``dim`` is
+        required.
+
+        Raises:
+            PersistenceError: On unrecoverable on-disk state (WAL gaps or
+                mid-file corruption).
+            ServiceError: If a fresh start is requested without ``dim``.
+        """
+        data_dir = Path(data_dir)
+        data_dir.mkdir(parents=True, exist_ok=True)
+        snapshots = sorted(
+            (
+                (int(m.group(1)), entry)
+                for entry in data_dir.iterdir()
+                if (m := _SNAPSHOT_RE.match(entry.name))
+            ),
+            reverse=True,
+        )
+        index: MultiLevelBlockIndex | None = None
+        applied = 0
+        snapshot_path: Path | None = None
+        skipped = 0
+        for count, path in snapshots:
+            try:
+                candidate = load_index(path)
+            except PersistenceError:
+                skipped += 1
+                continue
+            if len(candidate) != count:
+                skipped += 1
+                continue
+            index, applied, snapshot_path = candidate, count, path
+            break
+
+        segments = sorted(
+            (
+                (int(m.group(1)), entry)
+                for entry in data_dir.iterdir()
+                if (m := _SEGMENT_RE.match(entry.name))
+            )
+        )
+        if index is None:
+            if segments and dim is None:
+                # Infer dimensionality from the oldest segment header.
+                dim = replay_wal(segments[0][1]).dim
+            if dim is None:
+                raise ServiceError(
+                    f"{data_dir} holds no recoverable state and no dim was "
+                    "given for a fresh index"
+                )
+            index = MultiLevelBlockIndex(int(dim), metric, mbi_config)
+
+        replayed = 0
+        torn = False
+        for global_index, record in iter_segment_records(segments, applied):
+            if global_index != applied:  # pragma: no cover - defensive
+                raise PersistenceError(
+                    f"WAL replay expected record {applied}, got {global_index}"
+                )
+            index.insert(record.vector, record.timestamp)
+            applied += 1
+            replayed += 1
+        if segments:
+            # ``iter_segment_records`` already validated contiguity; only
+            # the final segment can carry a torn tail worth reporting.
+            torn = not replay_wal(segments[-1][1]).clean
+
+        report = RecoveryReport(
+            snapshot_path=snapshot_path,
+            snapshot_records=(
+                0 if snapshot_path is None else len(index) - replayed
+            ),
+            replayed_records=replayed,
+            torn_tail=torn,
+            skipped_snapshots=skipped,
+        )
+        if snapshot_path is not None or replayed:
+            _RECOVERIES.inc()
+            _REPLAYED.inc(replayed)
+        return cls(
+            index,
+            data_dir,
+            config,
+            applied_records=applied,
+            recovery=report,
+        )
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def index(self) -> MultiLevelBlockIndex:
+        """The wrapped index.  Direct use is *not* thread-safe; prefer
+        :meth:`search`/:meth:`query`/:meth:`ingest`."""
+        return self._index
+
+    @property
+    def data_dir(self) -> Path:
+        """The durable state directory."""
+        return self._data_dir
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The service configuration."""
+        return self._config
+
+    @property
+    def applied_records(self) -> int:
+        """Durably ingested records applied to the in-memory index."""
+        return self._applied
+
+    @property
+    def closed(self) -> bool:
+        """Whether the service has been closed (or is draining)."""
+        return self._closed
+
+    @property
+    def pending_queries(self) -> int:
+        """Admitted queries not yet started."""
+        return len(self._queue)
+
+    def _segment_path(self, start: int) -> Path:
+        return self._data_dir / f"wal-{start:012d}.log"
+
+    def _snapshot_path(self, count: int) -> Path:
+        return self._data_dir / f"snapshot-{count:012d}.npz"
+
+    # ----------------------------------------------------------------- ingest
+
+    def ingest(self, vector: np.ndarray, timestamp: float) -> int:
+        """Durably ingest one timestamped vector; returns its position.
+
+        WAL-first: the record is appended (and fsynced per policy) before
+        the in-memory apply, so an acknowledged ingest survives a crash.
+        Validation happens *before* the WAL append — a rejected vector
+        leaves neither the log nor the index touched.
+
+        Raises:
+            ServiceClosedError: After :meth:`close` has begun.
+            DimensionMismatchError / TimestampOrderError /
+            VectorInputError: On invalid input.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed; ingest rejected")
+        with self._ingest_lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed; ingest rejected")
+            vector = np.ascontiguousarray(vector, dtype=np.float32)
+            if vector.ndim != 1 or vector.shape[0] != self._index.dim:
+                actual = vector.shape[-1] if vector.ndim else 0
+                raise DimensionMismatchError(self._index.dim, int(actual))
+            if not np.all(np.isfinite(vector)):
+                raise VectorInputError("vector contains non-finite components")
+            timestamp = float(timestamp)
+            if timestamp != timestamp:  # NaN
+                raise VectorInputError("timestamp is NaN")
+            if timestamp < self._index.store.latest_timestamp:
+                raise TimestampOrderError(
+                    f"timestamp {timestamp} precedes latest ingested "
+                    f"timestamp {self._index.store.latest_timestamp}"
+                )
+            self._wal.append(vector, timestamp)  # durable first
+            with self._rwlock.write():
+                position, chain = self._index.insert_deferred(
+                    vector, timestamp
+                )
+            self._applied += 1
+            _INGESTED.inc()
+            if chain:
+                self._submit_build(chain)
+            if (
+                self._config.snapshot_every
+                and self._applied % self._config.snapshot_every == 0
+            ):
+                self.checkpoint()
+        return position
+
+    def ingest_batch(
+        self, vectors: np.ndarray, timestamps: np.ndarray
+    ) -> range:
+        """Durably ingest a timestamp-sorted batch; returns the positions."""
+        vectors = np.asarray(vectors)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if len(vectors) != len(timestamps):
+            raise ValueError(
+                f"got {len(vectors)} vectors but {len(timestamps)} timestamps"
+            )
+        with self._ingest_lock:
+            start = self._applied
+            for vector, timestamp in zip(vectors, timestamps):
+                self.ingest(vector, float(timestamp))
+            return range(start, self._applied)
+
+    def _submit_build(self, chain: list) -> None:
+        _PENDING_BUILDS.inc()
+
+        def build() -> None:
+            try:
+                self._index.build_blocks(chain)
+            finally:
+                _PENDING_BUILDS.inc(-1)
+
+        future = self._build_pool.submit(build)
+        with self._build_futures_lock:
+            self._build_futures = [
+                f for f in self._build_futures if not f.done()
+            ]
+            self._build_futures.append(future)
+
+    def wait_builds(self, timeout: float | None = None) -> None:
+        """Block until every submitted background build has finished."""
+        with self._build_futures_lock:
+            futures = list(self._build_futures)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for future in futures:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            future.result(timeout=remaining)
+
+    # ---------------------------------------------------------------- queries
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        t_start: float = float("-inf"),
+        t_end: float = float("inf"),
+        *,
+        params: SearchParams | None = None,
+        tau: float | None = None,
+        rng: np.random.Generator | None = None,
+        trace: QueryTrace | None = None,
+    ) -> QueryResult:
+        """Answer one TkNN query synchronously (bypasses the queue).
+
+        Takes the read lock, so it may run concurrently with other
+        searches and with background builds, and sees a consistent prefix
+        of the ingest stream.
+        """
+        if rng is None:
+            rng = self._spawn_rng()
+        with self._rwlock.read():
+            return self._index.search(
+                query, k, t_start, t_end,
+                params=params, tau=tau, rng=rng, trace=trace,
+            )
+
+    def submit(
+        self,
+        query: np.ndarray,
+        k: int,
+        t_start: float = float("-inf"),
+        t_end: float = float("inf"),
+        *,
+        timeout: float | None = None,
+        trace: QueryTrace | None = None,
+    ) -> Future:
+        """Admit one TkNN request; returns a future of its result.
+
+        Raises:
+            AdmissionError: When the bounded queue is full.
+            ServiceClosedError: When the service is draining/closed.
+            InvalidQueryError: On malformed queries (checked on admission
+                so the error surfaces immediately, not via the future).
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1 or query.shape[0] != self._index.dim:
+            raise InvalidQueryError(
+                f"query must be a vector of dimension {self._index.dim}, "
+                f"got shape {query.shape}"
+            )
+        if k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {k}")
+        if timeout is None:
+            timeout = self._config.default_timeout
+        request = QueryRequest(
+            query=query,
+            k=int(k),
+            t_start=float(t_start),
+            t_end=float(t_end),
+            deadline=(
+                None if timeout is None else time.monotonic() + timeout
+            ),
+            trace=trace,
+        )
+        try:
+            self._queue.put(request)
+        except (ServiceClosedError, AdmissionError):
+            _REJECTED.inc()
+            raise
+        _REQUESTS.inc()
+        _INFLIGHT.inc()
+        return request.future
+
+    def query(
+        self,
+        query: np.ndarray,
+        k: int,
+        t_start: float = float("-inf"),
+        t_end: float = float("inf"),
+        *,
+        timeout: float | None = None,
+        trace: QueryTrace | None = None,
+    ) -> QueryResult:
+        """Admit one request and block for its answer (deadline-aware)."""
+        if timeout is None:
+            timeout = self._config.default_timeout
+        future = self.submit(
+            query, k, t_start, t_end, timeout=timeout, trace=trace
+        )
+        # A small grace period keeps the future (not this wait) the source
+        # of truth for deadline handling.
+        wait = None if timeout is None else timeout + 1.0
+        return future.result(timeout=wait)
+
+    def _spawn_rng(self) -> np.random.Generator:
+        with self._rng_lock:
+            seed = int(self._rng.integers(0, 2**63 - 1))
+        return np.random.default_rng(seed)
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.drain(self._config.max_batch)
+            if batch is None:
+                return
+            now = time.monotonic()
+            live: list[QueryRequest] = []
+            for request in batch:
+                if request.expired(now):
+                    _EXPIRED.inc()
+                    _INFLIGHT.inc(-1)
+                    request.future.set_exception(
+                        _deadline_error(request, now)
+                    )
+                else:
+                    live.append(request)
+            if not live:
+                continue
+            _BATCHES.inc()
+            _BATCH_SIZE.observe(len(live))
+            try:
+                results = self._execute(live)
+            except Exception as error:  # surface through the futures
+                for request in live:
+                    _INFLIGHT.inc(-1)
+                    if not request.future.set_running_or_notify_cancel():
+                        continue
+                    request.future.set_exception(error)
+                continue
+            finish = time.monotonic()
+            for request, result in zip(live, results):
+                _INFLIGHT.inc(-1)
+                _ANSWERED.inc()
+                _QUERY_SECONDS.observe(finish - request.enqueued_at)
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_result(result)
+
+    def _execute(self, live: list[QueryRequest]) -> list[QueryResult]:
+        head = live[0]
+        with self._rwlock.read():
+            if len(live) == 1:
+                return [
+                    self._index.search(
+                        head.query,
+                        head.k,
+                        head.t_start,
+                        head.t_end,
+                        rng=self._spawn_rng(),
+                        trace=head.trace,
+                    )
+                ]
+            queries = np.stack([request.query for request in live])
+            return self._index.search_batch(
+                queries,
+                head.k,
+                head.t_start,
+                head.t_end,
+                rng=self._spawn_rng(),
+                max_workers=self._config.search_workers,
+            )
+
+    # ------------------------------------------------------------- durability
+
+    def checkpoint(self) -> Path:
+        """Write an atomic snapshot and rotate the WAL; returns its path.
+
+        Blocks ingest (it shares the ingest lock) but not queries, except
+        for the instant the write lock is taken to fence in-flight reads.
+        Pending background builds are drained first so the snapshot holds
+        only fully built blocks — a reloaded snapshot then answers queries
+        identically to the live index.
+        """
+        with self._ingest_lock:
+            self.wait_builds()
+            self._wal.sync()
+            count = self._applied
+            tmp = self._data_dir / "snapshot.tmp.npz"
+            with self._rwlock.read():
+                save_index(self._index, tmp)
+            final = self._snapshot_path(count)
+            os.replace(tmp, final)
+            self._fsync_dir()
+            # Rotate: further appends land in a fresh segment that starts
+            # exactly at the snapshot point.
+            self._wal.close()
+            self._wal = WriteAheadLog(
+                self._segment_path(count),
+                self._index.dim,
+                fsync=self._config.fsync,
+                fsync_interval=self._config.fsync_interval,
+            )
+            self._segment_base = count
+            self._gc(keep_snapshot=count)
+            _SNAPSHOTS.inc()
+            return final
+
+    def _gc(self, keep_snapshot: int) -> None:
+        """Drop WAL segments and snapshots the new snapshot supersedes."""
+        for entry in self._data_dir.iterdir():
+            if (m := _SEGMENT_RE.match(entry.name)) and int(
+                m.group(1)
+            ) < keep_snapshot:
+                # Fully covered iff every record precedes the snapshot;
+                # verify cheaply via the *next* boundary: segments are
+                # contiguous, so any segment starting before the snapshot
+                # whose successor also starts at/before it is covered.  The
+                # active segment starts at ``keep_snapshot`` so older ones
+                # are always covered.
+                entry.unlink(missing_ok=True)
+            elif (m := _SNAPSHOT_RE.match(entry.name)) and int(
+                m.group(1)
+            ) < keep_snapshot:
+                entry.unlink(missing_ok=True)
+
+    def _fsync_dir(self) -> None:
+        if not hasattr(os, "O_DIRECTORY"):  # pragma: no cover - non-POSIX
+            return
+        fd = os.open(self._data_dir, os.O_RDONLY | os.O_DIRECTORY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # --------------------------------------------------------------- shutdown
+
+    def close(
+        self, *, checkpoint: bool = False, drain_timeout: float = 30.0
+    ) -> None:
+        """Gracefully drain and shut the service down (idempotent).
+
+        Stops admitting, lets the worker answer every already-admitted
+        request, waits for background builds, fsyncs the WAL, and — when
+        ``checkpoint=True`` — writes a final snapshot so the next open
+        replays nothing.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.close()
+        self._worker.join(timeout=drain_timeout)
+        with self._ingest_lock:
+            self.wait_builds(timeout=drain_timeout)
+            if checkpoint:
+                # checkpoint() only needs the ingest lock, which we hold
+                # (it is an RLock); it leaves a fresh, empty WAL segment.
+                self.checkpoint()
+            self._wal.close()
+        self._build_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "IndexService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexService(dir={self._data_dir}, records={self._applied}, "
+            f"dim={self._index.dim}, closed={self._closed})"
+        )
+
+
+def _deadline_error(request: QueryRequest, now: float) -> DeadlineExceededError:
+    waited = now - request.enqueued_at
+    return DeadlineExceededError(
+        f"request expired after waiting {waited * 1e3:.1f} ms in the queue"
+    )

@@ -1,0 +1,394 @@
+"""Append-only binary write-ahead log of ``(vector, timestamp)`` records.
+
+The WAL is the durability primitive of :class:`repro.service.IndexService`:
+every ingest is appended (and, depending on the fsync policy, forced to
+stable storage) *before* it is applied to the in-memory MBI.  Recovery is
+then ``latest snapshot + replay of the WAL tail``.
+
+Format
+------
+
+A segment file is a 16-byte header followed by length-prefixed records::
+
+    header  := magic[8] dim:u32 dtype_code:u32            (little endian)
+    record  := crc32:u32 length:u32 payload
+    payload := timestamp:f64 vector[dim * itemsize]
+
+``crc32`` covers the payload bytes.  The format is deliberately torn-tail
+tolerant: a crash can only damage the *final* record (the file is written
+strictly append-only), so replay stops at the first short or CRC-mismatched
+record and reports how many clean bytes precede it.  Damage *before* the
+tail cannot be produced by a crash and raises
+:class:`repro.exceptions.WalCorruptionError`.
+
+Fsync policies (the classic durability/throughput trade-off, see
+``docs/serving.md``):
+
+* ``"always"`` — fsync after every append; an acknowledged record survives
+  ``kill -9`` and power loss.
+* ``"interval"`` — fsync at most every ``fsync_interval`` seconds; bounded
+  data loss, much higher throughput.
+* ``"never"`` — leave it to the OS page cache; survives process death but
+  not power loss.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import (
+    DimensionMismatchError,
+    PersistenceError,
+    WalCorruptionError,
+)
+from ..observability.metrics import get_registry
+
+MAGIC = b"RPROWAL1"
+_HEADER = struct.Struct("<II")  # dim, dtype code
+_RECORD = struct.Struct("<II")  # crc32, payload length
+_TIMESTAMP = struct.Struct("<d")
+HEADER_SIZE = len(MAGIC) + _HEADER.size
+
+#: Supported storage dtypes (code <-> numpy dtype).
+_DTYPE_CODES: dict[int, np.dtype] = {
+    0: np.dtype(np.float32),
+    1: np.dtype(np.float64),
+}
+_CODES_BY_DTYPE = {dtype: code for code, dtype in _DTYPE_CODES.items()}
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_METRICS = get_registry()
+_APPENDS = _METRICS.counter(
+    "service_wal_appends_total", "Records appended to the write-ahead log"
+)
+_BYTES = _METRICS.counter(
+    "service_wal_bytes_total", "Bytes appended to the write-ahead log"
+)
+_FSYNCS = _METRICS.counter(
+    "service_wal_fsyncs_total", "fsync calls issued by the write-ahead log"
+)
+_APPEND_SECONDS = _METRICS.histogram(
+    "service_wal_append_seconds", "WAL append latency (write + policy fsync)"
+)
+_FSYNC_SECONDS = _METRICS.histogram(
+    "service_wal_fsync_seconds", "WAL fsync latency"
+)
+_TORN_TAILS = _METRICS.counter(
+    "service_wal_torn_tails_total",
+    "Torn (partially written) WAL tails discarded at open or replay",
+)
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable ``(vector, timestamp)`` record."""
+
+    timestamp: float
+    vector: np.ndarray
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of scanning one WAL segment.
+
+    Attributes:
+        path: The segment scanned.
+        dim: Vector dimensionality declared by the segment header.
+        records: Every clean record, in append order.
+        clean: ``False`` when a torn tail was discarded.
+        discarded_bytes: Size of the discarded tail (0 when clean).
+    """
+
+    path: Path
+    dim: int
+    records: list[WalRecord] = field(default_factory=list)
+    clean: bool = True
+    discarded_bytes: int = 0
+
+
+def replay_wal(path: str | Path) -> ReplayResult:
+    """Read every intact record of a WAL segment.
+
+    Torn tails are tolerated (``result.clean`` is set to ``False`` and the
+    tail size reported); mid-file damage raises
+    :class:`~repro.exceptions.WalCorruptionError`.
+
+    Raises:
+        PersistenceError: If the file is missing or its header is invalid.
+        WalCorruptionError: If a record before the tail fails its CRC.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        raise PersistenceError(f"WAL segment {path} does not exist") from None
+    except OSError as error:
+        raise PersistenceError(f"could not read WAL segment {path}: {error}")
+    dim, dtype = _parse_header(path, data)
+    result = ReplayResult(path=path, dim=dim)
+    record_size = _TIMESTAMP.size + dim * dtype.itemsize
+    offset = HEADER_SIZE
+    while offset < len(data):
+        parsed = _parse_record(data, offset, record_size, dtype, dim)
+        if parsed is None:  # short read: torn tail
+            break
+        crc_ok, record, next_offset = parsed
+        if not crc_ok:
+            if _looks_like_tail(data, next_offset):
+                break
+            raise WalCorruptionError(
+                f"WAL segment {path} is corrupt: CRC mismatch at byte "
+                f"{offset} (record {len(result.records)}) with "
+                f"{len(data) - next_offset} bytes following it"
+            )
+        result.records.append(record)
+        offset = next_offset
+    if offset < len(data):
+        result.clean = False
+        result.discarded_bytes = len(data) - offset
+        _TORN_TAILS.inc()
+    return result
+
+
+def _parse_header(path: Path, data: bytes) -> tuple[int, np.dtype]:
+    if len(data) < HEADER_SIZE or data[: len(MAGIC)] != MAGIC:
+        raise PersistenceError(
+            f"{path} is not a WAL segment (bad magic/short header)"
+        )
+    dim, code = _HEADER.unpack_from(data, len(MAGIC))
+    if code not in _DTYPE_CODES:
+        raise PersistenceError(
+            f"WAL segment {path} declares unknown dtype code {code}"
+        )
+    if dim <= 0:
+        raise PersistenceError(f"WAL segment {path} declares dim {dim}")
+    return int(dim), _DTYPE_CODES[code]
+
+
+def _parse_record(
+    data: bytes, offset: int, record_size: int, dtype: np.dtype, dim: int
+) -> tuple[bool, WalRecord, int] | None:
+    """Parse one record; ``None`` means the bytes run out (torn tail)."""
+    if offset + _RECORD.size > len(data):
+        return None
+    crc, length = _RECORD.unpack_from(data, offset)
+    payload_start = offset + _RECORD.size
+    if length != record_size or payload_start + length > len(data):
+        # A wrong length field is indistinguishable from a torn length
+        # write when it points past EOF; treat in-bounds wrong lengths as
+        # CRC failures so mid-file damage is still detected.
+        if payload_start + length > len(data) or length > record_size:
+            return None
+        payload = data[payload_start : payload_start + length]
+        return False, WalRecord(0.0, np.empty(0)), payload_start + length
+    payload = data[payload_start : payload_start + length]
+    if zlib.crc32(payload) != crc:
+        return False, WalRecord(0.0, np.empty(0)), payload_start + length
+    (timestamp,) = _TIMESTAMP.unpack_from(payload, 0)
+    vector = np.frombuffer(
+        payload, dtype=dtype, count=dim, offset=_TIMESTAMP.size
+    ).copy()
+    return True, WalRecord(float(timestamp), vector), payload_start + length
+
+
+def _looks_like_tail(data: bytes, next_offset: int) -> bool:
+    """A CRC failure is a torn tail iff nothing meaningful follows it."""
+    return next_offset >= len(data)
+
+
+class WriteAheadLog:
+    """One open, appendable WAL segment.
+
+    Opening an existing segment validates its header, scans it (replay
+    semantics, so a torn tail from a previous crash is truncated away),
+    and positions the write cursor after the last clean record.
+
+    Args:
+        path: Segment file path (created when missing).
+        dim: Vector dimensionality; must match an existing header.
+        dtype: Vector component dtype (float32/float64).
+        fsync: One of :data:`FSYNC_POLICIES`.
+        fsync_interval: Max seconds between fsyncs under ``"interval"``.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        dim: int,
+        dtype: np.dtype | type = np.float32,
+        fsync: str = "always",
+        fsync_interval: float = 0.05,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self._dtype = np.dtype(dtype)
+        if self._dtype not in _CODES_BY_DTYPE:
+            raise ValueError(f"unsupported WAL dtype {self._dtype}")
+        self._path = Path(path)
+        self._dim = int(dim)
+        self._fsync = fsync
+        self._fsync_interval = float(fsync_interval)
+        self._last_fsync = time.monotonic()
+        self._record_count = 0
+        self._record_size = _TIMESTAMP.size + self._dim * self._dtype.itemsize
+        self._closed = False
+
+        if self._path.exists() and self._path.stat().st_size > 0:
+            existing = replay_wal(self._path)
+            if existing.dim != self._dim:
+                raise DimensionMismatchError(self._dim, existing.dim)
+            self._record_count = len(existing.records)
+            valid_bytes = HEADER_SIZE + self._record_count * (
+                _RECORD.size + self._record_size
+            )
+            self._handle = open(self._path, "r+b")
+            self._handle.truncate(valid_bytes)  # drop any torn tail
+            self._handle.seek(valid_bytes)
+        else:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self._path, "w+b")
+            header = MAGIC + _HEADER.pack(
+                self._dim, _CODES_BY_DTYPE[self._dtype]
+            )
+            self._handle.write(header)
+            self._flush(force_fsync=True)
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def path(self) -> Path:
+        """The segment file path."""
+        return self._path
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality of this segment."""
+        return self._dim
+
+    @property
+    def record_count(self) -> int:
+        """Clean records currently in the segment."""
+        return self._record_count
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of clean data (header + records)."""
+        return HEADER_SIZE + self._record_count * (
+            _RECORD.size + self._record_size
+        )
+
+    @property
+    def fsync_policy(self) -> str:
+        """The configured fsync policy."""
+        return self._fsync
+
+    # ---------------------------------------------------------------- appends
+
+    def append(self, vector: np.ndarray, timestamp: float) -> int:
+        """Append one record; returns its index *within this segment*.
+
+        The record is durable per the fsync policy when this returns.
+        """
+        if self._closed:
+            raise PersistenceError(f"WAL segment {self._path} is closed")
+        vector = np.ascontiguousarray(vector, dtype=self._dtype)
+        if vector.ndim != 1 or vector.shape[0] != self._dim:
+            actual = vector.shape[-1] if vector.ndim else 0
+            raise DimensionMismatchError(self._dim, int(actual))
+        started = time.perf_counter()
+        payload = _TIMESTAMP.pack(float(timestamp)) + vector.tobytes()
+        record = _RECORD.pack(zlib.crc32(payload), len(payload)) + payload
+        self._handle.write(record)
+        self._flush()
+        index = self._record_count
+        self._record_count += 1
+        _APPENDS.inc()
+        _BYTES.inc(len(record))
+        _APPEND_SECONDS.observe(time.perf_counter() - started)
+        return index
+
+    def sync(self) -> None:
+        """Force every buffered record to stable storage now."""
+        if not self._closed:
+            self._flush(force_fsync=True)
+
+    def _flush(self, force_fsync: bool = False) -> None:
+        self._handle.flush()
+        if self._fsync == "never" and not force_fsync:
+            return
+        now = time.monotonic()
+        if (
+            not force_fsync
+            and self._fsync == "interval"
+            and now - self._last_fsync < self._fsync_interval
+        ):
+            return
+        started = time.perf_counter()
+        os.fsync(self._handle.fileno())
+        self._last_fsync = now
+        _FSYNCS.inc()
+        _FSYNC_SECONDS.observe(time.perf_counter() - started)
+
+    def close(self) -> None:
+        """Flush, fsync, and close the segment (idempotent)."""
+        if self._closed:
+            return
+        try:
+            self._flush(force_fsync=True)
+        finally:
+            self._closed = True
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self._path}, dim={self._dim}, "
+            f"records={self._record_count}, fsync={self._fsync!r})"
+        )
+
+
+def iter_segment_records(
+    segments: list[tuple[int, Path]], start_from: int
+) -> Iterator[tuple[int, WalRecord]]:
+    """Yield ``(global_index, record)`` from sorted WAL segments.
+
+    Args:
+        segments: ``(start_index, path)`` pairs sorted by start index; each
+            segment's records are numbered consecutively from its start.
+        start_from: First global record index to yield (earlier ones are
+            skipped — they are covered by a snapshot).
+
+    Raises:
+        PersistenceError: If the segments leave a gap before ``start_from``
+            is reached (records that can never be recovered).
+    """
+    position = start_from
+    for start, path in segments:
+        result = replay_wal(path)
+        end = start + len(result.records)
+        if end <= position:
+            continue
+        if start > position:
+            raise PersistenceError(
+                f"WAL segment {path} starts at record {start} but replay "
+                f"has only reached record {position}: segment(s) missing"
+            )
+        for i in range(position - start, len(result.records)):
+            yield start + i, result.records[i]
+        position = end

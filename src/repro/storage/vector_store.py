@@ -16,10 +16,59 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from ..exceptions import DimensionMismatchError, TimestampOrderError
+from ..exceptions import (
+    DimensionMismatchError,
+    TimestampOrderError,
+    VectorInputError,
+)
 from .timeline import TimeWindow
 
 _INITIAL_CAPACITY = 1024
+
+
+def _as_vector_array(
+    data: np.ndarray, dtype: np.dtype, expect_ndim: int
+) -> np.ndarray:
+    """Convert input to a contiguous numeric array of the storage dtype.
+
+    Raises :class:`~repro.exceptions.VectorInputError` for payloads that
+    cannot be stored losslessly-enough: object/string/ragged input, complex
+    values, or anything NumPy refuses to cast to the storage dtype.  The
+    conversion happens *before* any store state is touched, so a rejected
+    input can never corrupt the capacity bookkeeping.
+    """
+    try:
+        array = np.asarray(data)
+        if array.dtype == object or array.dtype.kind in "USV":
+            raise VectorInputError(
+                f"vectors must be numeric, got dtype {array.dtype}"
+            )
+        if array.dtype.kind == "c":
+            raise VectorInputError(
+                f"complex vectors are not supported (dtype {array.dtype})"
+            )
+        array = np.ascontiguousarray(array, dtype=dtype)
+    except VectorInputError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise VectorInputError(
+            f"could not convert input to {dtype} vectors: {error}"
+        ) from None
+    if array.ndim != expect_ndim:
+        raise VectorInputError(
+            f"expected a {expect_ndim}-d array, got shape {array.shape}"
+        )
+    return array
+
+
+def _checked_timestamp(timestamp: float) -> float:
+    timestamp = float(timestamp)
+    if np.isnan(timestamp):
+        raise VectorInputError(
+            "timestamp is NaN; NaN compares false against every bound and "
+            "would silently break the sorted-by-time invariant"
+        )
+    return timestamp
 
 
 class VectorStore:
@@ -85,13 +134,14 @@ class VectorStore:
 
         Raises:
             DimensionMismatchError: If the vector has the wrong dimension.
+            VectorInputError: If the payload is non-numeric, has the wrong
+                rank, or the timestamp is NaN.
             TimestampOrderError: If ``timestamp`` precedes the latest one.
         """
-        vector = np.asarray(vector, dtype=self._dtype)
-        if vector.ndim != 1 or vector.shape[0] != self._dim:
-            actual = vector.shape[-1] if vector.ndim else 0
-            raise DimensionMismatchError(self._dim, int(actual))
-        timestamp = float(timestamp)
+        vector = _as_vector_array(vector, self._dtype, expect_ndim=1)
+        if vector.shape[0] != self._dim:
+            raise DimensionMismatchError(self._dim, int(vector.shape[0]))
+        timestamp = _checked_timestamp(timestamp)
         if timestamp < self.latest_timestamp:
             raise TimestampOrderError(
                 f"timestamp {timestamp} precedes latest stored timestamp "
@@ -108,18 +158,37 @@ class VectorStore:
 
         The batch itself must be sorted by timestamp and start no earlier
         than the latest stored timestamp.
+
+        Raises:
+            DimensionMismatchError: If vectors have the wrong dimension.
+            VectorInputError: If the payload is non-numeric, has the wrong
+                rank, or any timestamp is NaN.
+            TimestampOrderError: If the batch violates time order.
         """
-        vectors = np.asarray(vectors, dtype=self._dtype)
-        timestamps = np.asarray(timestamps, dtype=np.float64)
-        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
-            actual = vectors.shape[-1] if vectors.ndim >= 1 else 0
-            raise DimensionMismatchError(self._dim, int(actual))
+        vectors = _as_vector_array(vectors, self._dtype, expect_ndim=2)
+        try:
+            timestamps = np.asarray(timestamps, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise VectorInputError(
+                f"could not convert timestamps to float64: {error}"
+            ) from None
+        if timestamps.ndim != 1:
+            raise VectorInputError(
+                f"timestamps must be 1-d, got shape {timestamps.shape}"
+            )
+        if vectors.shape[1] != self._dim:
+            raise DimensionMismatchError(self._dim, int(vectors.shape[1]))
         if len(vectors) != len(timestamps):
             raise ValueError(
                 f"got {len(vectors)} vectors but {len(timestamps)} timestamps"
             )
         if len(vectors) == 0:
             return range(self._size, self._size)
+        if np.any(np.isnan(timestamps)):
+            raise VectorInputError(
+                "batch contains NaN timestamps; NaN would silently break "
+                "the sorted-by-time invariant"
+            )
         if np.any(np.diff(timestamps) < 0):
             raise TimestampOrderError("batch timestamps must be non-decreasing")
         if float(timestamps[0]) < self.latest_timestamp:

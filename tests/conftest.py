@@ -11,6 +11,23 @@ import numpy as np
 import pytest
 
 from repro import GraphConfig, MBIConfig, MultiLevelBlockIndex, SearchParams
+from repro.observability.metrics import get_registry
+
+
+@pytest.fixture(autouse=True)
+def _metrics_isolation():
+    """Stop tests leaking process-metric state into each other.
+
+    Every test runs against the process-wide registry (instrumented
+    modules cache metric handles at import time, so swapping the registry
+    out is not an option).  Instead, snapshot the full state before the
+    test and restore it afterwards — assertions on *deltas* inside a test
+    keep working, while cross-module accumulation disappears.
+    """
+    registry = get_registry()
+    state = registry.dump_state()
+    yield
+    registry.restore_state(state)
 
 
 @pytest.fixture(scope="session")

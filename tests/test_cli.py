@@ -151,6 +151,75 @@ class TestExplain:
         assert "mbi_search_queries_total" in out
 
 
+class TestServiceCommands:
+    def test_ingest_writes_durable_state(self, tmp_path, capsys):
+        code = main(
+            [
+                "ingest",
+                "--data-dir", str(tmp_path / "svc"),
+                "--n", "120",
+                "--dim", "6",
+                "--leaf-size", "32",
+                "--fsync", "never",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested 120 records" in out
+        names = sorted(p.name for p in (tmp_path / "svc").iterdir())
+        assert "snapshot-000000000120.npz" in names
+        assert "wal-000000000120.log" in names
+
+    def test_ingest_resumes_where_it_stopped(self, tmp_path, capsys):
+        args = [
+            "ingest",
+            "--data-dir", str(tmp_path / "svc"),
+            "--dim", "6",
+            "--leaf-size", "32",
+            "--fsync", "never",
+        ]
+        assert main(args + ["--n", "200", "--max-items", "80"]) == 0
+        capsys.readouterr()
+        assert main(args + ["--n", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming: 80 records already durable" in out
+        assert "200 records durable" in out
+
+    def test_ingest_no_final_snapshot_leaves_wal_only(self, tmp_path):
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--data-dir", str(tmp_path / "svc"),
+                    "--n", "50",
+                    "--dim", "4",
+                    "--leaf-size", "32",
+                    "--fsync", "never",
+                    "--no-final-snapshot",
+                ]
+            )
+            == 0
+        )
+        names = [p.name for p in (tmp_path / "svc").iterdir()]
+        assert not any(n.startswith("snapshot-") for n in names)
+        assert "wal-000000000000.log" in names
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--data-dir", "/tmp/x"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8780
+        assert args.fsync == "always"
+        assert args.max_queue == 1024
+        assert args.timeout is None
+
+    def test_service_commands_require_data_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest"])
+        capsys.readouterr()
+
+
 class TestErrors:
     def test_unknown_dataset_is_a_clean_error(self, capsys):
         code = main(["build", "imagenet", "-o", "/tmp/x.npz"])

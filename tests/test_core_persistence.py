@@ -132,3 +132,35 @@ class TestErrors:
             np.savez_compressed(handle, **arrays)
         with pytest.raises(PersistenceError):
             load_index(path)
+
+    def test_future_format_version_message_names_version_and_path(
+        self, tmp_path
+    ):
+        """ISSUE 2 satellite: future snapshots fail clearly, not cryptically.
+
+        A snapshot written by a *newer* library version must be rejected
+        before any reconstruction is attempted, with an error that names
+        both the offending version and the file, and tells the user the
+        fix (upgrade), rather than failing deep inside array parsing.
+        """
+        import json
+
+        index = build_index(n=5)
+        path = save_index(index, tmp_path / "future")
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        future_version = header["format_version"] + 7
+        header["format_version"] = future_version
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        with pytest.raises(PersistenceError) as excinfo:
+            load_index(path)
+        message = str(excinfo.value)
+        assert str(future_version) in message
+        assert str(path) in message
+        assert "newer" in message
+        assert "upgrade" in message

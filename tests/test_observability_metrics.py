@@ -105,6 +105,47 @@ class TestRegistry:
         c.inc()
         assert r.counter("c_total").value == 1.0
 
+    def test_dump_then_restore_roundtrips_exactly(self):
+        """ISSUE 2 satellite: snapshot-restore hook for test isolation."""
+        r = MetricsRegistry()
+        c = r.counter("c_total")
+        g = r.gauge("g")
+        h = r.histogram("h", buckets=(1.0, 2.0))
+        c.inc(3)
+        g.set(-2.5)
+        h.observe(0.5)
+        h.observe(1.5)
+        state = r.dump_state()
+        c.inc(100)
+        g.set(99.0)
+        for _ in range(50):
+            h.observe(5.0)
+        r.restore_state(state)
+        assert c.value == 3.0
+        assert g.value == -2.5
+        assert h.count == 2
+        assert h.sum == 2.0
+        # Bucket-level restoration, not just totals.
+        assert "h_bucket{le=1} 1" in r.render()
+        assert "h_bucket{le=2} 2" in r.render()
+
+    def test_restore_resets_metrics_created_after_dump(self):
+        r = MetricsRegistry()
+        state = r.dump_state()
+        late = r.counter("late_total")
+        late.inc(7)
+        r.restore_state(state)
+        assert late.value == 0.0  # not in the snapshot -> reset
+        late.inc()  # handle survives restoration
+        assert r.counter("late_total").value == 1.0
+
+    def test_restore_keeps_handles_identity(self):
+        r = MetricsRegistry()
+        c = r.counter("c_total")
+        state = r.dump_state()
+        r.restore_state(state)
+        assert r.counter("c_total") is c
+
     def test_render_lists_every_metric(self):
         r = MetricsRegistry()
         r.counter("c_total").inc(3)

@@ -1,0 +1,209 @@
+"""Concurrency stress: parallel readers + writer with torn-read detection.
+
+ISSUE 2 satellite: >= 4 reader threads + 1 writer for >= 2 seconds with
+zero exceptions, no torn reads, and service metrics consistent with
+request counts.
+
+The torn-read check is exact, not statistical.  Queries run with a huge
+``brute_force_threshold`` so every selected block is scanned exactly,
+which makes the service answer the literal top-k over whatever store
+prefix the query observed.  Readers record the store length before and
+after each search; afterwards we recompute offline top-k over every
+prefix in ``[n_before, n_after]`` and require the service's answer to
+match one of them.  A reader that saw a half-applied insert (a torn
+read) cannot match any consistent prefix.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import MBIConfig, SearchParams
+from repro.graph.builder import GraphConfig
+from repro.observability.metrics import get_registry
+from repro.service import IndexService, ServiceConfig
+
+DIM = 8
+LEAF = 32
+K = 5
+READERS = 4
+DURATION = 2.2  # seconds of sustained writer load
+
+
+def stream_vector(i: int) -> np.ndarray:
+    return (
+        np.random.default_rng(20_000 + i)
+        .standard_normal(DIM)
+        .astype(np.float32)
+    )
+
+
+def exact_config() -> MBIConfig:
+    """Every block brute-forced -> answers are exact over the seen prefix."""
+    return MBIConfig(
+        leaf_size=LEAF,
+        tau=0.5,
+        graph=GraphConfig(n_neighbors=8, exact_threshold=100_000),
+        search=SearchParams(
+            epsilon=1.2,
+            max_candidates=64,
+            brute_force_threshold=10**9,
+        ),
+    )
+
+
+def offline_topk(X: np.ndarray, query: np.ndarray, n: int, k: int):
+    d = np.linalg.norm(
+        X[:n].astype(np.float64) - query[None, :].astype(np.float64), axis=1
+    )
+    order = np.argsort(d, kind="stable")[: min(k, n)]
+    return frozenset(int(p) for p in order)
+
+
+@pytest.mark.slow
+class TestReadersVsWriter:
+    def test_no_torn_reads_under_sustained_ingest(self, tmp_path):
+        registry = get_registry()
+        wal_appends = registry.counter("service_wal_appends_total")
+        ingested = registry.counter("service_ingested_records_total")
+        requests = registry.counter("service_requests_total")
+        answered = registry.counter("service_answered_total")
+        rejected = registry.counter("service_rejected_total")
+        inflight = registry.gauge("service_inflight")
+        base = {
+            "wal": wal_appends.value,
+            "ingested": ingested.value,
+            "requests": requests.value,
+            "answered": answered.value,
+            "rejected": rejected.value,
+        }
+
+        svc = IndexService.open(
+            tmp_path / "d",
+            dim=DIM,
+            mbi_config=exact_config(),
+            config=ServiceConfig(fsync="never", max_queue=4096),
+        )
+        # Seed enough records that readers never see an empty index.
+        for i in range(LEAF):
+            svc.ingest(stream_vector(i), float(i))
+
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        samples: list[tuple[np.ndarray, int, int, tuple[int, ...]]] = []
+        samples_lock = threading.Lock()
+        written = [LEAF]
+        submitted = [0]
+
+        def writer() -> None:
+            try:
+                i = LEAF
+                deadline = time.monotonic() + DURATION
+                while time.monotonic() < deadline:
+                    svc.ingest(stream_vector(i), float(i))
+                    i += 1
+                written[0] = i
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            local: list[tuple[np.ndarray, int, int, tuple[int, ...]]] = []
+            n_submitted = 0
+            try:
+                while not stop.is_set():
+                    query = rng.standard_normal(DIM)
+                    n_before = len(svc.index)
+                    result = svc.search(
+                        query, K, rng=np.random.default_rng(seed)
+                    )
+                    n_after = len(svc.index)
+                    local.append(
+                        (
+                            query,
+                            n_before,
+                            n_after,
+                            tuple(int(p) for p in result.positions),
+                        )
+                    )
+                    # Exercise the admission queue under write load too.
+                    future = svc.submit(query, k=K)
+                    n_submitted += 1
+                    assert len(future.result(timeout=10)) == K
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+            finally:
+                with samples_lock:
+                    samples.extend(local)
+                    submitted[0] += n_submitted
+
+        threads = [threading.Thread(target=writer, name="writer")]
+        threads += [
+            threading.Thread(target=reader, args=(100 + r,), name=f"r{r}")
+            for r in range(READERS)
+        ]
+        started = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        elapsed = time.monotonic() - started
+
+        assert not errors, f"thread raised: {errors[:3]}"
+        assert elapsed >= DURATION
+        assert all(not t.is_alive() for t in threads)
+        n_total = written[0]
+        assert n_total > LEAF, "writer made no progress"
+        assert len(samples) >= READERS, "readers made no progress"
+
+        # --- no torn reads: every answer matches some consistent prefix ---
+        X = np.stack([stream_vector(i) for i in range(n_total)])
+        for query, n_before, n_after, positions in samples:
+            assert n_before <= n_after <= n_total
+            assert all(p < n_after for p in positions)
+            got = frozenset(positions)
+            candidates = {
+                offline_topk(X, query, n, K)
+                for n in range(n_before, n_after + 1)
+            }
+            assert got in candidates, (
+                f"torn read: answer {sorted(got)} matches no prefix in "
+                f"[{n_before}, {n_after}]"
+            )
+
+        # --- metrics consistent with the request counts we actually made ---
+        svc.wait_builds()
+        assert wal_appends.value - base["wal"] == n_total
+        assert ingested.value - base["ingested"] == n_total
+        assert requests.value - base["requests"] == submitted[0]
+        assert rejected.value == base["rejected"]  # queue was never full
+        assert answered.value - base["answered"] == submitted[0]
+        deadline = time.monotonic() + 5.0
+        while inflight.value != 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert inflight.value == 0
+
+        # --- replay determinism: recovery answers match the live index ---
+        queries = np.random.default_rng(7).standard_normal((4, DIM))
+        before = [
+            svc.search(q, K, rng=np.random.default_rng(qi))
+            for qi, q in enumerate(queries)
+        ]
+        svc.close()
+        recovered = IndexService.open(tmp_path / "d")
+        assert recovered.applied_records == n_total
+        for qi, q in enumerate(queries):
+            after = recovered.search(q, K, rng=np.random.default_rng(qi))
+            np.testing.assert_array_equal(
+                before[qi].positions, after.positions
+            )
+            np.testing.assert_allclose(
+                before[qi].distances, after.distances
+            )
+        recovered.close()

@@ -1,0 +1,179 @@
+"""Write-ahead log: roundtrips, fsync policies, torn tails, corruption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DimensionMismatchError,
+    PersistenceError,
+    WalCorruptionError,
+)
+from repro.service.wal import (
+    HEADER_SIZE,
+    WriteAheadLog,
+    iter_segment_records,
+    replay_wal,
+)
+
+
+def write_records(path, n, dim=4, fsync="never", start=0):
+    wal = WriteAheadLog(path, dim, fsync=fsync)
+    for i in range(start, start + n):
+        vector = np.full(dim, float(i), dtype=np.float32)
+        wal.append(vector, float(i))
+    wal.close()
+    return wal
+
+
+class TestRoundtrip:
+    def test_append_then_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 10, dim=4)
+        result = replay_wal(path)
+        assert result.clean
+        assert result.dim == 4
+        assert len(result.records) == 10
+        for i, record in enumerate(result.records):
+            assert record.timestamp == float(i)
+            np.testing.assert_array_equal(
+                record.vector, np.full(4, float(i), dtype=np.float32)
+            )
+
+    def test_record_indices_are_segment_local(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", 2)
+        assert wal.append(np.zeros(2), 0.0) == 0
+        assert wal.append(np.ones(2), 1.0) == 1
+        assert wal.record_count == 2
+        wal.close()
+
+    def test_reopen_continues_appending(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 3, dim=4)
+        wal = WriteAheadLog(path, 4)
+        assert wal.record_count == 3
+        assert wal.append(np.zeros(4, dtype=np.float32), 99.0) == 3
+        wal.close()
+        assert len(replay_wal(path).records) == 4
+
+    def test_reopen_with_wrong_dim_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 1, dim=4)
+        with pytest.raises(DimensionMismatchError):
+            WriteAheadLog(path, 8)
+
+    def test_append_wrong_dim_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", 4)
+        with pytest.raises(DimensionMismatchError):
+            wal.append(np.zeros(3), 0.0)
+        wal.close()
+
+    def test_fsync_policies_all_roundtrip(self, tmp_path):
+        for policy in ("always", "interval", "never"):
+            path = tmp_path / f"wal-{policy}.log"
+            write_records(path, 5, fsync=policy)
+            assert len(replay_wal(path).records) == 5
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "wal.log", 4, fsync="sometimes")
+
+
+class TestTornTail:
+    def test_truncated_record_is_discarded_quietly(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 5, dim=4)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # tear the last record
+        result = replay_wal(path)
+        assert not result.clean
+        assert result.discarded_bytes > 0
+        assert len(result.records) == 4
+
+    def test_tear_inside_length_prefix(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 2, dim=4)
+        record_bytes = (path.stat().st_size - HEADER_SIZE) // 2
+        path.write_bytes(
+            path.read_bytes()[: HEADER_SIZE + record_bytes + 3]
+        )
+        result = replay_wal(path)
+        assert len(result.records) == 1
+        assert not result.clean
+
+    def test_reopen_truncates_torn_tail_and_overwrites(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 3, dim=4)
+        path.write_bytes(path.read_bytes()[:-2])
+        wal = WriteAheadLog(path, 4)
+        assert wal.record_count == 2
+        wal.append(np.full(4, 7.0, dtype=np.float32), 7.0)
+        wal.close()
+        result = replay_wal(path)
+        assert result.clean
+        assert [r.timestamp for r in result.records] == [0.0, 1.0, 7.0]
+
+    def test_corrupt_tail_crc_is_torn_not_fatal(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 3, dim=4)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a byte in the final record's payload
+        path.write_bytes(bytes(data))
+        result = replay_wal(path)
+        assert len(result.records) == 2
+        assert not result.clean
+
+
+class TestCorruption:
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        write_records(path, 5, dim=4)
+        data = bytearray(path.read_bytes())
+        data[HEADER_SIZE + 12] ^= 0xFF  # first record's payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError):
+            replay_wal(path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOTAWAL!" + b"\x00" * 20)
+        with pytest.raises(PersistenceError):
+            replay_wal(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            replay_wal(tmp_path / "nope.log")
+
+
+class TestSegments:
+    def test_iter_segments_with_skip(self, tmp_path):
+        write_records(tmp_path / "a.log", 4, dim=2)
+        write_records(tmp_path / "b.log", 3, dim=2, start=4)
+        segments = [(0, tmp_path / "a.log"), (4, tmp_path / "b.log")]
+        items = list(iter_segment_records(segments, start_from=2))
+        assert [g for g, _ in items] == [2, 3, 4, 5, 6]
+        assert [r.timestamp for _, r in items] == [2.0, 3.0, 4.0, 5.0, 6.0]
+
+    def test_gap_between_segments_raises(self, tmp_path):
+        write_records(tmp_path / "a.log", 2, dim=2)
+        write_records(tmp_path / "b.log", 2, dim=2, start=5)
+        segments = [(0, tmp_path / "a.log"), (5, tmp_path / "b.log")]
+        with pytest.raises(PersistenceError, match="missing"):
+            list(iter_segment_records(segments, start_from=0))
+
+    def test_fully_covered_segments_are_skipped(self, tmp_path):
+        write_records(tmp_path / "a.log", 4, dim=2)
+        segments = [(0, tmp_path / "a.log")]
+        assert list(iter_segment_records(segments, start_from=4)) == []
+
+
+class TestMetrics:
+    def test_appends_and_bytes_counted(self, tmp_path):
+        from repro.observability.metrics import get_registry
+
+        registry = get_registry()
+        appends = registry.counter("service_wal_appends_total")
+        before = appends.value
+        write_records(tmp_path / "wal.log", 6, dim=4)
+        assert appends.value - before == 6

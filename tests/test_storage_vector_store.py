@@ -7,7 +7,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.exceptions import DimensionMismatchError, TimestampOrderError
+from repro.exceptions import (
+    DimensionMismatchError,
+    TimestampOrderError,
+    VectorInputError,
+)
 from repro.storage import TimeWindow, VectorStore
 
 
@@ -70,6 +74,85 @@ class TestAppend:
         store = VectorStore(2)
         store.append(np.array([1.5, -2.5], dtype=np.float64), 0.0)
         assert store.vectors.dtype == np.float32
+
+
+class TestInputValidation:
+    """ISSUE 2 satellite: typed rejection of malformed payloads.
+
+    Every rejection must happen *before* any store state is touched, so
+    a bad payload can never corrupt the capacity bookkeeping.
+    """
+
+    def test_append_object_dtype_rejected(self):
+        store = VectorStore(2)
+        with pytest.raises(VectorInputError, match="numeric"):
+            store.append(np.array([object(), object()]), 0.0)
+        assert len(store) == 0
+
+    def test_append_string_dtype_rejected(self):
+        store = VectorStore(2)
+        with pytest.raises(VectorInputError, match="numeric"):
+            store.append(np.array(["a", "b"]), 0.0)
+
+    def test_append_complex_rejected(self):
+        store = VectorStore(2)
+        with pytest.raises(VectorInputError, match="complex"):
+            store.append(np.array([1 + 2j, 3 + 4j]), 0.0)
+
+    def test_append_wrong_rank_rejected(self):
+        store = VectorStore(2)
+        with pytest.raises(VectorInputError, match="1-d"):
+            store.append(np.zeros((1, 2)), 0.0)
+        # ascontiguousarray promotes 0-d scalars to shape (1,), so they
+        # fall through to the dimension check instead.
+        with pytest.raises(DimensionMismatchError):
+            store.append(np.float32(3.0), 0.0)
+
+    def test_append_ragged_rejected(self):
+        store = VectorStore(2)
+        with pytest.raises(VectorInputError):
+            store.append([[1.0], [2.0, 3.0]], 0.0)
+
+    def test_append_nan_timestamp_rejected(self):
+        store = VectorStore(2)
+        with pytest.raises(VectorInputError, match="NaN"):
+            store.append(np.zeros(2), float("nan"))
+        assert len(store) == 0
+        assert store.latest_timestamp == float("-inf")
+
+    def test_noncontiguous_input_stored_contiguously(self):
+        store = VectorStore(3)
+        strided = np.arange(12, dtype=np.float32).reshape(2, 6)[:, ::2]
+        assert not strided[0].flags["C_CONTIGUOUS"]
+        store.append(strided[0], 0.0)
+        store.append(strided[1], 1.0)
+        assert store.vectors.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(store.vectors[1], [6.0, 8.0, 10.0])
+
+    def test_extend_wrong_rank_rejected(self):
+        store = VectorStore(2)
+        with pytest.raises(VectorInputError, match="2-d"):
+            store.extend(np.zeros(2), np.zeros(1))
+
+    def test_extend_object_dtype_rejected(self):
+        store = VectorStore(2)
+        with pytest.raises(VectorInputError, match="numeric"):
+            store.extend(np.array([[object(), object()]]), np.zeros(1))
+        assert len(store) == 0
+
+    def test_extend_nan_timestamp_rejected(self):
+        store = VectorStore(2)
+        with pytest.raises(VectorInputError, match="NaN"):
+            store.extend(np.zeros((2, 2)), np.array([0.0, float("nan")]))
+        assert len(store) == 0
+
+    def test_extend_nonnumeric_timestamps_rejected(self):
+        store = VectorStore(2)
+        with pytest.raises(VectorInputError):
+            store.extend(np.zeros((1, 2)), np.array(["soon"]))
+
+    def test_empty_store_latest_timestamp_is_minus_inf(self):
+        assert VectorStore(7).latest_timestamp == float("-inf")
 
 
 class TestExtend:
