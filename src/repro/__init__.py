@@ -38,10 +38,13 @@ from .core import (
     LSHParams,
     MBIConfig,
     MultiLevelBlockIndex,
+    QueryExecutor,
     QueryResult,
     QueryStats,
     SearchParams,
     TauTuner,
+    get_default_executor,
+    shutdown_default_executor,
 )
 from .core.persistence import load_index, save_index
 from .distances import Metric, available_metrics, resolve_metric
@@ -100,6 +103,7 @@ __all__ = [
     "MultiLevelBlockIndex",
     "NNDescentParams",
     "PersistenceError",
+    "QueryExecutor",
     "QueryResult",
     "QueryStats",
     "QueryTrace",
@@ -119,10 +123,12 @@ __all__ = [
     "WalCorruptionError",
     "WriteAheadLog",
     "available_metrics",
+    "get_default_executor",
     "get_registry",
     "load_index",
     "resolve_metric",
     "save_index",
+    "shutdown_default_executor",
     "summarize_traces",
     "__version__",
 ]

@@ -10,6 +10,14 @@ from .backends import (
 from .block import Block
 from .brute import brute_force_topk
 from .config import IVFConfig, IVFPQConfig, LSHParams, MBIConfig, SearchParams
+from .executor import (
+    QueryExecutor,
+    default_worker_count,
+    get_default_executor,
+    resolve_executor,
+    set_default_executor,
+    shutdown_default_executor,
+)
 from .mbi import MultiLevelBlockIndex
 from .results import QueryResult, QueryStats, merge_partial_results
 from .selection import select_blocks
@@ -25,6 +33,7 @@ __all__ = [
     "LSHParams",
     "MBIConfig",
     "MultiLevelBlockIndex",
+    "QueryExecutor",
     "QueryResult",
     "QueryStats",
     "SearchParams",
@@ -32,7 +41,12 @@ __all__ = [
     "TauTuner",
     "available_backends",
     "brute_force_topk",
+    "default_worker_count",
+    "get_default_executor",
     "merge_partial_results",
     "register_backend",
+    "resolve_executor",
     "select_blocks",
+    "set_default_executor",
+    "shutdown_default_executor",
 ]

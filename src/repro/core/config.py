@@ -220,6 +220,21 @@ class MBIConfig:
             "Parallelization of MBI").
         max_workers: Thread-pool size when ``parallel``; ``None`` lets the
             executor decide.
+        query_parallel: Fan each query's selected blocks out across the
+            shared :class:`repro.core.executor.QueryExecutor` (and use the
+            same-block batched kernels in
+            :meth:`~repro.core.mbi.MultiLevelBlockIndex.search_batch`).
+            Results are bit-identical to sequential execution — see the
+            determinism guarantee on
+            :meth:`~repro.core.mbi.MultiLevelBlockIndex.search`.  An
+            explicit ``executor=`` argument at query time overrides this.
+        query_workers: Sizing hint for the shared query pool, honoured
+            only when this index's first parallel query creates it;
+            ``None`` sizes from the CPU count.
+        parallel_min_blocks: Only fan out when the selection picked at
+            least this many blocks; below it the query runs sequentially
+            on the calling thread (dispatch overhead beats the win for
+            tiny search sets — see ``docs/performance.md``).
         seed: Base seed for all randomness inside the index (NNDescent,
             entry sampling).
     """
@@ -236,6 +251,9 @@ class MBIConfig:
     search: SearchParams = field(default_factory=SearchParams)
     parallel: bool = False
     max_workers: int | None = None
+    query_parallel: bool = False
+    query_workers: int | None = None
+    parallel_min_blocks: int = 2
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -256,6 +274,15 @@ class MBIConfig:
             raise ConfigurationError(
                 f"max_workers must be >= 1 or None, got {self.max_workers}"
             )
+        if self.query_workers is not None and self.query_workers < 1:
+            raise ConfigurationError(
+                f"query_workers must be >= 1 or None, got {self.query_workers}"
+            )
+        if self.parallel_min_blocks < 1:
+            raise ConfigurationError(
+                f"parallel_min_blocks must be >= 1, "
+                f"got {self.parallel_min_blocks}"
+            )
 
     def with_tau(self, tau: float) -> "MBIConfig":
         """Copy with a different ``tau`` (used by the Figure 9 sweep)."""
@@ -272,5 +299,8 @@ class MBIConfig:
             search=self.search,
             parallel=self.parallel,
             max_workers=self.max_workers,
+            query_parallel=self.query_parallel,
+            query_workers=self.query_workers,
+            parallel_min_blocks=self.parallel_min_blocks,
             seed=self.seed,
         )

@@ -1,0 +1,298 @@
+"""Parallel query execution — the shared per-block fan-out pool.
+
+A TkNN query over MBI decomposes into *independent* searches of the
+time-disjoint blocks picked by Algorithm 4's selection walk.  The blocks
+share nothing but the read-only vector store, and the NumPy distance
+kernels release the GIL for the bulk of the work, so fanning the selected
+blocks out across threads buys real wall-clock parallelism without any
+locking inside the index.
+
+:class:`QueryExecutor` is the small primitive everything parallel in the
+query path goes through:
+
+* it wraps one lazily created :class:`~concurrent.futures.ThreadPoolExecutor`
+  (nothing is spawned until the first fan-out, so indexes configured for
+  parallelism but never queried cost zero threads);
+* :meth:`QueryExecutor.map` preserves input order, so callers can merge
+  per-block partial results deterministically;
+* after :meth:`QueryExecutor.shutdown` — or if the pool disappears
+  mid-flight during a drain — remaining tasks run *inline* on the calling
+  thread instead of failing.  Queries degrade to sequential execution
+  rather than erroring, which is exactly what a serving layer wants while
+  it drains (see :meth:`repro.service.IndexService.close`).
+
+Because scheduling never feeds back into the computation (per-block
+randomness is derived *before* dispatch — see
+:meth:`repro.core.mbi.MultiLevelBlockIndex.search`), results are
+bit-identical whether a fan-out runs sequentially, on one worker, or
+oversubscribed.  The property tests in ``tests/test_parallel_search.py``
+pin this down.
+
+Most callers share one process-wide pool via :func:`get_default_executor`
+(sized from the CPU count) rather than constructing their own; the serving
+layer builds a private one sized by ``ServiceConfig.search_workers`` so
+admission-control batching and per-block fan-out draw from the same,
+bounded set of threads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+from ..exceptions import ConfigurationError
+from ..observability.metrics import get_registry
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_METRICS = get_registry()
+_POOLS = _METRICS.counter(
+    "executor_pools_total", "Query-executor thread pools created"
+)
+_TASKS = _METRICS.counter(
+    "executor_tasks_total", "Tasks executed on query-executor worker threads"
+)
+_INLINE = _METRICS.counter(
+    "executor_inline_tasks_total",
+    "Tasks executed inline because the pool was closed or draining",
+)
+_TASK_SECONDS = _METRICS.counter(
+    "executor_task_seconds_total",
+    "Seconds spent inside query-executor tasks (worker or inline)",
+)
+_FANOUTS = _METRICS.counter(
+    "executor_fanouts_total", "map() calls that dispatched to worker threads"
+)
+_WORKERS = _METRICS.gauge(
+    "executor_workers", "Worker threads across all live query executors"
+)
+
+
+def default_worker_count() -> int:
+    """Pool size used when none is given: ``cpu_count`` clamped to [2, 32]."""
+    return max(2, min(32, os.cpu_count() or 2))
+
+
+class QueryExecutor:
+    """A shared, lazily initialized worker pool for per-block query fan-out.
+
+    Args:
+        max_workers: Thread count; ``None`` uses :func:`default_worker_count`.
+        name: Thread-name prefix (visible in profilers and ``py-spy``).
+
+    The pool is created on the first :meth:`map` call, never at
+    construction.  The executor is reusable across queries and threads;
+    :meth:`shutdown` is idempotent and graceful (see :meth:`map` for the
+    drain semantics).  Usable as a context manager::
+
+        with QueryExecutor(4) as pool:
+            results = index.search(q, k=10, executor=pool)
+
+    Thread-safety: all methods may be called concurrently.  Do **not**
+    call :meth:`map` from *inside* a task running on the same executor —
+    nested fan-out onto one bounded pool can deadlock.  The library never
+    does this (query-level fan-out and block-level fan-out are never
+    stacked on one pool); user callbacks should follow suit.
+    """
+
+    def __init__(
+        self, max_workers: int | None = None, *, name: str = "repro-query"
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1 or None, got {max_workers}"
+            )
+        self._max_workers = (
+            default_worker_count() if max_workers is None else int(max_workers)
+        )
+        self._name = name
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def max_workers(self) -> int:
+        """Worker threads this executor runs (fixed at construction)."""
+        return self._max_workers
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`shutdown` has been called."""
+        return self._closed
+
+    @property
+    def started(self) -> bool:
+        """Whether the underlying thread pool has been created yet."""
+        return self._pool is not None
+
+    # -------------------------------------------------------------- execution
+
+    def _ensure_pool(self) -> ThreadPoolExecutor | None:
+        with self._lock:
+            if self._closed:
+                return None
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    self._max_workers, thread_name_prefix=self._name
+                )
+                _POOLS.inc()
+                _WORKERS.inc(self._max_workers)
+            return self._pool
+
+    @staticmethod
+    def _timed(fn: Callable[[T], R], item: T, inline: bool) -> R:
+        started = time.perf_counter()
+        try:
+            return fn(item)
+        finally:
+            (_INLINE if inline else _TASKS).inc()
+            _TASK_SECONDS.inc(time.perf_counter() - started)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, fanning out across the pool.
+
+        Results are returned **in input order** regardless of completion
+        order, which is what lets callers keep deterministic merges.  Any
+        exception raised by ``fn`` propagates to the caller (remaining
+        tasks still run; the first failing item's exception wins).
+
+        Drain semantics: if the executor is closed — or shuts down while a
+        fan-out is in flight — un-dispatched items run inline on the
+        calling thread.  The caller always gets a full result list; only
+        the parallelism degrades.  This makes ``map`` safe to race with
+        :meth:`shutdown`, which a draining service does by design.
+        """
+        items = list(items)
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        if pool is None:
+            return [self._timed(fn, item, inline=True) for item in items]
+        futures: dict[int, Future] = {}
+        for i, item in enumerate(items):
+            try:
+                futures[i] = pool.submit(self._timed, fn, item, False)
+            except RuntimeError:
+                # The pool shut down under us (service drain): run the
+                # rest inline.  Already-submitted futures still complete.
+                break
+        _FANOUTS.inc()
+        results: list[R] = [None] * len(items)  # type: ignore[list-item]
+        for i, item in enumerate(items):
+            future = futures.get(i)
+            if future is None:
+                results[i] = self._timed(fn, item, inline=True)
+                continue
+            try:
+                results[i] = future.result()
+            except CancelledError:
+                results[i] = self._timed(fn, item, inline=True)
+        return results
+
+    # --------------------------------------------------------------- shutdown
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop dispatching to worker threads (idempotent).
+
+        In-flight tasks finish (``wait=True`` blocks for them); fan-outs
+        racing this call complete inline.  A closed executor still
+        satisfies every subsequent :meth:`map` — sequentially.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+            _WORKERS.inc(-self._max_workers)
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        state = (
+            "closed"
+            if self._closed
+            else ("running" if self._pool is not None else "lazy")
+        )
+        return f"QueryExecutor(max_workers={self._max_workers}, {state})"
+
+
+_default_lock = threading.Lock()
+_default_executor: QueryExecutor | None = None
+
+
+def get_default_executor(max_workers: int | None = None) -> QueryExecutor:
+    """The process-wide shared :class:`QueryExecutor`, created lazily.
+
+    Every index configured with ``MBIConfig(query_parallel=True)`` fans
+    out through this one pool, so concurrent queries share a bounded set
+    of threads instead of oversubscribing the machine.
+
+    Args:
+        max_workers: Sizing hint honoured only when this call *creates*
+            the pool (first use, or first use after
+            :func:`shutdown_default_executor`); ignored afterwards.
+    """
+    global _default_executor
+    with _default_lock:
+        if _default_executor is None or _default_executor.closed:
+            _default_executor = QueryExecutor(
+                max_workers, name="repro-query-shared"
+            )
+        return _default_executor
+
+
+def set_default_executor(executor: QueryExecutor) -> QueryExecutor:
+    """Replace the shared executor (tests, embedders); returns the old one."""
+    global _default_executor
+    with _default_lock:
+        previous, _default_executor = _default_executor, executor
+    return previous if previous is not None else executor
+
+
+def shutdown_default_executor(wait: bool = True) -> None:
+    """Shut the shared executor down; the next use lazily builds a fresh one."""
+    global _default_executor
+    with _default_lock:
+        executor, _default_executor = _default_executor, None
+    if executor is not None:
+        executor.shutdown(wait=wait)
+
+
+def resolve_executor(
+    executor: "QueryExecutor | None",
+    parallel: bool,
+    max_workers: int | None = None,
+) -> "QueryExecutor | None":
+    """The executor a query should fan out through, or ``None`` (sequential).
+
+    Precedence: an explicit ``executor`` argument wins; otherwise
+    ``parallel=True`` (e.g. ``MBIConfig.query_parallel``) selects the
+    shared default pool; otherwise run sequentially.
+    """
+    if executor is not None:
+        return executor
+    if parallel:
+        return get_default_executor(max_workers)
+    return None
+
+
+__all__ = [
+    "QueryExecutor",
+    "default_worker_count",
+    "get_default_executor",
+    "resolve_executor",
+    "set_default_executor",
+    "shutdown_default_executor",
+]

@@ -179,5 +179,10 @@ def _config_from_dict(payload: dict) -> MBIConfig:
         search=SearchParams(**payload["search"]),
         parallel=payload["parallel"],
         max_workers=payload["max_workers"],
+        # Absent in snapshots written before the parallel query engine:
+        # default to sequential queries rather than failing the load.
+        query_parallel=payload.get("query_parallel", False),
+        query_workers=payload.get("query_workers"),
+        parallel_min_blocks=payload.get("parallel_min_blocks", 2),
         seed=payload["seed"],
     )

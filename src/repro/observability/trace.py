@@ -81,6 +81,11 @@ class BlockSearchEvent:
             (see the convention in :mod:`repro.core.results`).
         seconds: Wall-clock time spent inside the block.
         n_results: Partial results the block contributed before the merge.
+        started: When the block search began, as an offset in seconds from
+            the start of the query.  Together with ``seconds`` this is the
+            block's *timing span*: under parallel fan-out
+            (``MBIConfig.query_parallel`` or an explicit ``executor=``)
+            spans of different blocks overlap; sequentially they abut.
     """
 
     block_index: int
@@ -94,6 +99,7 @@ class BlockSearchEvent:
     distance_evaluations: int
     seconds: float
     n_results: int
+    started: float = 0.0
 
 
 @dataclass
@@ -117,6 +123,12 @@ class QueryTrace:
         result_distances: Final merged result distances.
         stats: The query's merged :class:`~repro.core.results.QueryStats`.
         seconds: Total wall-clock time of the traced search.
+        parallel: Whether the per-block searches fanned out across a
+            :class:`repro.core.executor.QueryExecutor` (``False`` when the
+            query ran sequentially, including when the selection was too
+            small to clear ``MBIConfig.parallel_min_blocks``).  Parallel and
+            sequential runs of the same query produce equal
+            :meth:`signature` — only the timing spans differ.
     """
 
     k: int = 0
@@ -132,6 +144,7 @@ class QueryTrace:
     result_distances: tuple[float, ...] = ()
     stats: "QueryStats | None" = None
     seconds: float = 0.0
+    parallel: bool = False
 
     # ------------------------------------------------------------ recording
 
@@ -173,6 +186,7 @@ class QueryTrace:
         distance_evaluations: int,
         seconds: float,
         n_results: int,
+        started: float = 0.0,
     ) -> None:
         """Append one per-block search event (called by ``MBI._search_block``)."""
         self.blocks.append(
@@ -188,6 +202,7 @@ class QueryTrace:
                 distance_evaluations=distance_evaluations,
                 seconds=seconds,
                 n_results=n_results,
+                started=started,
             )
         )
 
@@ -283,7 +298,8 @@ class QueryTrace:
                 f"{e.reason:<14} -> {decision}"
             )
         lines.append("")
-        lines.append("block searches:")
+        suffix = " (parallel fan-out)" if self.parallel else ""
+        lines.append(f"block searches:{suffix}")
         if not self.blocks:
             lines.append("  (none)")
         for e in self.blocks:
@@ -293,7 +309,8 @@ class QueryTrace:
                 f"  block {e.block_index:>4} h={e.height} {span:<16} "
                 f"{e.strategy:<5} {e.reason:<12} window {window:<13} "
                 f"visited {e.nodes_visited:>5}  dists {e.distance_evaluations:>6}  "
-                f"{e.n_results:>3} hits  {e.seconds * 1e3:7.3f} ms"
+                f"{e.n_results:>3} hits  "
+                f"@{e.started * 1e3:7.3f}+{e.seconds * 1e3:.3f} ms"
             )
         lines.append("")
         kept = len(self.result_positions)

@@ -47,6 +47,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core.config import MBIConfig, SearchParams
+from ..core.executor import QueryExecutor
 from ..core.mbi import MultiLevelBlockIndex
 from ..core.persistence import load_index, save_index
 from ..core.results import QueryResult
@@ -135,8 +136,14 @@ class ServiceConfig:
         max_batch: Max requests folded into one ``search_batch`` call.
         default_timeout: Default per-request deadline in seconds
             (``None`` = no deadline).
-        search_workers: Inner thread pool for batched searches
-            (``None`` = run each micro-batch sequentially).
+        search_workers: Width of the service's private
+            :class:`repro.core.executor.QueryExecutor`.  One pool serves
+            both synchronous :meth:`~IndexService.search` calls (per-block
+            fan-out) and the worker's micro-batches (block-by-block batched
+            kernels via ``MBI.search_batch``), so admission-control
+            batching and query fan-out draw from the same bounded thread
+            set.  ``None`` disables the pool: queries run sequentially
+            (or per the index's own ``MBIConfig.query_parallel``).
         build_workers: Background build executor width.  The default of 1
             serialises chain builds, which keeps the build-time counters
             exact; queries never wait on builds either way.
@@ -240,6 +247,13 @@ class IndexService:
         # Records already in the active segment (recovery reuses segments).
         self._segment_base = self._applied - self._wal.record_count
 
+        self._executor: QueryExecutor | None = (
+            QueryExecutor(
+                self._config.search_workers, name="repro-serve-query"
+            )
+            if self._config.search_workers is not None
+            else None
+        )
         self._build_pool = ThreadPoolExecutor(
             self._config.build_workers, thread_name_prefix="repro-build"
         )
@@ -389,6 +403,12 @@ class IndexService:
         """Admitted queries not yet started."""
         return len(self._queue)
 
+    @property
+    def executor(self) -> QueryExecutor | None:
+        """The service's private query pool (``None`` when
+        ``ServiceConfig.search_workers`` is unset)."""
+        return self._executor
+
     def _segment_path(self, start: int) -> Path:
         return self._data_dir / f"wal-{start:012d}.log"
 
@@ -506,7 +526,11 @@ class IndexService:
 
         Takes the read lock, so it may run concurrently with other
         searches and with background builds, and sees a consistent prefix
-        of the ingest stream.
+        of the ingest stream.  When ``ServiceConfig.search_workers`` is
+        set, the query's selected blocks fan out across the service's
+        private :class:`~repro.core.executor.QueryExecutor` — results are
+        bit-identical to a sequential run (see
+        :meth:`repro.core.MultiLevelBlockIndex.search`).
         """
         if rng is None:
             rng = self._spawn_rng()
@@ -514,6 +538,7 @@ class IndexService:
             return self._index.search(
                 query, k, t_start, t_end,
                 params=params, tau=tau, rng=rng, trace=trace,
+                executor=self._executor,
             )
 
     def submit(
@@ -638,16 +663,22 @@ class IndexService:
                         head.t_end,
                         rng=self._spawn_rng(),
                         trace=head.trace,
+                        executor=self._executor,
                     )
                 ]
             queries = np.stack([request.query for request in live])
+            # The batched block-by-block path: one pool task per selected
+            # block, brute blocks served by a single cross-distance kernel
+            # call for the whole micro-batch.  ``_execute`` runs on the
+            # service worker thread, never on a pool thread, so handing the
+            # pool in is deadlock-free.
             return self._index.search_batch(
                 queries,
                 head.k,
                 head.t_start,
                 head.t_end,
                 rng=self._spawn_rng(),
-                max_workers=self._config.search_workers,
+                executor=self._executor,
             )
 
     # ------------------------------------------------------------- durability
@@ -722,7 +753,10 @@ class IndexService:
         Stops admitting, lets the worker answer every already-admitted
         request, waits for background builds, fsyncs the WAL, and — when
         ``checkpoint=True`` — writes a final snapshot so the next open
-        replays nothing.
+        replays nothing.  The private query pool is shut down last;
+        searches racing the shutdown degrade to inline (sequential)
+        execution rather than failing — see
+        :meth:`repro.core.executor.QueryExecutor.map`.
         """
         if self._closed:
             return
@@ -737,6 +771,8 @@ class IndexService:
                 self.checkpoint()
             self._wal.close()
         self._build_pool.shutdown(wait=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "IndexService":
         return self

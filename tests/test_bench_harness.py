@@ -1,0 +1,156 @@
+"""Schema and invariant tests for the reproducible benchmark harness.
+
+The harness lives outside the installed package (``benchmarks/harness.py``
+at the repo root), so these tests add the repo root to ``sys.path``
+explicitly — the same trick the CLI's ``repro bench`` fallback uses.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = str(Path(__file__).resolve().parents[1])
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from benchmarks.harness import (  # noqa: E402
+    SCHEMA,
+    default_output_path,
+    render_bench,
+    run_harness,
+    validate_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One smoke-profile harness run shared by every test in the module."""
+    return run_harness(seed=0, smoke=True, workers=2, worker_sweep=[0, 2])
+
+
+class TestHarnessRun:
+    def test_smoke_payload_is_valid(self, payload):
+        validate_bench(payload)  # must not raise
+
+    def test_payload_carries_provenance(self, payload):
+        assert payload["schema"] == SCHEMA
+        assert payload["profile"] == "smoke"
+        assert payload["seed"] == 0
+        assert payload["host"]["cpu_count"] >= 1
+        assert payload["workload"]["n_items"] > 0
+
+    def test_worker_sweep_rows_are_labelled(self, payload):
+        rows = payload["suites"]["sequential_vs_parallel"]["rows"]
+        by_mode = {}
+        for row in rows:
+            by_mode.setdefault(row["mode"], []).append(row)
+        assert len(by_mode["sequential"]) == 1
+        assert by_mode["sequential"][0]["workers"] == 0
+        assert all(r["workers"] >= 1 for r in by_mode["parallel"])
+
+    def test_every_parallel_row_is_bit_identical(self, payload):
+        rows = payload["suites"]["sequential_vs_parallel"]["rows"]
+        assert all(r["identical_to_sequential"] for r in rows)
+
+    def test_qps_suite_covers_required_methods(self, payload):
+        methods = {r["method"] for r in payload["suites"]["qps"]["rows"]}
+        assert {"mbi-sequential", "mbi-parallel-batched", "bsbf"} <= methods
+
+    def test_render_mentions_both_suites(self, payload):
+        out = render_bench(payload)
+        assert "sequential vs parallel" in out
+        assert "qps" in out
+
+    def test_determinism_across_runs(self, payload):
+        """Same seed, same workload -> same result identity verdicts."""
+        again = run_harness(seed=0, smoke=True, workers=2, worker_sweep=[0, 2])
+        rows_a = payload["suites"]["sequential_vs_parallel"]["rows"]
+        rows_b = again["suites"]["sequential_vs_parallel"]["rows"]
+        assert [r["mode"] for r in rows_a] == [r["mode"] for r in rows_b]
+        assert [r["workers"] for r in rows_a] == [r["workers"] for r in rows_b]
+
+
+class TestValidateBench:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="not a JSON object"):
+            validate_bench([])
+
+    def test_rejects_wrong_schema_version(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["schema"] = "repro-bench/v0"
+        with pytest.raises(ValueError, match="schema must be"):
+            validate_bench(bad)
+
+    def test_rejects_missing_top_level_key(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["workload"]
+        with pytest.raises(ValueError, match="missing top-level key"):
+            validate_bench(bad)
+
+    def test_rejects_missing_suite(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["suites"]["qps"]
+        with pytest.raises(ValueError, match="missing qps rows"):
+            validate_bench(bad)
+
+    def test_rejects_mistyped_row_field(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["sequential_vs_parallel"]["rows"][0]["mean_ms"] = "fast"
+        with pytest.raises(ValueError, match="mistyped"):
+            validate_bench(bad)
+
+    def test_rejects_determinism_violation(self, payload):
+        bad = copy.deepcopy(payload)
+        for row in bad["suites"]["sequential_vs_parallel"]["rows"]:
+            if row["mode"] == "parallel":
+                row["identical_to_sequential"] = False
+                break
+        with pytest.raises(ValueError, match="determinism guarantee"):
+            validate_bench(bad)
+
+    def test_rejects_missing_parallel_mode(self, payload):
+        bad = copy.deepcopy(payload)
+        rows = bad["suites"]["sequential_vs_parallel"]["rows"]
+        bad["suites"]["sequential_vs_parallel"]["rows"] = [
+            r for r in rows if r["mode"] == "sequential"
+        ]
+        with pytest.raises(ValueError, match="both a sequential baseline"):
+            validate_bench(bad)
+
+    def test_rejects_missing_qps_method(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["qps"]["rows"] = [
+            r
+            for r in bad["suites"]["qps"]["rows"]
+            if r["method"] != "mbi-parallel-batched"
+        ]
+        with pytest.raises(ValueError, match="mbi-parallel-batched"):
+            validate_bench(bad)
+
+
+class TestOutput:
+    def test_default_output_path_follows_convention(self):
+        path = default_output_path("/some/dir")
+        assert re.fullmatch(
+            r"BENCH_\d{4}-\d{2}-\d{2}\.json", path.name
+        ), path.name
+        assert str(path.parent) == "/some/dir"
+
+    def test_write_bench_round_trips(self, payload, tmp_path):
+        out = tmp_path / "bench.json"
+        written = write_bench(payload, out)
+        assert written == out
+        assert not out.with_suffix(".json.tmp").exists()  # atomic rename
+        assert json.loads(out.read_text()) == payload
+
+    def test_write_bench_refuses_invalid_payload(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench({"schema": "nope"}, tmp_path / "bench.json")
+        assert not (tmp_path / "bench.json").exists()

@@ -1,0 +1,234 @@
+"""Unit tests for :mod:`repro.core.executor` — the shared fan-out pool."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.executor import (
+    QueryExecutor,
+    default_worker_count,
+    get_default_executor,
+    resolve_executor,
+    set_default_executor,
+    shutdown_default_executor,
+)
+from repro.exceptions import ConfigurationError
+from repro.observability.metrics import get_registry
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_worker_counts(self):
+        with pytest.raises(ConfigurationError):
+            QueryExecutor(0)
+        with pytest.raises(ConfigurationError):
+            QueryExecutor(-3)
+
+    def test_none_uses_the_default_worker_count(self):
+        pool = QueryExecutor(None)
+        assert pool.max_workers == default_worker_count()
+        pool.shutdown()
+
+    def test_default_worker_count_is_clamped(self):
+        assert 2 <= default_worker_count() <= 32
+
+    def test_repr_tracks_lifecycle(self):
+        pool = QueryExecutor(2)
+        assert "lazy" in repr(pool)
+        pool.map(lambda x: x, [1])
+        assert "running" in repr(pool)
+        pool.shutdown()
+        assert "closed" in repr(pool)
+
+
+class TestLaziness:
+    def test_no_threads_until_first_map(self):
+        pool = QueryExecutor(4)
+        assert not pool.started
+        assert pool.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+        assert pool.started
+        pool.shutdown()
+
+    def test_empty_map_does_not_start_the_pool(self):
+        pool = QueryExecutor(4)
+        assert pool.map(lambda x: x, []) == []
+        assert not pool.started
+        pool.shutdown()
+
+
+class TestMap:
+    def test_preserves_input_order(self):
+        pool = QueryExecutor(8)
+        try:
+            # Delays inversely proportional to index: later items finish
+            # first, yet results come back in submission order.
+            def slow_identity(i: int) -> int:
+                time.sleep(0.002 * (8 - i))
+                return i
+
+            assert pool.map(slow_identity, range(8)) == list(range(8))
+        finally:
+            pool.shutdown()
+
+    def test_exceptions_propagate(self):
+        pool = QueryExecutor(2)
+        try:
+            def boom(i: int) -> int:
+                if i == 3:
+                    raise ValueError("item 3 is cursed")
+                return i
+
+            with pytest.raises(ValueError, match="cursed"):
+                pool.map(boom, range(6))
+        finally:
+            pool.shutdown()
+
+    def test_runs_tasks_on_worker_threads(self):
+        pool = QueryExecutor(2, name="exec-test")
+        try:
+            names = pool.map(
+                lambda _: threading.current_thread().name, range(4)
+            )
+            assert all(n.startswith("exec-test") for n in names)
+        finally:
+            pool.shutdown()
+
+
+class TestShutdown:
+    def test_closed_pool_runs_inline(self):
+        pool = QueryExecutor(2)
+        pool.shutdown()
+        assert pool.closed
+        main = threading.current_thread().name
+        names = pool.map(
+            lambda _: threading.current_thread().name, range(3)
+        )
+        assert names == [main] * 3
+
+    def test_shutdown_is_idempotent(self):
+        pool = QueryExecutor(2)
+        pool.map(lambda x: x, [1])
+        pool.shutdown()
+        pool.shutdown()
+        assert pool.closed
+
+    def test_shutdown_under_load_still_returns_full_results(self):
+        """A fan-out racing shutdown degrades to inline, never errors."""
+        pool = QueryExecutor(2)
+        release = threading.Event()
+
+        def task(i: int) -> int:
+            release.wait(timeout=5.0)
+            return i * i
+
+        result_box: dict[str, list[int]] = {}
+
+        def run_map() -> None:
+            result_box["out"] = pool.map(task, range(32))
+
+        mapper = threading.Thread(target=run_map)
+        mapper.start()
+        # Let the first tasks get dispatched, then pull the rug.
+        time.sleep(0.02)
+        release.set()
+        pool.shutdown(wait=True)
+        mapper.join(timeout=10.0)
+        assert not mapper.is_alive()
+        assert result_box["out"] == [i * i for i in range(32)]
+
+    def test_context_manager_shuts_down(self):
+        with QueryExecutor(2) as pool:
+            assert pool.map(lambda x: -x, [1, 2]) == [-1, -2]
+        assert pool.closed
+
+
+class TestDefaultExecutor:
+    def test_shared_instance_is_cached(self):
+        shutdown_default_executor()
+        a = get_default_executor(2)
+        b = get_default_executor(17)  # sizing hint ignored after creation
+        try:
+            assert a is b
+            assert a.max_workers == 2
+        finally:
+            shutdown_default_executor()
+
+    def test_recreated_after_shutdown(self):
+        shutdown_default_executor()
+        first = get_default_executor(2)
+        shutdown_default_executor()
+        second = get_default_executor(2)
+        try:
+            assert second is not first
+            assert first.closed
+            assert not second.closed
+        finally:
+            shutdown_default_executor()
+
+    def test_set_default_executor_swaps_and_returns_previous(self):
+        shutdown_default_executor()
+        original = get_default_executor(2)
+        mine = QueryExecutor(3)
+        try:
+            previous = set_default_executor(mine)
+            assert previous is original
+            assert get_default_executor() is mine
+        finally:
+            shutdown_default_executor()
+            original.shutdown()
+
+
+class TestResolveExecutor:
+    def test_explicit_executor_wins(self):
+        mine = QueryExecutor(2)
+        try:
+            assert resolve_executor(mine, parallel=True) is mine
+            assert resolve_executor(mine, parallel=False) is mine
+        finally:
+            mine.shutdown()
+
+    def test_parallel_flag_selects_the_shared_pool(self):
+        shutdown_default_executor()
+        try:
+            pool = resolve_executor(None, parallel=True, max_workers=2)
+            assert pool is get_default_executor()
+        finally:
+            shutdown_default_executor()
+
+    def test_sequential_resolves_to_none(self):
+        assert resolve_executor(None, parallel=False) is None
+
+
+class TestMetrics:
+    def test_task_and_pool_counters_advance(self):
+        registry = get_registry()
+        pools0 = registry.get("executor_pools_total").value
+        tasks0 = registry.get("executor_tasks_total").value
+        fanouts0 = registry.get("executor_fanouts_total").value
+        with QueryExecutor(2) as pool:
+            pool.map(lambda x: x, range(5))
+        assert registry.get("executor_pools_total").value == pools0 + 1
+        assert registry.get("executor_tasks_total").value == tasks0 + 5
+        assert registry.get("executor_fanouts_total").value == fanouts0 + 1
+
+    def test_inline_counter_advances_after_close(self):
+        registry = get_registry()
+        pool = QueryExecutor(2)
+        pool.shutdown()
+        inline0 = registry.get("executor_inline_tasks_total").value
+        pool.map(lambda x: x, range(4))
+        assert (
+            registry.get("executor_inline_tasks_total").value == inline0 + 4
+        )
+
+    def test_worker_gauge_returns_to_baseline(self):
+        registry = get_registry()
+        gauge = registry.get("executor_workers")
+        before = gauge.value
+        pool = QueryExecutor(3)
+        pool.map(lambda x: x, [1])
+        assert gauge.value == before + 3
+        pool.shutdown()
+        assert gauge.value == before

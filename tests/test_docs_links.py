@@ -1,0 +1,75 @@
+"""Dead-link check over the repo's markdown documentation.
+
+Every relative link in README.md, the root markdown files, and docs/
+must point at a file that exists (and, when it carries a ``#fragment``,
+at a heading that exists in the target).  CI runs this as part of the
+test suite, so documentation drift that breaks a link fails the build.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# Documentation that must not contain dead links.
+DOC_FILES = sorted(
+    p
+    for p in [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+    if p.exists()
+)
+
+# [text](target) — excluding images' inner brackets is not needed for
+# existence checks; ![alt](target) matches too, which is what we want.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style heading anchor: lowercase, punctuation out, spaces->-."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors_of(path: Path) -> set[str]:
+    return {_slugify(m.group(1)) for m in _HEADING.finditer(path.read_text())}
+
+
+def _links_of(path: Path):
+    text = path.read_text()
+    # Skip links inside fenced code blocks (command output, examples).
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return [m.group(1) for m in _LINK.finditer(text)]
+
+
+def test_doc_corpus_is_nonempty():
+    assert any(p.name == "README.md" for p in DOC_FILES)
+    assert sum(1 for p in DOC_FILES if p.parent.name == "docs") >= 5
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_relative_links_resolve(doc: Path):
+    problems = []
+    for target in _links_of(doc):
+        if target.startswith(_EXTERNAL):
+            continue
+        target_path, _, fragment = target.partition("#")
+        if target_path:
+            resolved = (doc.parent / target_path).resolve()
+            if not resolved.exists():
+                problems.append(f"{target!r}: file does not exist")
+                continue
+        else:
+            resolved = doc  # '#fragment' alone refers to this file
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _anchors_of(resolved):
+                problems.append(
+                    f"{target!r}: no heading for anchor #{fragment} "
+                    f"in {resolved.name}"
+                )
+    assert not problems, "\n".join(problems)

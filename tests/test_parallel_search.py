@@ -1,0 +1,408 @@
+"""Property tests: parallel fan-out is bit-identical to sequential search.
+
+The determinism guarantee (documented on
+:meth:`repro.core.MultiLevelBlockIndex.search`) is that scheduling never
+feeds back into the computation — per-block/per-query randomness is
+derived *before* dispatch, and merges are stable sorts.  These tests pin
+the guarantee down across pool sizes (including ``1`` and heavy
+oversubscription), across the batched ``search_batch`` path, the
+baselines, and the serving layer, plus the degrade-to-inline behaviour
+when an executor shuts down under load.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import MultiLevelBlockIndex
+from repro.baselines.bsbf import BSBFIndex
+from repro.baselines.sf import SFIndex
+from repro.core.executor import (
+    QueryExecutor,
+    shutdown_default_executor,
+)
+from repro.observability.metrics import get_registry
+from repro.service import IndexService, ServiceConfig
+
+from .conftest import small_mbi_config
+
+POOL_SIZES = (1, 2, 16)  # single worker, small, oversubscribed
+WINDOWS = ((0.0, 100.0), (13.0, 87.0), (40.0, 60.0), (2.5, 97.5))
+
+
+def assert_results_identical(a, b) -> None:
+    """Bitwise equality of two QueryResults (positions, distances, ts)."""
+    np.testing.assert_array_equal(a.positions, b.positions)
+    assert a.distances.tobytes() == b.distances.tobytes()
+    np.testing.assert_array_equal(a.timestamps, b.timestamps)
+
+
+@pytest.fixture(scope="module")
+def index(clustered_data):
+    vectors, timestamps, _ = clustered_data
+    idx = MultiLevelBlockIndex(
+        vectors.shape[1], "euclidean", small_mbi_config(leaf_size=100)
+    )
+    idx.extend(vectors, timestamps)
+    return idx
+
+
+class TestSearchDeterminism:
+    @pytest.mark.parametrize("workers", POOL_SIZES)
+    def test_parallel_search_is_bit_identical(
+        self, index, clustered_data, workers
+    ):
+        _, _, queries = clustered_data
+        with QueryExecutor(workers) as pool:
+            for qi, query in enumerate(queries[:8]):
+                for t0, t1 in WINDOWS:
+                    seq = index.search(
+                        query, 10, t0, t1, rng=np.random.default_rng(qi)
+                    )
+                    par = index.search(
+                        query, 10, t0, t1,
+                        rng=np.random.default_rng(qi),
+                        executor=pool,
+                    )
+                    assert_results_identical(seq, par)
+
+    def test_parallel_search_stats_match_sequential(
+        self, index, clustered_data
+    ):
+        _, _, queries = clustered_data
+        with QueryExecutor(4) as pool:
+            # tau=0.95 keeps the walk descending, so several blocks are
+            # selected and the fan-out path genuinely engages.
+            seq = index.search(
+                queries[0], 10, 5.0, 95.0,
+                rng=np.random.default_rng(0), tau=0.95,
+            )
+            par = index.search(
+                queries[0], 10, 5.0, 95.0,
+                rng=np.random.default_rng(0), tau=0.95, executor=pool,
+            )
+            assert pool.started  # the fan-out really happened
+        assert seq.stats.blocks_searched == par.stats.blocks_searched
+        assert seq.stats.distance_evaluations == par.stats.distance_evaluations
+        assert seq.stats.nodes_visited == par.stats.nodes_visited
+
+    def test_config_parallel_flag_matches_sequential_twin(
+        self, clustered_data
+    ):
+        """query_parallel=True via the shared default pool changes nothing."""
+        vectors, timestamps, queries = clustered_data
+        dim = vectors.shape[1]
+        seq_index = MultiLevelBlockIndex(
+            dim, "euclidean", small_mbi_config(leaf_size=100)
+        )
+        par_index = MultiLevelBlockIndex(
+            dim,
+            "euclidean",
+            small_mbi_config(
+                leaf_size=100, query_parallel=True, query_workers=3
+            ),
+        )
+        seq_index.extend(vectors, timestamps)
+        par_index.extend(vectors, timestamps)
+        try:
+            for qi, query in enumerate(queries[:5]):
+                seq = seq_index.search(
+                    query, 8, 10.0, 90.0, rng=np.random.default_rng(qi)
+                )
+                par = par_index.search(
+                    query, 8, 10.0, 90.0, rng=np.random.default_rng(qi)
+                )
+                assert_results_identical(seq, par)
+        finally:
+            shutdown_default_executor()
+
+    def test_parallel_min_blocks_gates_fanout(self, clustered_data):
+        """A one-block window never pays fan-out dispatch."""
+        vectors, timestamps, queries = clustered_data
+        index = MultiLevelBlockIndex(
+            vectors.shape[1],
+            "euclidean",
+            small_mbi_config(leaf_size=100, parallel_min_blocks=10_000),
+        )
+        index.extend(vectors, timestamps)
+        registry = get_registry()
+        before = registry.get("mbi_search_parallel_total").value
+        with QueryExecutor(2) as pool:
+            index.search(
+                queries[0], 5, 0.0, 100.0,
+                rng=np.random.default_rng(0), executor=pool,
+            )
+            assert not pool.started  # threshold never met -> no threads
+        assert registry.get("mbi_search_parallel_total").value == before
+
+    def test_parallel_counter_increments_on_fanout(self, index, clustered_data):
+        _, _, queries = clustered_data
+        registry = get_registry()
+        before = registry.get("mbi_search_parallel_total").value
+        with QueryExecutor(2) as pool:
+            # A partial window under a high tau forces a multi-block walk
+            # (a fully covered root would be selected alone: r_o = 1 > tau).
+            index.search(
+                queries[0], 5, 5.0, 95.0,
+                rng=np.random.default_rng(0), tau=0.95, executor=pool,
+            )
+        assert registry.get("mbi_search_parallel_total").value == before + 1
+
+
+class TestExplainParity:
+    def test_signatures_match_and_parallel_flag_is_set(
+        self, index, clustered_data
+    ):
+        _, _, queries = clustered_data
+        seq_trace = index.explain(
+            queries[0], 10, 5.0, 95.0,
+            rng=np.random.default_rng(3), tau=0.95,
+        )
+        with QueryExecutor(4) as pool:
+            par_trace = index.explain(
+                queries[0], 10, 5.0, 95.0,
+                rng=np.random.default_rng(3), tau=0.95, executor=pool,
+            )
+        assert not seq_trace.parallel
+        assert par_trace.parallel
+        assert len(seq_trace.blocks) >= 2  # multi-block walk, real fan-out
+        assert seq_trace.signature() == par_trace.signature()
+        assert len(par_trace.blocks) == len(seq_trace.blocks)
+        # Per-block spans carry real offsets under fan-out.
+        assert all(e.started >= 0.0 for e in par_trace.blocks)
+
+    def test_parallel_render_is_labelled(self, index, clustered_data):
+        _, _, queries = clustered_data
+        with QueryExecutor(2) as pool:
+            trace = index.explain(
+                queries[1], 5, 5.0, 95.0,
+                rng=np.random.default_rng(0), tau=0.95, executor=pool,
+            )
+        assert trace.parallel
+        out = trace.render()
+        assert "block searches:" in out
+        assert "(parallel fan-out)" in out
+
+
+class TestBatchDeterminism:
+    @pytest.mark.parametrize("workers", POOL_SIZES)
+    def test_batched_path_identical_across_pool_sizes(
+        self, index, clustered_data, workers
+    ):
+        _, _, queries = clustered_data
+        with QueryExecutor(1) as ref_pool:
+            reference = index.search_batch(
+                queries, 10, 10.0, 90.0,
+                rng=np.random.default_rng(5), executor=ref_pool,
+            )
+        with QueryExecutor(workers) as pool:
+            got = index.search_batch(
+                queries, 10, 10.0, 90.0,
+                rng=np.random.default_rng(5), executor=pool,
+            )
+        assert len(got) == len(reference)
+        for a, b in zip(reference, got):
+            assert_results_identical(a, b)
+
+    def test_batched_path_ranks_like_sequential(self, index, clustered_data):
+        """Cross-kernel distances may differ in the last ulp; ranking not."""
+        _, _, queries = clustered_data
+        sequential = index.search_batch(
+            queries, 10, 10.0, 90.0, rng=np.random.default_rng(5)
+        )
+        with QueryExecutor(4) as pool:
+            batched = index.search_batch(
+                queries, 10, 10.0, 90.0,
+                rng=np.random.default_rng(5), executor=pool,
+            )
+        for seq, bat in zip(sequential, batched):
+            np.testing.assert_array_equal(seq.positions, bat.positions)
+            np.testing.assert_allclose(
+                seq.distances, bat.distances, rtol=1e-9, atol=1e-12
+            )
+
+    def test_batched_counter_increments(self, index, clustered_data):
+        _, _, queries = clustered_data
+        registry = get_registry()
+        before = registry.get("mbi_search_batched_total").value
+        with QueryExecutor(2) as pool:
+            index.search_batch(
+                queries[:4], 5, 0.0, 100.0,
+                rng=np.random.default_rng(0), executor=pool,
+            )
+        assert registry.get("mbi_search_batched_total").value == before + 1
+
+    def test_trace_sink_with_executor_still_traces_each_query(
+        self, index, clustered_data
+    ):
+        _, _, queries = clustered_data
+        sink: list = []
+        with QueryExecutor(2) as pool:
+            results = index.search_batch(
+                queries[:4], 5, 10.0, 90.0,
+                rng=np.random.default_rng(1),
+                trace_sink=sink, executor=pool,
+            )
+        assert len(sink) == 4
+        assert len(results) == 4
+        untraced = index.search_batch(
+            queries[:4], 5, 10.0, 90.0, rng=np.random.default_rng(1)
+        )
+        for a, b in zip(results, untraced):
+            assert_results_identical(a, b)
+
+    def test_empty_window_batched_path(self, index, clustered_data):
+        _, _, queries = clustered_data
+        with QueryExecutor(2) as pool:
+            results = index.search_batch(
+                queries[:3], 5, 400.0, 500.0,
+                rng=np.random.default_rng(0), executor=pool,
+            )
+        assert len(results) == 3
+        assert all(len(r) == 0 for r in results)
+
+
+class TestBaselineDeterminism:
+    @pytest.fixture(scope="class")
+    def data(self, clustered_data):
+        vectors, timestamps, queries = clustered_data
+        return vectors[:600], timestamps[:600], queries[:6]
+
+    def test_sf_batch_identical_with_executor(self, data):
+        vectors, timestamps, queries = data
+        sf = SFIndex(vectors.shape[1], "euclidean")
+        sf.extend(vectors, timestamps)
+        sf.build()
+        seq = sf.search_batch(
+            queries, 5, 10.0, 35.0, rng=np.random.default_rng(2)
+        )
+        with QueryExecutor(4) as pool:
+            par = sf.search_batch(
+                queries, 5, 10.0, 35.0,
+                rng=np.random.default_rng(2), executor=pool,
+            )
+        for a, b in zip(seq, par):
+            assert_results_identical(a, b)
+
+    def test_bsbf_batch_identical_with_executor(self, data):
+        vectors, timestamps, queries = data
+        bsbf = BSBFIndex(vectors.shape[1], "euclidean")
+        bsbf.extend(vectors, timestamps)
+        seq = bsbf.search_batch(queries, 5, 5.0, 30.0)
+        with QueryExecutor(4) as pool:
+            par = bsbf.search_batch(queries, 5, 5.0, 30.0, executor=pool)
+        for a, b in zip(seq, par):
+            assert_results_identical(a, b)
+
+
+class TestShutdownUnderLoad:
+    def test_searches_survive_executor_shutdown(self, index, clustered_data):
+        """Queries racing shutdown complete correctly (inline degrade)."""
+        _, _, queries = clustered_data
+        expected = [
+            index.search(q, 10, 5.0, 95.0, rng=np.random.default_rng(i))
+            for i, q in enumerate(queries)
+        ]
+        pool = QueryExecutor(2)
+        results: list = [None] * len(queries)
+        errors: list = []
+        go = threading.Event()
+
+        def worker(i: int) -> None:
+            go.wait(timeout=5.0)
+            try:
+                results[i] = index.search(
+                    queries[i], 10, 5.0, 95.0,
+                    rng=np.random.default_rng(i), executor=pool,
+                )
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(queries))
+        ]
+        for t in threads:
+            t.start()
+        go.set()
+        pool.shutdown(wait=False)  # yank the pool while queries are in flight
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not errors
+        for want, got in zip(expected, results):
+            assert got is not None
+            assert_results_identical(want, got)
+
+    def test_closed_pool_answers_queries_sequentially(
+        self, index, clustered_data
+    ):
+        _, _, queries = clustered_data
+        pool = QueryExecutor(2)
+        pool.shutdown()
+        seq = index.search(
+            queries[0], 10, 5.0, 95.0, rng=np.random.default_rng(0)
+        )
+        via_closed = index.search(
+            queries[0], 10, 5.0, 95.0,
+            rng=np.random.default_rng(0), executor=pool,
+        )
+        assert_results_identical(seq, via_closed)
+
+
+class TestServiceParity:
+    DIM = 8
+
+    def _mbi_config(self):
+        return small_mbi_config(leaf_size=32)
+
+    def _feed(self, svc, n: int = 200) -> None:
+        rng = np.random.default_rng(11)
+        for i in range(n):
+            svc.ingest(rng.standard_normal(self.DIM), float(i))
+
+    def test_search_workers_matches_unpooled_twin(self, tmp_path):
+        svc_seq = IndexService.open(
+            tmp_path / "seq",
+            dim=self.DIM,
+            mbi_config=self._mbi_config(),
+            config=ServiceConfig(fsync="never"),
+        )
+        svc_par = IndexService.open(
+            tmp_path / "par",
+            dim=self.DIM,
+            mbi_config=self._mbi_config(),
+            config=ServiceConfig(fsync="never", search_workers=3),
+        )
+        try:
+            self._feed(svc_seq)
+            self._feed(svc_par)
+            assert svc_par.executor is not None
+            assert svc_seq.executor is None
+            queries = np.random.default_rng(4).standard_normal((6, self.DIM))
+            for i, query in enumerate(queries):
+                a = svc_seq.search(
+                    query, 5, 20.0, 180.0, rng=np.random.default_rng(i)
+                )
+                b = svc_par.search(
+                    query, 5, 20.0, 180.0, rng=np.random.default_rng(i)
+                )
+                assert_results_identical(a, b)
+        finally:
+            svc_seq.close()
+            svc_par.close()
+
+    def test_close_shuts_the_service_executor_down(self, tmp_path):
+        svc = IndexService.open(
+            tmp_path / "svc",
+            dim=self.DIM,
+            mbi_config=self._mbi_config(),
+            config=ServiceConfig(fsync="never", search_workers=2),
+        )
+        self._feed(svc, 64)
+        pool = svc.executor
+        assert pool is not None and not pool.closed
+        svc.close()
+        assert pool.closed
