@@ -1,7 +1,7 @@
 """Reproducible performance harness — the numbers behind ``repro bench``.
 
-Two pinned-seed suites, emitted as one schema-versioned JSON document
-(``repro-bench/v1``) that every future PR appends a sibling of:
+Three pinned-seed suites, emitted as one schema-versioned JSON document
+(``repro-bench/v2``) that every future PR appends a sibling of:
 
 * **sequential_vs_parallel** — per-query TkNN latency of ``MBI.search``
   run sequentially and fanned out across ``QueryExecutor`` pools of
@@ -9,7 +9,14 @@ Two pinned-seed suites, emitted as one schema-versioned JSON document
   answers (the determinism guarantee, measured as well as tested);
 * **qps** — closed-batch throughput of the batched block-by-block
   ``search_batch`` path versus sequential MBI and the SF/BSBF baselines,
-  all answering the same pinned workload.
+  all answering the same pinned workload.  Every row reports its
+  ``recall_at_k`` against the exact in-window oracle and its mean
+  distance evaluations per query, so a throughput gain that silently
+  trades away accuracy is visible in the same table;
+* **graph_kernels** — the raw Algorithm 2 engines head-to-head on one
+  built graph of the same workload shape: the legacy node-at-a-time
+  ``greedy_graph_search`` versus the vectorized beam engine at several
+  widths, each with recall and distance-evaluation columns.
 
 The harness is import-light and fast by design: the ``--smoke`` profile
 finishes in seconds so CI can run it on every push (and fail on schema
@@ -40,11 +47,14 @@ from pathlib import Path
 
 import numpy as np
 
-SCHEMA = "repro-bench/v1"
+SCHEMA = "repro-bench/v2"
 
 #: Pool widths exercised by the sequential-vs-parallel suite (0 means
 #: sequential; widths beyond the CPU count measure oversubscription).
 DEFAULT_WORKER_SWEEP = (0, 1, 2, 4)
+
+#: Beam widths exercised by the graph_kernels suite.
+DEFAULT_BEAM_SWEEP = (8, 16, 32)
 
 
 @dataclass(frozen=True)
@@ -203,31 +213,76 @@ def run_sequential_vs_parallel(
     return {"rows": rows}
 
 
+def exact_window_topk(
+    vectors: np.ndarray, queries: np.ndarray, k: int, lo: int, hi: int
+) -> list[set[int]]:
+    """The exact oracle: per-query top-``k`` position sets inside ``[lo, hi)``.
+
+    A direct NumPy scan independent of every library code path, so recall
+    columns cannot be poisoned by the very kernels they are auditing.
+    Ties resolve ascending by position, the library-wide convention.
+    """
+    window = np.asarray(vectors[lo:hi], dtype=np.float64)
+    out: list[set[int]] = []
+    for query in queries:
+        delta = window - np.asarray(query, dtype=np.float64)
+        dists = np.einsum("ij,ij->i", delta, delta)
+        order = np.lexsort((np.arange(len(dists)), dists))[:k]
+        out.append({int(lo + position) for position in order})
+    return out
+
+
+def _recall(result_positions, exact: set[int], k: int) -> float:
+    return len(set(int(p) for p in result_positions) & exact) / k
+
+
 def run_qps_suite(
     index, queries, window, profile: HarnessProfile, seed: int, n_workers: int
 ) -> dict:
-    """Batch throughput: MBI sequential / batched-parallel vs BSBF (and SF)."""
+    """Batch throughput: MBI sequential / batched-parallel vs BSBF (and SF).
+
+    Every row carries ``recall_at_k`` against the exact in-window oracle
+    and the mean distance evaluations per query, measured on the first
+    (timed) pass.
+    """
     from repro import BSBFIndex, QueryExecutor
+    from repro.storage.timeline import TimeWindow
 
     t_start, t_end = window
     store = index.store
     vectors = store.slice(0, len(store))
     timestamps = store.timestamps
+    positions = store.resolve_window(TimeWindow(float(t_start), float(t_end)))
+    oracle = exact_window_topk(
+        vectors, queries, profile.k, positions.start, positions.stop
+    )
     rows = []
 
     def measure(name: str, run_batch) -> None:
         best = float("inf")
+        results = None
         for _ in range(profile.repeats):
             started = time.perf_counter()
-            results = run_batch()
+            batch = run_batch()
             best = min(best, time.perf_counter() - started)
+            if results is None:
+                results = batch
         assert len(results) == len(queries)
+        recall = statistics.fmean(
+            _recall(result.positions, exact, profile.k)
+            for result, exact in zip(results, oracle)
+        )
+        dist_evals = statistics.fmean(
+            float(result.stats.distance_evaluations) for result in results
+        )
         rows.append(
             {
                 "method": name,
                 "qps": len(queries) / best if best > 0 else float("inf"),
                 "mean_ms": best / len(queries) * 1e3,
                 "batch_seconds": best,
+                "recall_at_k": recall,
+                "dist_evals_per_query": dist_evals,
             }
         )
 
@@ -272,11 +327,112 @@ def run_qps_suite(
     return {"rows": rows}
 
 
+def run_graph_kernels_suite(
+    index, queries, profile: HarnessProfile, seed: int, beam_sweep
+) -> dict:
+    """Raw Algorithm 2 engines on one graph of the workload's shape.
+
+    Builds a single proximity graph (the index's own graph config) over
+    the stored vectors and runs the pinned query set through the legacy
+    node-at-a-time engine and the vectorized beam engine at each width in
+    ``beam_sweep`` — identical entries, epsilon, and ``M_C`` per query —
+    so the rows isolate the engine swap from everything MBI layers on
+    top.  Recall is measured against the exact oracle over the same
+    point set.
+    """
+    from repro.core.config import SearchParams
+    from repro.distances.fused import NormCache
+    from repro.graph import graph_search, greedy_graph_search
+    from repro.graph.builder import build_knn_graph
+
+    store = index.store
+    n_points = min(len(store), 4000)
+    points = np.ascontiguousarray(store.slice(0, n_points))
+    metric = index.metric
+    report = build_knn_graph(
+        points, metric, index.config.graph, np.random.default_rng(seed)
+    )
+    graph = report.graph
+    params = SearchParams()
+    oracle = exact_window_topk(points, queries, profile.k, 0, n_points)
+    entry_rng = np.random.default_rng([seed, 7])
+    entries = [
+        entry_rng.choice(n_points, size=params.n_entries, replace=False)
+        for _ in range(len(queries))
+    ]
+    norms = NormCache(points, metric)
+    rows = []
+
+    def measure(name: str, search_one) -> None:
+        best = float("inf")
+        outcomes = None
+        for _ in range(profile.repeats):
+            started = time.perf_counter()
+            batch = [search_one(i) for i in range(len(queries))]
+            best = min(best, time.perf_counter() - started)
+            if outcomes is None:
+                outcomes = batch
+        recall = statistics.fmean(
+            _recall(outcome.ids, exact, profile.k)
+            for outcome, exact in zip(outcomes, oracle)
+        )
+        dist_evals = statistics.fmean(
+            float(outcome.stats.distance_evaluations) for outcome in outcomes
+        )
+        rows.append(
+            {
+                "method": name,
+                "qps": len(queries) / best if best > 0 else float("inf"),
+                "mean_ms": best / len(queries) * 1e3,
+                "batch_seconds": best,
+                "recall_at_k": recall,
+                "dist_evals_per_query": dist_evals,
+            }
+        )
+
+    measure(
+        "greedy",
+        lambda i: greedy_graph_search(
+            graph,
+            points,
+            metric,
+            queries[i],
+            profile.k,
+            epsilon=params.epsilon,
+            max_candidates=params.max_candidates,
+            entry=entries[i],
+        ),
+    )
+    for width in beam_sweep:
+        measure(
+            f"beam-{width}",
+            lambda i, width=width: graph_search(
+                graph,
+                points,
+                metric,
+                queries[i],
+                profile.k,
+                epsilon=params.epsilon,
+                max_candidates=params.max_candidates,
+                entry=entries[i],
+                norms=norms,
+                beam_width=width,
+            ),
+        )
+    return {
+        "graph_points": int(n_points),
+        "epsilon": params.epsilon,
+        "max_candidates": params.max_candidates,
+        "rows": rows,
+    }
+
+
 def run_harness(
     seed: int = 0,
     smoke: bool = False,
     workers: int | None = None,
     worker_sweep=None,
+    beam_sweep=None,
 ) -> dict:
     """Run both suites; returns the schema-versioned payload (not written)."""
     profile = SMOKE if smoke else FULL
@@ -291,11 +447,17 @@ def run_harness(
         # Oversubscription point: measure past the CPU count on purpose.
         worker_sweep.append(2 * workers)
 
+    if beam_sweep is None:
+        beam_sweep = DEFAULT_BEAM_SWEEP
+
     index, queries, window = build_workload(profile, seed)
     sequential_vs_parallel = run_sequential_vs_parallel(
         index, queries, window, profile, seed, worker_sweep
     )
     qps = run_qps_suite(index, queries, window, profile, seed, workers)
+    graph_kernels = run_graph_kernels_suite(
+        index, queries, profile, seed, beam_sweep
+    )
 
     payload = {
         "schema": SCHEMA,
@@ -320,6 +482,7 @@ def run_harness(
         "suites": {
             "sequential_vs_parallel": sequential_vs_parallel,
             "qps": qps,
+            "graph_kernels": graph_kernels,
         },
     }
     validate_bench(payload)
@@ -330,13 +493,16 @@ def run_harness(
 
 
 def validate_bench(payload: dict) -> None:
-    """Raise ``ValueError`` unless ``payload`` is a valid repro-bench/v1 doc.
+    """Raise ``ValueError`` unless ``payload`` is a valid repro-bench/v2 doc.
 
     This is the schema gate the CI smoke job runs: it checks document
-    structure, row fields/types, and the two semantic invariants — the
+    structure, row fields/types, and the semantic invariants — the
     sequential-vs-parallel suite must contain a sequential baseline plus
-    at least one parallel row, and every parallel row must report
-    bit-identical results.
+    at least one parallel row, every parallel row must report
+    bit-identical results, every qps / graph_kernels row must carry a
+    recall in ``[0, 1]`` and a non-negative distance-evaluation count,
+    and the graph_kernels suite must pit the legacy greedy engine against
+    at least one beam width.
     """
 
     def fail(message: str) -> None:
@@ -386,29 +552,49 @@ def validate_bench(payload: dict) -> None:
             f"baseline and at least one parallel pool, got modes {modes}"
         )
 
-    qps = suites.get("qps")
-    if not isinstance(qps, dict) or not qps.get("rows"):
-        fail("missing qps rows")
-    methods = set()
-    for row in qps["rows"]:
-        for field_name, kind in (
-            ("method", str),
-            ("qps", (int, float)),
-            ("mean_ms", (int, float)),
-            ("batch_seconds", (int, float)),
-        ):
-            if not isinstance(row.get(field_name), kind):
-                fail(
-                    f"qps row field {field_name!r} missing or mistyped: "
-                    f"{row!r}"
-                )
-        if row["qps"] <= 0:
-            fail(f"non-positive qps in row {row!r}")
-        methods.add(row["method"])
+    def check_throughput_rows(suite_name: str, suite) -> set:
+        if not isinstance(suite, dict) or not suite.get("rows"):
+            fail(f"missing {suite_name} rows")
+        methods = set()
+        for row in suite["rows"]:
+            for field_name, kind in (
+                ("method", str),
+                ("qps", (int, float)),
+                ("mean_ms", (int, float)),
+                ("batch_seconds", (int, float)),
+                ("recall_at_k", (int, float)),
+                ("dist_evals_per_query", (int, float)),
+            ):
+                if not isinstance(row.get(field_name), kind):
+                    fail(
+                        f"{suite_name} row field {field_name!r} missing or "
+                        f"mistyped: {row!r}"
+                    )
+            if row["qps"] <= 0:
+                fail(f"non-positive qps in row {row!r}")
+            if not 0.0 <= row["recall_at_k"] <= 1.0:
+                fail(f"recall_at_k outside [0, 1] in row {row!r}")
+            if row["dist_evals_per_query"] < 0:
+                fail(f"negative dist_evals_per_query in row {row!r}")
+            methods.add(row["method"])
+        return methods
+
+    methods = check_throughput_rows("qps", suites.get("qps"))
     if not {"mbi-sequential", "mbi-parallel-batched"} <= methods:
         fail(
             "qps suite must measure mbi-sequential and mbi-parallel-batched, "
             f"got {methods}"
+        )
+
+    kernel_methods = check_throughput_rows(
+        "graph_kernels", suites.get("graph_kernels")
+    )
+    if "greedy" not in kernel_methods or not any(
+        name.startswith("beam-") for name in kernel_methods
+    ):
+        fail(
+            "graph_kernels suite must measure the greedy engine and at "
+            f"least one beam width, got {kernel_methods}"
         )
 
 
@@ -451,10 +637,30 @@ def render_bench(payload: dict) -> str:
         )
     lines.append("")
     lines.append("qps (shared-window batch throughput):")
-    lines.append(f"  {'method':<22} {'qps':>9} {'mean ms':>9}")
+    lines.append(
+        f"  {'method':<22} {'qps':>9} {'mean ms':>9} {'recall@k':>9} "
+        f"{'evals/q':>9}"
+    )
     for row in payload["suites"]["qps"]["rows"]:
         lines.append(
-            f"  {row['method']:<22} {row['qps']:>9.0f} {row['mean_ms']:>9.3f}"
+            f"  {row['method']:<22} {row['qps']:>9.0f} {row['mean_ms']:>9.3f} "
+            f"{row['recall_at_k']:>9.4f} {row['dist_evals_per_query']:>9.0f}"
+        )
+    kernels = payload["suites"]["graph_kernels"]
+    lines.append("")
+    lines.append(
+        f"graph kernels (Algorithm 2 engines, one graph over "
+        f"{kernels['graph_points']:,} points, eps={kernels['epsilon']}, "
+        f"M_C={kernels['max_candidates']}):"
+    )
+    lines.append(
+        f"  {'method':<22} {'qps':>9} {'mean ms':>9} {'recall@k':>9} "
+        f"{'evals/q':>9}"
+    )
+    for row in kernels["rows"]:
+        lines.append(
+            f"  {row['method']:<22} {row['qps']:>9.0f} {row['mean_ms']:>9.3f} "
+            f"{row['recall_at_k']:>9.4f} {row['dist_evals_per_query']:>9.0f}"
         )
     return "\n".join(lines)
 

@@ -2,15 +2,18 @@
 
 BSBF's "index" is just the timestamp-sorted store: a query binary-searches
 the window boundaries (``O(log n)``) and scans every vector inside the
-window exactly (``O(m log k)``; here a vectorised scan plus ``argpartition``).
-It is exact, fast for short windows, and degrades linearly as the window
-grows — one of the two regimes MBI interpolates between.
+window exactly (``O(m log k)``; here a fused norm-expansion scan plus
+``argpartition``, with per-row squared norms amortised across queries by a
+:class:`~repro.distances.StoreNormCache`).  It is exact, fast for short
+windows, and degrades linearly as the window grows — one of the two
+regimes MBI interpolates between.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..distances.fused import StoreNormCache
 from ..distances.metrics import Metric, resolve_metric
 from ..exceptions import EmptyIndexError, InvalidQueryError
 from ..observability.metrics import get_registry
@@ -41,6 +44,9 @@ class BSBFIndex:
     def __init__(self, dim: int, metric: Metric | str = "euclidean") -> None:
         self._metric = resolve_metric(metric)
         self._store = VectorStore(dim)
+        # Per-row norms for the fused scan, computed once per appended row
+        # (the store is append-only, so the cache never invalidates).
+        self._scan = StoreNormCache(self._store, self._metric)
 
     @property
     def dim(self) -> int:
@@ -100,7 +106,7 @@ class BSBFIndex:
         window = TimeWindow(float(t_start), float(t_end))
         positions = self._store.resolve_window(window)
         found_positions, found_dists = brute_force_topk(
-            self._store, self._metric, query, k, positions
+            self._store, self._metric, query, k, positions, norms=self._scan
         )
         span = positions.stop - positions.start
         stats = QueryStats.for_brute_force(span, window_size=span)

@@ -19,6 +19,7 @@ import time
 
 import numpy as np
 
+from ..distances.fused import NormCache, StoreNormCache
 from ..distances.metrics import Metric, resolve_metric
 from ..exceptions import EmptyIndexError, InvalidQueryError
 from ..graph.builder import GraphConfig, build_knn_graph
@@ -70,6 +71,11 @@ class SFIndex:
         self._store = VectorStore(dim)
         self._graph: KnnGraph | None = None
         self._graph_size = 0  # store length the graph was built for
+        # Snapshot norm cache over the graph's build-time span; replaced
+        # wholesale on every (re)build, so it can never describe stale data.
+        self._norms: NormCache | None = None
+        # Growable cache for the short-window brute-force fallback.
+        self._scan = StoreNormCache(self._store, self._metric)
         self._rng = np.random.default_rng(seed)
         self._total_build_seconds = 0.0
         self._total_distance_evaluations = 0
@@ -129,6 +135,9 @@ class SFIndex:
         _BUILD_SECONDS.inc(elapsed)
         self._graph = report.graph
         self._graph_size = len(self._store)
+        # retain_points=False: the store buffer is reallocated as it grows;
+        # each search re-resolves a fresh slice over the built span.
+        self._norms = NormCache(points, self._metric, retain_points=False)
 
     def memory_usage(self) -> dict[str, int]:
         """Bytes used: raw vectors plus the single global graph."""
@@ -185,7 +194,7 @@ class SFIndex:
             from ..core.brute import brute_force_topk
 
             found_positions, found_dists = brute_force_topk(
-                self._store, self._metric, query, k, allowed
+                self._store, self._metric, query, k, allowed, norms=self._scan
             )
             _DIST_EVALS.inc(span)
             return QueryResult(
@@ -210,6 +219,8 @@ class SFIndex:
             max_candidates=params.max_candidates,
             allowed=allowed,
             entry=entries,
+            norms=self._norms,
+            beam_width=params.beam_width,
         )
         stats = QueryStats.for_graph_search(
             nodes_visited=outcome.stats.nodes_visited,
@@ -290,6 +301,9 @@ class SFIndex:
         if sample_size <= 0:
             return np.zeros(1, dtype=np.int64), 0
         candidates = allowed.start + rng.choice(span, sample_size, replace=False)
-        dists = self._metric.batch(query, points[candidates])
-        best = np.argsort(dists)[: params.n_entries]
+        if self._norms is not None:
+            scores = self._norms.query(query, points=points).gather(candidates)
+        else:
+            scores = self._metric.batch(query, points[candidates])
+        best = np.argsort(scores)[: params.n_entries]
         return candidates[best], int(sample_size)

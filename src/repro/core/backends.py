@@ -35,6 +35,7 @@ from typing import Callable, ClassVar
 
 import numpy as np
 
+from ..distances.fused import FusedQuery, NormCache
 from ..distances.metrics import Metric
 from ..exceptions import ConfigurationError
 from ..graph.builder import build_knn_graph
@@ -109,6 +110,13 @@ class BlockBackend(abc.ABC):
 class GraphBackend(BlockBackend):
     """The paper's graph-based block index (Algorithm 2 search).
 
+    Owns a :class:`~repro.distances.NormCache` over its position slice:
+    the block's vectors are immutable once sealed, so per-row norms are
+    computed exactly once (at build or snapshot load) and every search hop
+    becomes one cached load plus one dot product.  Rebuilding a block
+    constructs a new backend — and with it a new cache — so the cache can
+    never describe stale data.
+
     Args:
         graph: Search-ready proximity graph over the block's vectors.
         store: The shared vector store.
@@ -129,6 +137,10 @@ class GraphBackend(BlockBackend):
         self._store = store
         self._positions = positions
         self._metric = metric
+        # retain_points=False: the store's backing buffer is reallocated as
+        # it grows, so the cache keeps only the (position-indexed) per-row
+        # data and each search re-resolves a fresh slice.
+        self.norms = NormCache(self._points(), metric, retain_points=False)
 
     def _points(self) -> np.ndarray:
         return self._store.slice(self._positions.start, self._positions.stop)
@@ -142,8 +154,18 @@ class GraphBackend(BlockBackend):
         rng: np.random.Generator,
     ) -> BackendOutcome:
         points = self._points()
-        entries, entry_evals = pick_entries(
-            points, self._metric, query, allowed, params, rng
+        # One fused query shared between entry sampling and the engine:
+        # the setup (query cast + norm) is paid once per block search.
+        fq = self.norms.query(query, points=points)
+        entries, entry_rank, entry_evals = pick_entries(
+            points,
+            self._metric,
+            query,
+            allowed,
+            params,
+            rng,
+            fused=fq,
+            with_ranks=True,
         )
         outcome = graph_search(
             self.graph,
@@ -155,6 +177,9 @@ class GraphBackend(BlockBackend):
             max_candidates=params.max_candidates,
             allowed=allowed,
             entry=entries,
+            entry_rank=entry_rank,
+            fused=fq,
+            beam_width=params.beam_width,
         )
         return BackendOutcome(
             ids=outcome.ids,
@@ -189,12 +214,22 @@ def pick_entries(
     allowed: range,
     params: SearchParams,
     rng: np.random.Generator,
-) -> tuple[np.ndarray, int]:
+    norms: NormCache | None = None,
+    fused: FusedQuery | None = None,
+    with_ranks: bool = False,
+) -> tuple[np.ndarray, int] | tuple[np.ndarray, np.ndarray | None, int]:
     """Entry points for graph search: best of a random in-window sample.
 
     Algorithm 2 starts from one random vector of the block; sampling a few
     candidates *inside the query window* and keeping the nearest makes
     short-window searches start where results can actually be.
+
+    When the caller owns a :class:`~repro.distances.NormCache` over
+    ``points`` the sample is scored through the fused kernel (rank space —
+    the same ordering, one gather + one dot product) and the evaluations
+    are charged to the cache's counter.  Passing an already-prepared
+    ``fused`` query skips even the per-call setup (and takes precedence
+    over ``norms``).
 
     Returns:
         ``(entries, evaluations)`` — the chosen entry node ids and how many
@@ -203,14 +238,34 @@ def pick_entries(
         sampling scores up to ``params.entry_sample`` candidates but keeps
         only ``params.n_entries``, and the counting convention of
         :mod:`repro.core.results` charges every kernel evaluation.
+
+        With ``with_ranks=True`` (requires ``fused``) the return is
+        ``(entries, ranks, evaluations)`` where *every* scored sample is
+        kept and ``ranks`` holds its rank distances — callers hand both to
+        :func:`~repro.graph.search.graph_search` (``entry``/``entry_rank``)
+        so the already-paid sample scores seed the candidate pool instead
+        of being thrown away and re-gathered.  ``ranks`` is ``None`` when
+        the window admits no sample (the returned fallback entry was never
+        scored).
     """
     span = allowed.stop - allowed.start
     sample_size = min(params.entry_sample, span)
     if sample_size <= 0:
+        if with_ranks:
+            return np.zeros(1, dtype=np.int64), None, 0
         return np.zeros(1, dtype=np.int64), 0
     candidates = allowed.start + rng.choice(span, sample_size, replace=False)
-    dists = metric.batch(query, points[candidates])
-    best = np.argsort(dists)[: params.n_entries]
+    if fused is not None:
+        scores = fused.gather(candidates)
+    elif norms is not None:
+        scores = norms.query(query, points=points).gather(candidates)
+    else:
+        scores = metric.batch(query, points[candidates])
+    if with_ranks:
+        if fused is None:
+            raise ValueError("with_ranks=True requires a fused query")
+        return candidates, scores, int(sample_size)
+    best = np.argsort(scores)[: params.n_entries]
     return candidates[best], int(sample_size)
 
 

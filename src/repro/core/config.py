@@ -143,6 +143,13 @@ class SearchParams:
             clustered data (cost: ``entry_sample`` extra distance
             computations per block searched).
         n_entries: How many of the sampled nodes seed the search frontier.
+        beam_width: Candidates expanded per iteration of the vectorized
+            beam engine (:func:`repro.graph.graph_search`).  ``1``
+            reproduces the classical greedy expansion order; wider beams
+            amortise NumPy dispatch over bigger adjacency gathers and
+            fused distance calls, trading a little extra exploration for
+            much higher throughput (see ``docs/performance.md`` for the
+            measured ``beam_width`` x ``epsilon`` sweep).
         brute_force_threshold: When the query window covers at most this
             many vectors of a block, scan them exactly instead of running
             graph search.  A vectorised scan of a few dozen vectors is both
@@ -156,6 +163,7 @@ class SearchParams:
     max_candidates: int = 128
     entry_sample: int = 32
     n_entries: int = 4
+    beam_width: int = 32
     brute_force_threshold: int = 64
 
     def __post_init__(self) -> None:
@@ -176,6 +184,10 @@ class SearchParams:
                 f"n_entries must be in [1, entry_sample={self.entry_sample}], "
                 f"got {self.n_entries}"
             )
+        if self.beam_width < 1:
+            raise ConfigurationError(
+                f"beam_width must be >= 1, got {self.beam_width}"
+            )
         if self.brute_force_threshold < 0:
             raise ConfigurationError(
                 f"brute_force_threshold must be >= 0, "
@@ -189,6 +201,7 @@ class SearchParams:
             max_candidates=self.max_candidates,
             entry_sample=self.entry_sample,
             n_entries=self.n_entries,
+            beam_width=self.beam_width,
             brute_force_threshold=self.brute_force_threshold,
         )
 

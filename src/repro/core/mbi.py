@@ -25,7 +25,7 @@ from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
-from ..distances.kernels import top_k_smallest
+from ..distances.fused import StoreNormCache
 from ..distances.metrics import Metric, resolve_metric
 from ..exceptions import EmptyIndexError, InvalidQueryError
 from ..graph.knn_graph import NO_NEIGHBOR
@@ -111,7 +111,21 @@ class MultiLevelBlockIndex:
         self._metric = resolve_metric(metric)
         self._config = config if config is not None else MBIConfig()
         self._store = VectorStore(dim)
+        # Fused-scan norm cache for every brute-force path (open leaf,
+        # short-window slices, the batched block scan).  The store is
+        # append-only, so rows are cached once and never invalidated;
+        # built blocks own their *own* snapshot caches (see GraphBackend).
+        self._scan = StoreNormCache(self._store, self._metric)
         self._blocks: dict[int, Block] = {}
+        # One-slot memo for block selection: serving workloads ask many
+        # queries over the same window, and the selection walk is pure
+        # Python recursion.  The key captures everything selection reads —
+        # the window (which also determines time-mode ratios), tau, and the
+        # store length (the materialised block set and per-block fill are a
+        # pure function of the insert count; timestamps are append-only).
+        self._selection_cache: (
+            tuple[tuple[float, float, float, int], list[Block]] | None
+        ) = None
         self._rng = np.random.default_rng(self._config.seed)
         self._total_build_seconds = 0.0
         self._total_distance_evaluations = 0
@@ -332,6 +346,38 @@ class MultiLevelBlockIndex:
 
     # ---------------------------------------------------------------- queries
 
+    def _select_blocks_cached(
+        self,
+        window: TimeWindow,
+        tau: float,
+        positions: range,
+        trace: QueryTrace | None,
+    ) -> list[Block]:
+        """Block selection with a one-slot memo on (window, tau, store size).
+
+        Traced queries always re-run the walk (the trace records one event
+        per visited node) but still refresh the memo, so an ``explain``
+        never serves or produces stale selections.  Callers must treat the
+        returned list as read-only — cache hits alias it.
+        """
+        key = (window.start, window.end, tau, len(self._store))
+        cached = self._selection_cache
+        if trace is None and cached is not None and cached[0] == key:
+            return cached[1]
+        selected = select_blocks(
+            self._blocks,
+            len(self._store),
+            self._config.leaf_size,
+            tau,
+            positions,
+            mode=self._config.selection_mode,
+            query_window=window,
+            timestamps=self._store.timestamps,
+            trace=trace,
+        )
+        self._selection_cache = (key, selected)
+        return selected
+
     def search(
         self,
         query: np.ndarray,
@@ -419,16 +465,8 @@ class MultiLevelBlockIndex:
                 trace.seconds = time.perf_counter() - started
             return QueryResult.empty(QueryStats())
 
-        selected = select_blocks(
-            self._blocks,
-            len(self._store),
-            self._config.leaf_size,
-            effective_tau,
-            positions,
-            mode=self._config.selection_mode,
-            query_window=window,
-            timestamps=self._store.timestamps,
-            trace=trace,
+        selected = self._select_blocks_cached(
+            window, effective_tau, positions, trace
         )
         # Per-block randomness is derived *before* dispatch, so scheduling
         # never feeds back into the computation: sequential and parallel
@@ -655,15 +693,8 @@ class MultiLevelBlockIndex:
         if positions.start >= positions.stop:
             _SEARCH_QUERIES.inc(m)
             return [QueryResult.empty(QueryStats()) for _ in range(m)]
-        selected = select_blocks(
-            self._blocks,
-            len(self._store),
-            self._config.leaf_size,
-            self._config.tau,
-            positions,
-            mode=self._config.selection_mode,
-            query_window=window,
-            timestamps=self._store.timestamps,
+        selected = self._select_blocks_cached(
+            window, self._config.tau, positions, trace=None
         )
         # Row i is the block-seed vector query i would draw in ``search``:
         # default_rng(seeds[i]).integers(0, 2**63 - 1, size=len(selected)).
@@ -749,18 +780,9 @@ class MultiLevelBlockIndex:
                     np.empty(0, dtype=np.float64),
                 )
                 return [(empty, stats)] * len(queries)
-            points = self._store.slice(local.start, local.stop)
-            dists = self._metric.cross(queries, points)  # one kernel call
-            out = []
-            for i in range(len(queries)):
-                best = top_k_smallest(dists[i], k)
-                out.append(
-                    (
-                        ((local.start + best).astype(np.int64), dists[i][best]),
-                        stats,
-                    )
-                )
-            return out
+            # One fused many-to-many kernel call answers the whole batch.
+            found_batch = self._scan.topk_batch(queries, k, local)
+            return [(found, stats) for found in found_batch]
         offset = block.positions.start
         allowed = range(local.start - offset, local.stop - offset)
         out = []
@@ -818,7 +840,9 @@ class MultiLevelBlockIndex:
         if block.backend is None or span <= params.brute_force_threshold:
             # Open (non-full) leaf — Algorithm 4 line 6 — or a window slice
             # small enough that an exact scan beats the block index.
-            found = brute_force_topk(self._store, self._metric, query, k, local)
+            found = brute_force_topk(
+                self._store, self._metric, query, k, local, norms=self._scan
+            )
             stats = QueryStats.for_brute_force(span)
             event = None
             if record:

@@ -15,6 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..distances.fused import StoreNormCache
 from ..distances.metrics import resolve_metric
 from ..exceptions import PersistenceError
 from ..graph.builder import GraphConfig
@@ -127,6 +128,10 @@ def load_index(path: str | Path) -> MultiLevelBlockIndex:
     index = MultiLevelBlockIndex(int(header["dim"]), metric, config)
     if len(vectors):
         index._store = VectorStore.from_arrays(vectors, timestamps)
+        # The scan cache binds the store at construction; re-bind it to the
+        # loaded store (per-row norms are recomputed deterministically from
+        # the same float32 data, so answers match the pre-snapshot index).
+        index._scan = StoreNormCache(index._store, metric)
     blocks: dict[int, Block] = {}
     for entry in header["blocks"]:
         block = Block(

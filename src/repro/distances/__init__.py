@@ -1,5 +1,14 @@
 """Distance metrics and vectorised kernels used by every index in the library."""
 
+from .fused import (
+    RANK_DTYPE,
+    FusedQuery,
+    NormCache,
+    StoreNormCache,
+    as_fused_points,
+    row_norms,
+    row_sq_norms,
+)
 from .kernels import top_k_smallest
 from .metrics import (
     ANGULAR,
@@ -17,9 +26,16 @@ __all__ = [
     "EUCLIDEAN",
     "INNER_PRODUCT",
     "SQEUCLIDEAN",
+    "RANK_DTYPE",
+    "FusedQuery",
     "Metric",
+    "NormCache",
+    "StoreNormCache",
+    "as_fused_points",
     "available_metrics",
     "register_metric",
     "resolve_metric",
+    "row_norms",
+    "row_sq_norms",
     "top_k_smallest",
 ]

@@ -4,7 +4,7 @@ This package provides everything the paper treats as "a graph-based kNN
 index used as a module": NNDescent construction (:mod:`.nndescent`), RP-tree
 initialisation (:mod:`.rp_forest`), a fixed-width graph container
 (:mod:`.knn_graph`), build orchestration (:mod:`.builder`), and the
-time-filtered greedy search of Algorithm 2 (:mod:`.search`).
+time-filtered beam search of Algorithm 2 (:mod:`.search`).
 """
 
 from .builder import (
@@ -19,9 +19,16 @@ from .hnsw import HNSWIndex, HNSWParams, build_hnsw
 from .knn_graph import NO_NEIGHBOR, KnnGraph
 from .nndescent import NNDescentParams, NNDescentResult, nn_descent
 from .pruning import occlusion_prune, pack_rows
-from .search import SearchOutcome, SearchStats, graph_search
+from .search import (
+    DEFAULT_BEAM_WIDTH,
+    SearchOutcome,
+    SearchStats,
+    graph_search,
+    greedy_graph_search,
+)
 
 __all__ = [
+    "DEFAULT_BEAM_WIDTH",
     "NO_NEIGHBOR",
     "GraphBuildReport",
     "GraphConfig",
@@ -39,6 +46,7 @@ __all__ = [
     "ensure_connected",
     "exact_knn_lists",
     "graph_search",
+    "greedy_graph_search",
     "nn_descent",
     "occlusion_prune",
     "pack_rows",

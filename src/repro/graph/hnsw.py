@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..distances.fused import FusedQuery, NormCache
 from ..distances.metrics import Metric
 from .knn_graph import NO_NEIGHBOR, KnnGraph
 
@@ -86,15 +87,32 @@ class HNSWIndex:
         return len(self.upper_layers)
 
     def descend(
-        self, query: np.ndarray, points: np.ndarray, metric: Metric
+        self,
+        query: np.ndarray,
+        points: np.ndarray,
+        metric: Metric,
+        norms: NormCache | None = None,
+        fused: FusedQuery | None = None,
     ) -> tuple[int, int]:
         """Greedy descent from the top layer to layer 0.
+
+        With a :class:`~repro.distances.NormCache` (or an already-prepared
+        :class:`~repro.distances.FusedQuery`, which takes precedence) the
+        per-hop scoring runs through the fused kernel in rank space — a
+        strictly monotone transform of the metric distance, so every
+        greedy ``argmin`` decision (and therefore the returned entry) is
+        unchanged.
 
         Returns the best entry node for a base-layer search and the number
         of distance evaluations spent.
         """
         node = self.entry_point
-        dist = metric.pairwise(query, points[node])
+        if fused is None and norms is not None:
+            fused = norms.query(query, points=points)
+        if fused is not None:
+            dist = float(fused.gather(np.array([node]))[0])
+        else:
+            dist = metric.pairwise(query, points[node])
         evaluations = 1
         for layer in range(self.max_level, 0, -1):
             adjacency = self.upper_layers[layer - 1]
@@ -104,7 +122,10 @@ class HNSWIndex:
                 neighbors = adjacency.get(node)
                 if neighbors is None or len(neighbors) == 0:
                     break
-                dists = metric.batch(query, points[neighbors])
+                if fused is not None:
+                    dists = fused.gather(neighbors)
+                else:
+                    dists = metric.batch(query, points[neighbors])
                 evaluations += len(neighbors)
                 best = int(np.argmin(dists))
                 if dists[best] < dist:

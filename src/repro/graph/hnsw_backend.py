@@ -13,6 +13,7 @@ import numpy as np
 
 from ..core.backends import BackendOutcome, BlockBackend, pick_entries
 from ..core.config import SearchParams
+from ..distances.fused import NormCache
 from ..distances.metrics import Metric
 from ..storage.vector_store import VectorStore
 from .hnsw import (
@@ -48,6 +49,13 @@ class HNSWBackend(BlockBackend):
         self._store = store
         self._positions = positions
         self._metric = metric
+        # Snapshot cache over the block's immutable span; rebuilt with the
+        # backend, re-bound to a fresh store slice per search.
+        self.norms = NormCache(
+            store.slice(positions.start, positions.stop),
+            metric,
+            retain_points=False,
+        )
 
     def search(
         self,
@@ -60,13 +68,16 @@ class HNSWBackend(BlockBackend):
         points = self._store.slice(
             self._positions.start, self._positions.stop
         )
+        # One fused query shared by the descent, the entry sampling, and
+        # the base-layer beam search.
+        fq = self.norms.query(query, points=points)
         descent_entry, descent_evals = self.index.descend(
-            query, points, self._metric
+            query, points, self._metric, fused=fq
         )
         # Combine the hierarchy's entry with in-window sampled entries so a
         # narrow filter still starts where results can be.
         sampled, sample_evals = pick_entries(
-            points, self._metric, query, allowed, params, rng
+            points, self._metric, query, allowed, params, rng, fused=fq
         )
         entries = np.unique(np.append(sampled, descent_entry))
         outcome = graph_search(
@@ -79,6 +90,8 @@ class HNSWBackend(BlockBackend):
             max_candidates=params.max_candidates,
             allowed=allowed,
             entry=entries,
+            fused=fq,
+            beam_width=params.beam_width,
         )
         return BackendOutcome(
             ids=outcome.ids,

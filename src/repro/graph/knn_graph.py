@@ -98,27 +98,54 @@ class KnnGraph:
         if max_degree is None:
             max_degree = 2 * self.max_degree
         n = self.num_nodes
-        # Collect forward and reverse edge lists per node, preserving the
-        # distance-sorted order of forward neighbors first.
-        forward: list[list[int]] = [[] for _ in range(n)]
-        reverse: list[list[int]] = [[] for _ in range(n)]
+        merged = np.full((n, max_degree), NO_NEIGHBOR, dtype=np.int32)
         rows, cols = np.nonzero(self._neighbors != NO_NEIGHBOR)
         targets = self._neighbors[rows, cols]
-        for src, dst in zip(rows.tolist(), targets.tolist()):
-            forward[src].append(dst)
-            reverse[dst].append(src)
-        merged = np.full((n, max_degree), NO_NEIGHBOR, dtype=np.int32)
-        for node in range(n):
-            seen: set[int] = set()
-            out = 0
-            for neighbor in forward[node] + reverse[node]:
-                if neighbor == node or neighbor in seen:
-                    continue
-                seen.add(neighbor)
-                merged[node, out] = neighbor
-                out += 1
-                if out == max_degree:
-                    break
+        n_edges = len(rows)
+        if n_edges == 0:
+            return KnnGraph(merged)
+
+        # Each directed edge (src, dst) contributes the forward half-edge
+        # ``dst`` to node ``src`` and the reverse half-edge ``src`` to node
+        # ``dst``.  Per node the candidate sequence is: forward neighbors in
+        # column (distance) order, then reverse neighbors in row-major edge
+        # order — ``order`` encodes exactly that, with every forward key
+        # (< max_degree) below every reverse key (>= max_degree).
+        owner = np.concatenate([rows, targets]).astype(np.int64)
+        value = np.concatenate([targets, rows]).astype(np.int64)
+        order = np.concatenate(
+            [cols, self.max_degree + np.arange(n_edges, dtype=np.int64)]
+        )
+        live = owner != value  # drop self-loops
+        owner, value, order = owner[live], value[live], order[live]
+        if len(owner) == 0:
+            return KnnGraph(merged)
+
+        # Keep-first dedup of (owner, value) pairs: group duplicates with
+        # the earliest-sequenced pair first, mark group heads, discard the
+        # rest.  The surviving ``order`` keys still encode each node's
+        # original sequence.
+        group = np.lexsort((order, value, owner))
+        owner, value, order = owner[group], value[group], order[group]
+        head = np.empty(len(owner), dtype=bool)
+        head[0] = True
+        head[1:] = (owner[1:] != owner[:-1]) | (value[1:] != value[:-1])
+        owner, value, order = owner[head], value[head], order[head]
+
+        # Re-sequence per node and cap the degree: within each owner run,
+        # rank is the candidate's position in the legacy iteration order.
+        seq = np.lexsort((order, owner))
+        owner, value = owner[seq], value[seq]
+        m = len(owner)
+        starts = np.empty(m, dtype=bool)
+        starts[0] = True
+        starts[1:] = owner[1:] != owner[:-1]
+        positions = np.arange(m, dtype=np.int64)
+        rank = positions - np.maximum.accumulate(
+            np.where(starts, positions, 0)
+        )
+        keep = rank < max_degree
+        merged[owner[keep], rank[keep]] = value[keep]
         return KnnGraph(merged)
 
     @classmethod

@@ -1,15 +1,36 @@
-"""Time-filtered greedy graph search (the paper's Algorithm 2).
+"""Time-filtered graph search (the paper's Algorithm 2), vectorized.
 
 The routine walks a proximity graph from an entry node toward the query
-vector, maintaining a candidate min-heap ``C`` (capped at ``M_C``), a visited
-set ``V``, and a result max-heap ``R`` of the best ``k`` vectors *inside the
+vector, maintaining a candidate set ``C`` (capped at ``M_C``), a visited
+set ``V``, and a result set ``R`` of the best ``k`` vectors *inside the
 query's time filter*.  While ``R`` is not yet full every neighbor is
 explored; once full, expansion is restricted to neighbors closer than
 ``epsilon`` times the current worst result (``epsilon`` trades recall for
 speed — the paper sweeps it from 1.0 to 1.4).
 
-Both the SF baseline (one graph over the whole database) and every MBI block
-call this same function; only the id space and the time filter differ.
+Two engines implement these semantics:
+
+* :func:`graph_search` — the **vectorized beam engine**.  The frontier
+  lives in flat NumPy arrays (candidate ids/ranks, a visited bitmap, a
+  bounded result buffer) and a fixed-width *beam* of the nearest
+  candidates is expanded per iteration: one adjacency gather from
+  :attr:`KnnGraph.adjacency`, one fused distance call through a
+  :class:`~repro.distances.NormCache`, dedup and bound filtering by array
+  ops and ``argpartition``.  Distances are compared in *rank space*
+  (squared L2 for euclidean — see :mod:`repro.distances.fused`), with the
+  ``sqrt`` deferred to the final top-k.
+* :func:`greedy_graph_search` — the legacy node-at-a-time reference
+  (``heapq``-based).  Kept for recall-parity testing and as executable
+  documentation of Algorithm 2's original form.
+
+Both engines share the epsilon/``M_C`` semantics and the ascending
+``(distance, id)`` tie convention of
+:func:`~repro.distances.top_k_smallest`, and both charge the
+:ref:`distance-counting convention <counting-convention>` identically.
+
+Both the SF baseline (one graph over the whole database) and every MBI
+block call this same function; only the id space and the time filter
+differ.
 """
 
 from __future__ import annotations
@@ -19,6 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..distances.fused import FusedQuery, NormCache
 from ..distances.metrics import Metric
 from ..observability.metrics import get_registry
 from .knn_graph import KnnGraph
@@ -28,12 +50,19 @@ _CALLS = _METRICS.counter(
     "graph_search_calls_total", "Algorithm 2 invocations (all callers)"
 )
 _NODES = _METRICS.counter(
-    "graph_search_nodes_visited_total", "Nodes popped from the candidate heap"
+    "graph_search_nodes_visited_total", "Nodes expanded from the candidate set"
 )
 _DIST_EVALS = _METRICS.counter(
     "graph_search_distance_evals_total",
     "Distance computations inside graph search (entries + expansions)",
 )
+
+#: Beam width used when the caller does not specify one.  Thirty-two
+#: nearest candidates per expansion keeps each adjacency gather / fused
+#: distance call big enough to amortise NumPy dispatch; at this width the
+#: measured recall is strictly above the node-at-a-time engine's on every
+#: benchmark workload (see docs/performance.md for the sweep).
+DEFAULT_BEAM_WIDTH = 32
 
 
 @dataclass(frozen=True)
@@ -41,11 +70,11 @@ class SearchStats:
     """Work counters for one graph-search invocation.
 
     Attributes:
-        nodes_visited: Nodes popped from the candidate heap (graph hops).
+        nodes_visited: Nodes expanded from the candidate set (graph hops).
         distance_evaluations: Distance computations performed.
         terminated_by_bound: Whether the search stopped because the nearest
             remaining candidate exceeded the epsilon bound (as opposed to
-            exhausting the candidate heap).
+            exhausting the candidate set).
     """
 
     nodes_visited: int
@@ -62,9 +91,39 @@ class SearchOutcome:
     stats: SearchStats
 
 
-# When the candidate heap grows beyond this multiple of max_candidates it is
-# pruned back down; a lazy cap keeps heap operations cheap between prunes.
-_PRUNE_SLACK = 2
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_RANK = np.empty(0, dtype=np.float64)
+
+
+def _validate_scalars(k: int, epsilon: float, max_candidates: int) -> None:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if epsilon < 1.0:
+        raise ValueError(f"epsilon must be >= 1.0, got {epsilon}")
+    if max_candidates < 1:
+        raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
+
+
+def _validate(
+    n: int,
+    k: int,
+    epsilon: float,
+    max_candidates: int,
+    entry: int | np.ndarray | list[int],
+) -> np.ndarray:
+    """Shared argument validation; returns the unique entry-id array."""
+    _validate_scalars(k, epsilon, max_candidates)
+    entries = np.atleast_1d(np.asarray(entry, dtype=np.int64)).ravel()
+    if entries.size <= 8:
+        # Typical callers pass a handful of sampled entries; a Python-level
+        # dedup beats np.unique's sort machinery at this size.
+        unique = sorted(set(entries.tolist()))
+        entries = np.array(unique, dtype=np.int64)
+    else:
+        entries = np.unique(entries)
+    if len(entries) == 0 or entries[0] < 0 or entries[-1] >= n:
+        raise ValueError(f"entry nodes {entries!r} out of range [0, {n})")
+    return entries
 
 
 def graph_search(
@@ -78,8 +137,22 @@ def graph_search(
     allowed: range | None = None,
     entry: int | np.ndarray | list[int] = 0,
     max_visits: int | None = None,
+    *,
+    norms: NormCache | None = None,
+    fused: FusedQuery | None = None,
+    entry_rank: np.ndarray | None = None,
+    beam_width: int | None = None,
 ) -> SearchOutcome:
     """Find the approximate ``k`` nearest in-filter nodes to ``query``.
+
+    This is the vectorized beam engine: per iteration the ``beam_width``
+    nearest unvisited candidates are expanded together — one adjacency
+    gather, one fused distance call — instead of one node per Python loop
+    iteration.  At ``beam_width=1`` the expansion order matches the
+    classical greedy walk; wider beams batch more work per NumPy dispatch
+    at the cost of occasionally expanding a node a strictly sequential
+    walk would have pruned (which can only *raise* recall, never lower
+    it, since the epsilon bound is re-checked per beam).
 
     Args:
         graph: Search graph over ``points`` (local id space ``0..n-1``).
@@ -98,22 +171,260 @@ def graph_search(
             the data is strongly clustered.  Index classes choose a strategy.
         max_visits: Optional hard cap on visited nodes, a safety valve for
             adversarial inputs.
+        norms: Precomputed :class:`~repro.distances.NormCache` over
+            ``points``.  Backends that own their data pass their cache;
+            ``None`` builds a one-shot cache for this call.
+        fused: A :class:`~repro.distances.FusedQuery` already prepared for
+            this ``query`` over these ``points`` (callers that also score
+            entry samples share one instead of paying the setup twice).
+            Takes precedence over ``norms``.
+        entry_rank: Rank distances aligned with ``entry``, as returned by
+            ``fused.gather(entry)``.  Callers that scored their entry
+            sample through the shared fused query pass the scores along so
+            the whole sample seeds the candidate pool without being ranked
+            a second time (the evaluations were already charged by the
+            caller).  Requires ``entry`` to be a unique-id array.
+        beam_width: Candidates expanded per iteration (>= 1); defaults to
+            :data:`DEFAULT_BEAM_WIDTH`.
 
     Returns:
         A :class:`SearchOutcome`; fewer than ``k`` results are returned when
         the filter admits fewer nodes (or exploration was cut short).
+        Results are sorted ascending by distance, ties by ascending id.
     """
     n = graph.num_nodes
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    if epsilon < 1.0:
-        raise ValueError(f"epsilon must be >= 1.0, got {epsilon}")
-    if max_candidates < 1:
-        raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
-    entries = np.atleast_1d(np.asarray(entry, dtype=np.int64))
-    entries = np.unique(entries)
-    if len(entries) == 0 or entries[0] < 0 or entries[-1] >= n:
-        raise ValueError(f"entry nodes {entries!r} out of range [0, {n})")
+    if entry_rank is None:
+        entries = _validate(n, k, epsilon, max_candidates, entry)
+    else:
+        # Pre-scored entries: the caller guarantees unique in-range ids
+        # (rng sampling without replacement); only the scalars need checks.
+        _validate_scalars(k, epsilon, max_candidates)
+        entries = np.asarray(entry, dtype=np.int64)
+        if len(entries) != len(entry_rank):
+            raise ValueError(
+                f"entry_rank has {len(entry_rank)} scores for "
+                f"{len(entries)} entries"
+            )
+    if beam_width is None:
+        beam_width = DEFAULT_BEAM_WIDTH
+    if beam_width < 1:
+        raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+
+    if fused is not None:
+        fq = fused
+    elif norms is None:
+        norms = NormCache(points, metric)
+        fq = norms.query(query)
+    else:
+        fq = norms.query(query, points=points)
+    eps_rank = fq.epsilon_rank(epsilon)
+
+    allowed_lo = 0 if allowed is None else allowed.start
+    allowed_hi = n if allowed is None else allowed.stop
+    check_filter = allowed_lo > 0 or allowed_hi < n
+
+    adjacency = graph.adjacency
+    max_degree = adjacency.shape[1]
+
+    # Visited bitmap with a sentinel: the adjacency matrix pads short rows
+    # with -1, which Python-indexes the *last* slot of an (n+1)-wide
+    # bitmap; pinning that slot True folds the padding test and the
+    # visited test into a single gather+invert.
+    seen = np.zeros(n + 1, dtype=bool)
+    seen[n] = True
+    seen[entries] = True
+    # Dedup scratch for small graphs: flatnonzero over a bitmap beats a
+    # hash-based np.unique up to tens of thousands of nodes; beyond that
+    # (SF's one global graph) the O(n) sweep per iteration would dominate.
+    scratch = np.zeros(n, dtype=bool) if n <= 65536 else None
+
+    # Candidate pool in flat preallocated buffers.  Expanded beam members
+    # are *tombstoned* (rank := +inf) rather than compacted out, and the
+    # pool is lazily pruned back to max_candidates (the paper's M_C) when
+    # it overflows the slack — the same amortisation the legacy heap used.
+    # ``live`` counts non-tombstoned entries; because tombstones rank +inf,
+    # any argpartition of the pool surfaces all live members first.
+    prune_at = _PRUNE_SLACK * max_candidates
+    capacity = prune_at + beam_width * max(max_degree, 1) + len(entries)
+    pool_ids = np.empty(capacity, dtype=np.int64)
+    pool_rank = np.empty(capacity, dtype=np.float64)
+    psz = live = len(entries)
+    pool_ids[:psz] = entries
+    if entry_rank is None:
+        pool_rank[:psz] = fq.gather(entries)
+        distance_evaluations = len(entries)
+    else:
+        pool_rank[:psz] = entry_rank
+        distance_evaluations = 0  # the caller charged the sample already
+
+    # Result buffer: at most k rows, kept sorted ascending by (rank, id).
+    res_ids = np.empty(0, dtype=np.int64)
+    res_rank = np.empty(0, dtype=np.float64)
+    full = False
+    worst = np.inf  # rank of the current k-th result
+    bound = np.inf  # eps_rank * worst once full
+
+    nodes_visited = 0
+    terminated_by_bound = False
+    visit_budget = max_visits if max_visits is not None else n + 1
+
+    while live > 0:
+        b = min(beam_width, live, visit_budget - nodes_visited)
+        if b <= 0:
+            break
+        # Pull the b nearest live candidates.  Tombstones rank +inf, so
+        # capping b at ``live`` guarantees the argpartition surfaces live
+        # members only — the beam never contains a tombstone.
+        if b < psz:
+            sel = np.argpartition(pool_rank[:psz], b - 1)[:b]
+            beam_ids = pool_ids[sel]
+            beam_rank = pool_rank[sel]
+            pool_rank[sel] = np.inf  # tombstone the expanded beam
+        else:
+            # Whole-pool beam: copy before tombstoning (slice indexing
+            # views the buffer, and the tombstone write must not reach
+            # the beam the iteration is about to consume).
+            beam_ids = pool_ids[:psz].copy()
+            beam_rank = pool_rank[:psz].copy()
+            pool_rank[:psz] = np.inf
+        live -= b
+
+        # Epsilon-bound gate (Algorithm 2's termination).  The beam holds
+        # the pool minimum and the bound only tightens, so when no beam
+        # member is under the bound, no pool survivor is either.
+        if full:
+            qualified = beam_rank <= bound
+            nq = int(np.count_nonzero(qualified))
+            if nq == 0:
+                terminated_by_bound = True
+                break
+            if nq < b:
+                beam_ids = beam_ids[qualified]
+                beam_rank = beam_rank[qualified]
+        nodes_visited += len(beam_ids)
+
+        # Fold in-filter beam members that can still make the top-k into
+        # the bounded result buffer (ascending (rank, id) via lexsort, the
+        # top_k_smallest tie convention).
+        if full:
+            take = beam_rank <= worst
+            if check_filter:
+                take &= (beam_ids >= allowed_lo) & (beam_ids < allowed_hi)
+            if np.count_nonzero(take):
+                add_ids = beam_ids[take]
+                add_rank = beam_rank[take]
+            else:
+                add_ids = _EMPTY_IDS
+                add_rank = _EMPTY_RANK
+        elif check_filter:
+            take = (beam_ids >= allowed_lo) & (beam_ids < allowed_hi)
+            add_ids = beam_ids[take]
+            add_rank = beam_rank[take]
+        else:
+            add_ids = beam_ids
+            add_rank = beam_rank
+        if len(add_ids):
+            merged_ids = np.concatenate((res_ids, add_ids))
+            merged_rank = np.concatenate((res_rank, add_rank))
+            order = np.lexsort((merged_ids, merged_rank))[:k]
+            res_ids = merged_ids[order]
+            res_rank = merged_rank[order]
+            if len(res_ids) == k:
+                was_worst = worst
+                full = True
+                worst = float(res_rank[-1])
+                bound = eps_rank * worst
+                if worst < was_worst:
+                    # The merge tightened the bound; drop beam members the
+                    # fresh bound disqualifies *before* paying for their
+                    # expansion — the per-node bound check the sequential
+                    # greedy walk gets for free.
+                    still = beam_rank <= bound
+                    ns = int(np.count_nonzero(still))
+                    if ns == 0:
+                        terminated_by_bound = True
+                        break
+                    if ns < len(beam_ids):
+                        beam_ids = beam_ids[still]
+
+        # Expand the whole beam: one adjacency gather, one fused distance
+        # call, dedup/bound filtering as array ops.
+        neighbors = adjacency[beam_ids].reshape(-1)
+        candidates = neighbors[~seen[neighbors]]  # sentinel masks -1 pads
+        if len(candidates) == 0:
+            continue
+        if scratch is not None:
+            scratch[candidates] = True
+            fresh = np.flatnonzero(scratch)
+            scratch[fresh] = False
+        else:
+            fresh = np.unique(candidates).astype(np.int64)
+        seen[fresh] = True
+        fresh_rank = fq.gather(fresh)
+        distance_evaluations += len(fresh)
+        if full:
+            under = fresh_rank < bound  # strict, as the legacy insert filter
+            fresh = fresh[under]
+            fresh_rank = fresh_rank[under]
+        c = len(fresh)
+        if c:
+            pool_ids[psz : psz + c] = fresh
+            pool_rank[psz : psz + c] = fresh_rank
+            psz += c
+            live += c
+            if psz > prune_at:
+                keep_idx = np.argpartition(
+                    pool_rank[:psz], max_candidates - 1
+                )[:max_candidates]
+                pool_ids[:max_candidates] = pool_ids[keep_idx]
+                pool_rank[:max_candidates] = pool_rank[keep_idx]
+                psz = max_candidates
+                live = live if live < max_candidates else max_candidates
+
+    _CALLS.inc()
+    _NODES.inc(nodes_visited)
+    _DIST_EVALS.inc(distance_evaluations)
+    return SearchOutcome(
+        ids=res_ids,
+        dists=fq.finalize(res_rank),
+        stats=SearchStats(
+            nodes_visited=nodes_visited,
+            distance_evaluations=distance_evaluations,
+            terminated_by_bound=terminated_by_bound,
+        ),
+    )
+
+
+# When the candidate heap grows beyond this multiple of max_candidates it is
+# pruned back down; a lazy cap keeps heap operations cheap between prunes.
+_PRUNE_SLACK = 2
+
+
+def greedy_graph_search(
+    graph: KnnGraph,
+    points: np.ndarray,
+    metric: Metric,
+    query: np.ndarray,
+    k: int,
+    epsilon: float = 1.1,
+    max_candidates: int = 64,
+    allowed: range | None = None,
+    entry: int | np.ndarray | list[int] = 0,
+    max_visits: int | None = None,
+) -> SearchOutcome:
+    """Legacy node-at-a-time greedy engine for Algorithm 2.
+
+    Pops one candidate per Python iteration from a ``heapq`` and issues a
+    small ``metric.batch`` per hop.  Superseded by the vectorized
+    :func:`graph_search` on every production path; retained as the
+    recall-parity reference (CI pins the beam engine against it) and as a
+    direct transcription of the paper's pseudocode.
+
+    Results follow the same ascending ``(distance, id)`` tie convention as
+    :func:`graph_search` and :func:`~repro.distances.top_k_smallest`.
+    """
+    n = graph.num_nodes
+    entries = _validate(n, k, epsilon, max_candidates, entry)
 
     allowed_lo = 0 if allowed is None else allowed.start
     allowed_hi = n if allowed is None else allowed.stop
@@ -126,7 +437,8 @@ def graph_search(
     ]
     heapq.heapify(candidates)
     # Max-heap of results as (-distance, -id): the root is the worst kept
-    # result, so replacement is O(log k).
+    # result — largest distance, largest id among equals — so replacement
+    # is O(log k) and eviction respects the ascending-id tie convention.
     results: list[tuple[float, int]] = []
 
     nodes_visited = 0
@@ -146,7 +458,10 @@ def graph_search(
         if allowed_lo <= node < allowed_hi:
             if len(results) < k:
                 heapq.heappush(results, (-dist, -node))
-            elif dist < -results[0][0]:
+            elif (dist, node) < (-results[0][0], -results[0][1]):
+                # Lexicographic admission: a node at exactly the worst kept
+                # distance still replaces the root when its id is smaller,
+                # matching top_k_smallest's ascending-id tie-breaking.
                 heapq.heapreplace(results, (-dist, -node))
 
         neighbor_row = graph.neighbors(node)

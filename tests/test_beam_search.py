@@ -1,0 +1,117 @@
+"""Property tests for the vectorized beam engine.
+
+Two contracts the PR that introduced the beam engine promised:
+
+* **Recall dominance** — at ``epsilon = 1.0`` (no slack) with
+  ``beam_width >= max_candidates`` the beam engine's recall is at least
+  the legacy greedy engine's on seeded workloads: a full-width beam
+  expands a superset of the nodes the sequential walk can reach before
+  its bound closes.
+* **Counting consistency** — the evaluations reported by
+  ``SearchStats.distance_evaluations`` equal the evaluations the fused
+  kernel layer charged to its ``NormCache.evaluations`` counter.  Search
+  code and kernels must agree by construction; this pins it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import resolve_metric
+from repro.distances.fused import NormCache
+from repro.graph import (
+    GraphConfig,
+    build_knn_graph,
+    graph_search,
+    greedy_graph_search,
+)
+
+METRIC = resolve_metric("euclidean")
+
+
+def _workload(seed: int, n: int = 1500, dim: int = 16):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((6, dim)) * 2.0
+    assignment = rng.integers(0, 6, n)
+    points = (centers[assignment] + rng.standard_normal((n, dim))).astype(
+        np.float32
+    )
+    report = build_knn_graph(
+        points, METRIC, GraphConfig(n_neighbors=10), np.random.default_rng(1)
+    )
+    queries = centers[rng.integers(0, 6, 30)] + rng.standard_normal((30, dim))
+    entries = [rng.choice(n, 4, replace=False) for _ in range(len(queries))]
+    return report.graph, points, queries, entries
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_full_width_beam_recall_dominates_greedy_at_tight_epsilon(seed):
+    graph, points, queries, entries = _workload(seed)
+    k, max_candidates = 10, 64
+    cache = NormCache(points, METRIC)
+    greedy_hits = beam_hits = 0
+    for query, entry in zip(queries, entries):
+        exact = set(np.argsort(METRIC.batch(query, points))[:k].tolist())
+        greedy = greedy_graph_search(
+            graph, points, METRIC, query, k,
+            epsilon=1.0, max_candidates=max_candidates, entry=entry,
+        )
+        beam = graph_search(
+            graph, points, METRIC, query, k,
+            epsilon=1.0, max_candidates=max_candidates, entry=entry,
+            norms=cache, beam_width=max_candidates,
+        )
+        greedy_hits += len(set(greedy.ids.tolist()) & exact)
+        beam_hits += len(set(beam.ids.tolist()) & exact)
+    assert beam_hits >= greedy_hits
+
+
+@pytest.mark.parametrize("beam_width", [1, 4, 32, 128])
+@pytest.mark.parametrize("epsilon", [1.0, 1.1, 1.3])
+def test_stats_evals_equal_kernel_charged_evals(beam_width, epsilon):
+    graph, points, queries, entries = _workload(3)
+    cache = NormCache(points, METRIC)
+    for query, entry in zip(queries[:10], entries[:10]):
+        before = cache.evaluations
+        outcome = graph_search(
+            graph, points, METRIC, query, 10,
+            epsilon=epsilon, max_candidates=64, entry=entry,
+            norms=cache, beam_width=beam_width,
+        )
+        charged = cache.evaluations - before
+        assert outcome.stats.distance_evaluations == charged
+
+
+def test_stats_evals_with_caller_scored_entries():
+    """On the ``fused``+``entry_rank`` path the caller charges the entry
+    sample itself; the engine must report only what it gathered."""
+    graph, points, queries, entries = _workload(4)
+    cache = NormCache(points, METRIC)
+    for query, entry in zip(queries[:10], entries[:10]):
+        fq = cache.query(query)
+        before = cache.evaluations
+        entry_rank = fq.gather(entry)
+        sample_charge = cache.evaluations - before
+        assert sample_charge == len(entry)
+        mid = cache.evaluations
+        outcome = graph_search(
+            graph, points, METRIC, query, 10,
+            max_candidates=64, entry=entry,
+            fused=fq, entry_rank=entry_rank,
+        )
+        assert outcome.stats.distance_evaluations == cache.evaluations - mid
+
+
+def test_filtered_beam_respects_window_and_counts():
+    graph, points, queries, entries = _workload(5)
+    cache = NormCache(points, METRIC)
+    allowed = range(200, 600)
+    for query, entry in zip(queries[:6], entries[:6]):
+        before = cache.evaluations
+        outcome = graph_search(
+            graph, points, METRIC, query, 10,
+            allowed=allowed, entry=entry, norms=cache,
+        )
+        assert ((outcome.ids >= 200) & (outcome.ids < 600)).all()
+        assert outcome.stats.distance_evaluations == cache.evaluations - before

@@ -63,10 +63,32 @@ class TestHarnessRun:
         methods = {r["method"] for r in payload["suites"]["qps"]["rows"]}
         assert {"mbi-sequential", "mbi-parallel-batched", "bsbf"} <= methods
 
-    def test_render_mentions_both_suites(self, payload):
+    def test_qps_rows_carry_recall_and_evals(self, payload):
+        rows = payload["suites"]["qps"]["rows"]
+        for row in rows:
+            assert 0.0 <= row["recall_at_k"] <= 1.0
+            assert row["dist_evals_per_query"] >= 0
+        # The brute-force baseline *is* the oracle's computation — its
+        # recall must be exactly 1.
+        bsbf = next(r for r in rows if r["method"] == "bsbf")
+        assert bsbf["recall_at_k"] == 1.0
+
+    def test_graph_kernels_suite_pits_engines(self, payload):
+        suite = payload["suites"]["graph_kernels"]
+        assert suite["graph_points"] > 0
+        methods = {r["method"] for r in suite["rows"]}
+        assert "greedy" in methods
+        assert any(m.startswith("beam-") for m in methods)
+        for row in suite["rows"]:
+            assert 0.0 <= row["recall_at_k"] <= 1.0
+            assert row["dist_evals_per_query"] > 0
+
+    def test_render_mentions_all_suites(self, payload):
         out = render_bench(payload)
         assert "sequential vs parallel" in out
         assert "qps" in out
+        assert "graph kernels" in out
+        assert "recall@k" in out
 
     def test_determinism_across_runs(self, payload):
         """Same seed, same workload -> same result identity verdicts."""
@@ -132,6 +154,34 @@ class TestValidateBench:
             if r["method"] != "mbi-parallel-batched"
         ]
         with pytest.raises(ValueError, match="mbi-parallel-batched"):
+            validate_bench(bad)
+
+    def test_rejects_missing_recall_column(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["suites"]["qps"]["rows"][0]["recall_at_k"]
+        with pytest.raises(ValueError, match="recall_at_k"):
+            validate_bench(bad)
+
+    def test_rejects_out_of_range_recall(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["graph_kernels"]["rows"][0]["recall_at_k"] = 1.5
+        with pytest.raises(ValueError, match=r"outside \[0, 1\]"):
+            validate_bench(bad)
+
+    def test_rejects_missing_graph_kernels_suite(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["suites"]["graph_kernels"]
+        with pytest.raises(ValueError, match="graph_kernels"):
+            validate_bench(bad)
+
+    def test_rejects_beamless_graph_kernels(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["graph_kernels"]["rows"] = [
+            r
+            for r in bad["suites"]["graph_kernels"]["rows"]
+            if not r["method"].startswith("beam-")
+        ]
+        with pytest.raises(ValueError, match="at least one beam width"):
             validate_bench(bad)
 
 

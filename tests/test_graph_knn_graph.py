@@ -90,6 +90,79 @@ class TestReverseEdges:
         assert graph.max_degree == 4
 
 
+def _reference_reverse_edges(graph: KnnGraph, max_degree: int) -> KnnGraph:
+    """The pre-vectorization loop, kept verbatim as the parity oracle."""
+    n = graph.num_nodes
+    forward: list[list[int]] = [[] for _ in range(n)]
+    reverse: list[list[int]] = [[] for _ in range(n)]
+    rows, cols = np.nonzero(graph.adjacency != NO_NEIGHBOR)
+    targets = graph.adjacency[rows, cols]
+    for src, dst in zip(rows.tolist(), targets.tolist()):
+        forward[src].append(dst)
+        reverse[dst].append(src)
+    merged = np.full((n, max_degree), NO_NEIGHBOR, dtype=np.int32)
+    for node in range(n):
+        seen: set[int] = set()
+        out = 0
+        for neighbor in forward[node] + reverse[node]:
+            if neighbor == node or neighbor in seen:
+                continue
+            seen.add(neighbor)
+            merged[node, out] = neighbor
+            out += 1
+            if out == max_degree:
+                break
+    return KnnGraph(merged)
+
+
+class TestReverseEdgesParity:
+    """The vectorized ``with_reverse_edges`` must match the legacy loop
+    exactly — same neighbors, same slots, for every node."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("cap", [1, 3, 8, 64])
+    def test_random_graphs_exact_parity(self, seed, cap):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 60))
+        degree = int(rng.integers(1, 9))
+        adjacency = rng.integers(
+            0, n, size=(n, degree), dtype=np.int32
+        )
+        # Inject padding mid-row is illegal; pad suffixes per row instead,
+        # and sprinkle self-loops + duplicates to exercise the filters.
+        for row in range(n):
+            pad_from = int(rng.integers(0, degree + 1))
+            adjacency[row, pad_from:] = NO_NEIGHBOR
+            if degree >= 2 and rng.random() < 0.3:
+                adjacency[row, 0] = row  # self-loop
+        graph = KnnGraph(adjacency)
+        fast = graph.with_reverse_edges(max_degree=cap)
+        slow = _reference_reverse_edges(graph, max_degree=cap)
+        np.testing.assert_array_equal(fast.adjacency, slow.adjacency)
+
+    def test_empty_graph(self):
+        graph = KnnGraph(
+            np.full((5, 3), NO_NEIGHBOR, dtype=np.int32)
+        )
+        fast = graph.with_reverse_edges()
+        slow = _reference_reverse_edges(graph, max_degree=6)
+        np.testing.assert_array_equal(fast.adjacency, slow.adjacency)
+
+    def test_all_self_loops(self):
+        adjacency = np.arange(4, dtype=np.int32).reshape(4, 1)
+        graph = KnnGraph(adjacency)
+        fast = graph.with_reverse_edges(max_degree=2)
+        assert fast.num_edges() == 0
+
+    def test_default_cap_parity(self):
+        rng = np.random.default_rng(123)
+        adjacency = rng.integers(0, 40, size=(40, 6), dtype=np.int32)
+        graph = KnnGraph(adjacency)
+        fast = graph.with_reverse_edges()
+        slow = _reference_reverse_edges(graph, max_degree=12)
+        np.testing.assert_array_equal(fast.adjacency, slow.adjacency)
+
+
 class TestFromNeighborLists:
     def test_builds_padded_matrix(self):
         graph = KnnGraph.from_neighbor_lists([[1, 2, 3], [0], []], max_degree=2)

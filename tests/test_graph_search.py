@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.distances import resolve_metric
-from repro.graph import GraphConfig, build_knn_graph, graph_search
+from repro.graph import (
+    GraphConfig,
+    KnnGraph,
+    build_knn_graph,
+    graph_search,
+    greedy_graph_search,
+)
 
 METRIC = resolve_metric("euclidean")
 
@@ -159,3 +165,69 @@ class TestMultiEntry:
             graph, points, METRIC, points[3], k=5, entry=np.array([1, 2])
         )
         np.testing.assert_array_equal(a.ids, b.ids)
+
+
+class TestTieBreaking:
+    """Equidistant results must rank ascending by id in both engines.
+
+    Regression for the legacy heap's admission test, which compared
+    distances only: a node at exactly the worst kept distance with a
+    *smaller* id was dropped instead of replacing the kept one, diverging
+    from ``top_k_smallest``'s ascending-``(distance, id)`` convention.
+    """
+
+    @staticmethod
+    def _tied_instance():
+        # Query at the origin; nodes 1, 2, 3 all at exact distance 1
+        # (unit axis vectors — their squared norms are exactly 1.0 in
+        # float32), node 0 farther out.  The graph is a complete digraph
+        # so every engine reaches every node.
+        points = np.array(
+            [[2.0, 0.0], [0.0, 1.0], [1.0, 0.0], [0.0, -1.0]],
+            dtype=np.float32,
+        )
+        adjacency = np.array(
+            [
+                [1, 2, 3],
+                [0, 2, 3],
+                [0, 1, 3],
+                [0, 1, 2],
+            ],
+            dtype=np.int32,
+        )
+        query = np.zeros(2, dtype=np.float64)
+        return KnnGraph(adjacency), points, query
+
+    @pytest.mark.parametrize(
+        "engine", [graph_search, greedy_graph_search], ids=["beam", "greedy"]
+    )
+    def test_equal_distance_replaces_larger_id(self, engine):
+        graph, points, query = self._tied_instance()
+        # Entry node 3 is admitted first at distance 1; nodes 1 and 2 tie
+        # it exactly and enter the candidate pool under the epsilon slack
+        # (a strict bound would drop them), so the kept k=1 result must
+        # end up the smallest tied id.
+        outcome = engine(
+            graph, points, METRIC, query, k=1, epsilon=1.1, entry=3
+        )
+        np.testing.assert_array_equal(outcome.ids, [1])
+        np.testing.assert_allclose(outcome.dists, [1.0])
+
+    @pytest.mark.parametrize(
+        "engine", [graph_search, greedy_graph_search], ids=["beam", "greedy"]
+    )
+    def test_tied_block_sorts_ascending_by_id(self, engine):
+        graph, points, query = self._tied_instance()
+        outcome = engine(graph, points, METRIC, query, k=3, entry=0)
+        np.testing.assert_array_equal(outcome.ids, [1, 2, 3])
+        np.testing.assert_allclose(outcome.dists, [1.0, 1.0, 1.0])
+
+    def test_engines_agree_on_ties(self):
+        graph, points, query = self._tied_instance()
+        for k in (1, 2, 3, 4):
+            beam = graph_search(graph, points, METRIC, query, k=k, entry=0)
+            greedy = greedy_graph_search(
+                graph, points, METRIC, query, k=k, entry=0
+            )
+            np.testing.assert_array_equal(beam.ids, greedy.ids)
+            np.testing.assert_allclose(beam.dists, greedy.dists)
