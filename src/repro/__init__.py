@@ -65,6 +65,7 @@ from .exceptions import (
     VectorInputError,
     WalCorruptionError,
 )
+from .faultinject import Failpoints, failpoint, get_failpoints
 from .graph import GraphConfig, NNDescentParams
 from .observability import (
     MetricsRegistry,
@@ -90,6 +91,7 @@ __all__ = [
     "DimensionMismatchError",
     "EmptyIndexError",
     "ExactOracle",
+    "Failpoints",
     "GraphBackend",
     "GraphConfig",
     "IVFConfig",
@@ -123,7 +125,9 @@ __all__ = [
     "WalCorruptionError",
     "WriteAheadLog",
     "available_metrics",
+    "failpoint",
     "get_default_executor",
+    "get_failpoints",
     "get_registry",
     "load_index",
     "resolve_metric",

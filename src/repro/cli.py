@@ -11,6 +11,7 @@ Subcommands::
     repro serve --data-dir DIR             serve TkNN over HTTP (recovers)
     repro bench [--smoke]                  run the perf harness -> BENCH_<date>.json
     repro bench --paper                    how to regenerate the paper's tables
+    repro chaos                            seeded fault-injection smoke sweep
 
 Every command is also reachable via ``python -m repro.cli``.
 """
@@ -230,6 +231,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--paper",
         action="store_true",
         help="print how to regenerate the paper's tables/figures instead",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run seeded fault-injection smoke sweeps (crash consistency "
+        "+ differential oracle; see docs/testing.md)",
+    )
+    chaos.add_argument(
+        "--crash-seeds",
+        type=int,
+        default=10,
+        help="number of crash-consistency schedules to run (from --seed)",
+    )
+    chaos.add_argument(
+        "--diff-seeds",
+        type=int,
+        default=2,
+        help="number of differential-oracle workloads to run (from --seed)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, help="first seed of the sweep"
+    )
+    chaos.add_argument(
+        "--crash-seed",
+        type=int,
+        default=None,
+        help="re-run exactly one crash-consistency seed (reproduction mode)",
+    )
+    chaos.add_argument(
+        "--diff-seed",
+        type=int,
+        default=None,
+        help="re-run exactly one differential-oracle seed",
     )
     return parser
 
@@ -635,6 +669,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .chaos import run_crash_scenario, run_differential_scenario
+
+    if args.crash_seed is not None or args.diff_seed is not None:
+        crash_seeds = [args.crash_seed] if args.crash_seed is not None else []
+        diff_seeds = [args.diff_seed] if args.diff_seed is not None else []
+    else:
+        crash_seeds = list(range(args.seed, args.seed + args.crash_seeds))
+        diff_seeds = list(range(args.seed, args.seed + args.diff_seeds))
+    started = time.perf_counter()
+    for seed in crash_seeds:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as data_dir:
+            report = run_crash_scenario(seed, data_dir)
+        print(
+            f"crash seed {seed}: ok  {report.scenario.kind:<15} "
+            f"acked={report.acked:<3} recovered={report.recovered:<3} "
+            f"queries={report.queries_checked}"
+        )
+    for seed in diff_seeds:
+        report = run_differential_scenario(seed)
+        print(
+            f"diff  seed {seed}: ok  queries={report.queries_checked:<3} "
+            f"beam_recall={report.beam_recall:.3f} "
+            f"greedy_recall={report.greedy_recall:.3f}"
+        )
+    elapsed = time.perf_counter() - started
+    print(
+        f"chaos: {len(crash_seeds)} crash + {len(diff_seeds)} differential "
+        f"schedules passed in {elapsed:.1f}s"
+    )
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "build": _cmd_build,
@@ -644,6 +713,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
 }
 
 

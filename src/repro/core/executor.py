@@ -44,6 +44,7 @@ from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from typing import Callable, Iterable, TypeVar
 
 from ..exceptions import ConfigurationError
+from ..faultinject import failpoint
 from ..observability.metrics import get_registry
 
 T = TypeVar("T")
@@ -149,6 +150,7 @@ class QueryExecutor:
     def _timed(fn: Callable[[T], R], item: T, inline: bool) -> R:
         started = time.perf_counter()
         try:
+            failpoint("executor.task")
             return fn(item)
         finally:
             (_INLINE if inline else _TASKS).inc()

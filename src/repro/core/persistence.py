@@ -18,6 +18,7 @@ import numpy as np
 from ..distances.fused import StoreNormCache
 from ..distances.metrics import resolve_metric
 from ..exceptions import PersistenceError
+from ..faultinject import failpoint
 from ..graph.builder import GraphConfig
 from ..graph.hnsw import HNSWParams
 from ..graph.nndescent import NNDescentParams
@@ -73,8 +74,19 @@ def save_index(index: MultiLevelBlockIndex, path: str | Path) -> Path:
             for key, array in block.backend.to_arrays().items():
                 arrays[f"block_{block.index}_{key}"] = array
     try:
+        act = failpoint("snapshot.write")
         with open(path, "wb") as handle:
             np.savez_compressed(handle, **arrays)
+        if act is not None and act.kind == "truncate":
+            # Simulate a crash mid-write: leave a torn archive behind and
+            # fail, exactly as a half-flushed page cache would.
+            size = path.stat().st_size
+            with open(path, "r+b") as handle:
+                handle.truncate(max(0, size - int(act.arg)))
+            raise OSError(
+                f"failpoint snapshot.write: torn snapshot ({act.arg} bytes "
+                f"lost) at {path}"
+            )
     except OSError as error:
         raise PersistenceError(f"could not write snapshot to {path}: {error}")
     return path
@@ -88,6 +100,7 @@ def load_index(path: str | Path) -> MultiLevelBlockIndex:
             unsupported format version.
     """
     path = Path(path)
+    failpoint("snapshot.load")
     try:
         with np.load(path) as archive:
             header_bytes = bytes(archive["header"])

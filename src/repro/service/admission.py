@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import AdmissionError, ServiceClosedError
+from ..faultinject import failpoint
 from ..observability.trace import QueryTrace
 
 
@@ -100,6 +101,7 @@ class AdmissionQueue:
             ServiceClosedError: After :meth:`close`.
             AdmissionError: When the queue is full (load shedding).
         """
+        failpoint("admission.put")
         with self._cond:
             if self._closed:
                 raise ServiceClosedError(
@@ -120,6 +122,7 @@ class AdmissionQueue:
         followers sharing its :meth:`~QueryRequest.batch_key`.  A traced
         (unbatchable) head is returned alone.
         """
+        failpoint("admission.drain")
         with self._cond:
             while not self._items:
                 if self._closed:

@@ -18,6 +18,8 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+from ..faultinject import failpoint
+
 
 class RWLock:
     """Readers/writer lock with writer preference.
@@ -59,6 +61,10 @@ class RWLock:
 
     def acquire_read(self) -> None:
         """Block until shared mode is available (no writer active/waiting)."""
+        # Preemption points sit *outside* the condition's critical section
+        # so an injected yield/delay widens the race window without
+        # serialising on the lock's own internals.
+        failpoint("lock.acquire_read")
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
@@ -70,9 +76,11 @@ class RWLock:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        failpoint("lock.release_read")
 
     def acquire_write(self) -> None:
         """Block until exclusive mode is available."""
+        failpoint("lock.acquire_write")
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -87,6 +95,7 @@ class RWLock:
         with self._cond:
             self._writer_active = False
             self._cond.notify_all()
+        failpoint("lock.release_write")
 
     @property
     def active_readers(self) -> int:

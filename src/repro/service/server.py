@@ -38,6 +38,7 @@ from ..exceptions import (
     ReproError,
     ServiceClosedError,
 )
+from ..faultinject import failpoint
 from ..observability.metrics import get_registry
 from .service import IndexService
 
@@ -107,6 +108,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------- GET
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if not self._admit_request():
+            return
         if self.path == "/healthz":
             service = self.service
             status = 503 if service.closed else 200
@@ -127,6 +130,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ POST
 
     def do_POST(self) -> None:  # noqa: N802
+        if not self._admit_request():
+            return
         try:
             if self.path == "/query":
                 self._handle_query()
@@ -145,6 +150,24 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._reply(503, {"error": str(error)})
         except (ReproError, ValueError, KeyError, TypeError) as error:
             self._reply(400, {"error": str(error)})
+
+    def _admit_request(self) -> bool:
+        """Request-level fault injection: the ``server.request`` failpoint.
+
+        A fired ``raise`` becomes a 500 response (the handler thread must
+        survive for the next connection); a ``drop`` closes the connection
+        without a response, which is what a crashed worker looks like to
+        the client.  Returns whether the request should proceed.
+        """
+        try:
+            act = failpoint("server.request")
+        except Exception as error:  # noqa: BLE001 - injected, by design
+            self._reply(500, {"error": f"injected fault: {error}"})
+            return False
+        if act is not None and act.kind == "drop":
+            self.close_connection = True
+            return False
+        return True
 
     def _handle_query(self) -> None:
         payload = self._read_json()

@@ -63,6 +63,7 @@ from ..exceptions import (
     TimestampOrderError,
     VectorInputError,
 )
+from ..faultinject import failpoint
 from ..observability.metrics import get_registry
 from ..observability.trace import QueryTrace
 from .admission import AdmissionQueue, QueryRequest
@@ -450,6 +451,9 @@ class IndexService:
                     f"timestamp {self._index.store.latest_timestamp}"
                 )
             self._wal.append(vector, timestamp)  # durable first
+            # The classic crash window: the record is durable but not yet
+            # applied.  A fault here must be healed by WAL replay.
+            failpoint("service.ingest_apply")
             with self._rwlock.write():
                 position, chain = self._index.insert_deferred(
                     vector, timestamp
@@ -693,6 +697,7 @@ class IndexService:
         identically to the live index.
         """
         with self._ingest_lock:
+            failpoint("service.checkpoint")
             self.wait_builds()
             self._wal.sync()
             count = self._applied
@@ -700,6 +705,10 @@ class IndexService:
             with self._rwlock.read():
                 save_index(self._index, tmp)
             final = self._snapshot_path(count)
+            # A fault here models a crash *between* the temp write and the
+            # atomic publish: the temp file exists, no snapshot appears,
+            # and recovery must fall back to the previous snapshot + WAL.
+            failpoint("snapshot.rename")
             os.replace(tmp, final)
             self._fsync_dir()
             # Rotate: further appends land in a fresh segment that starts
@@ -773,6 +782,36 @@ class IndexService:
         self._build_pool.shutdown(wait=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+
+    def abort(self) -> None:
+        """Abandon the service as a crash would — no drain, no fsync.
+
+        The in-process analogue of ``kill -9``, used by the chaos harness
+        (:mod:`repro.chaos`): admitted-but-unanswered queries fail with
+        :class:`~repro.exceptions.ServiceClosedError`, background pools are
+        told to stop without being waited on, and the WAL handle is
+        abandoned without a final fsync (see
+        :meth:`~repro.service.wal.WriteAheadLog.abandon`) so torn bytes
+        from an injected fault stay on disk exactly as a dead process
+        would have left them.  No snapshot is written.  The only
+        difference from a real ``SIGKILL`` is that user-space file buffers
+        are flushed to the OS — page-cache-loss scenarios still need the
+        subprocess ``crash`` failpoint action.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.close()
+        for request in self._queue.reject_all():
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    ServiceClosedError("service aborted (simulated crash)")
+                )
+        self._worker.join(timeout=10.0)
+        self._build_pool.shutdown(wait=False, cancel_futures=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        self._wal.abandon()
 
     def __enter__(self) -> "IndexService":
         return self

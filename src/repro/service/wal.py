@@ -49,6 +49,7 @@ from ..exceptions import (
     PersistenceError,
     WalCorruptionError,
 )
+from ..faultinject import failpoint, truncated
 from ..observability.metrics import get_registry
 
 MAGIC = b"RPROWAL1"
@@ -127,6 +128,7 @@ def replay_wal(path: str | Path) -> ReplayResult:
         WalCorruptionError: If a record before the tail fails its CRC.
     """
     path = Path(path)
+    failpoint("wal.replay")
     try:
         data = path.read_bytes()
     except FileNotFoundError:
@@ -243,6 +245,7 @@ class WriteAheadLog:
         self._record_count = 0
         self._record_size = _TIMESTAMP.size + self._dim * self._dtype.itemsize
         self._closed = False
+        self._poisoned = False
 
         if self._path.exists() and self._path.stat().st_size > 0:
             existing = replay_wal(self._path)
@@ -299,9 +302,20 @@ class WriteAheadLog:
         """Append one record; returns its index *within this segment*.
 
         The record is durable per the fsync policy when this returns.
+
+        A failed append (I/O error, injected fault) *poisons* the segment:
+        the bytes on disk past the last acknowledged record are in an
+        unknown state, so further appends are refused with
+        :class:`~repro.exceptions.PersistenceError` until the segment is
+        reopened (which re-scans and truncates any torn tail).
         """
         if self._closed:
             raise PersistenceError(f"WAL segment {self._path} is closed")
+        if self._poisoned:
+            raise PersistenceError(
+                f"WAL segment {self._path} is poisoned by an earlier failed "
+                "append; reopen the segment to recover"
+            )
         vector = np.ascontiguousarray(vector, dtype=self._dtype)
         if vector.ndim != 1 or vector.shape[0] != self._dim:
             actual = vector.shape[-1] if vector.ndim else 0
@@ -309,8 +323,23 @@ class WriteAheadLog:
         started = time.perf_counter()
         payload = _TIMESTAMP.pack(float(timestamp)) + vector.tobytes()
         record = _RECORD.pack(zlib.crc32(payload), len(payload)) + payload
-        self._handle.write(record)
-        self._flush()
+        record, torn = truncated(record, failpoint("wal.append"))
+        try:
+            self._handle.write(record)
+            if torn:
+                # A torn write never acknowledges: flush the partial bytes
+                # (they are what a crashed process would have left behind)
+                # and fail the append.
+                self._handle.flush()
+                raise OSError(
+                    f"failpoint wal.append: torn write left "
+                    f"{len(record)} of a {self._record_size + _RECORD.size}"
+                    f"-byte record in {self._path}"
+                )
+            self._flush()
+        except Exception:
+            self._poisoned = True
+            raise
         index = self._record_count
         self._record_count += 1
         _APPENDS.inc()
@@ -335,7 +364,9 @@ class WriteAheadLog:
         ):
             return
         started = time.perf_counter()
-        os.fsync(self._handle.fileno())
+        act = failpoint("wal.fsync")
+        if act is None or act.kind != "drop":
+            os.fsync(self._handle.fileno())
         self._last_fsync = now
         _FSYNCS.inc()
         _FSYNC_SECONDS.observe(time.perf_counter() - started)
@@ -349,6 +380,23 @@ class WriteAheadLog:
         finally:
             self._closed = True
             self._handle.close()
+
+    def abandon(self) -> None:
+        """Close the handle with **no** final fsync (crash simulation).
+
+        Whatever ``write()`` has already pushed reaches the OS (closing
+        flushes user-space buffers — the page cache survives a process
+        crash), but nothing is forced to stable storage and torn bytes
+        from a poisoned append stay exactly as written.  The chaos harness
+        (:mod:`repro.chaos`) uses this to model ``kill -9`` in-process.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.close()
+        except OSError:  # pragma: no cover - crash path is best-effort
+            pass
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -11,7 +11,15 @@ import numpy as np
 import pytest
 
 from repro import GraphConfig, MBIConfig, MultiLevelBlockIndex, SearchParams
+from repro.faultinject import get_failpoints
 from repro.observability.metrics import get_registry
+
+
+@pytest.fixture(autouse=True)
+def _failpoint_isolation():
+    """No test may leak armed failpoints (or their counters) to the next."""
+    yield
+    get_failpoints().reset()
 
 
 @pytest.fixture(autouse=True)

@@ -263,3 +263,33 @@ class TestErrors:
             for row in payload["suites"]["sequential_vs_parallel"]["rows"]
         }
         assert modes == {"sequential", "parallel"}
+
+
+class TestChaos:
+    def test_sweep_runs_and_reports(self, capsys):
+        assert main(["chaos", "--crash-seeds", "3", "--diff-seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "crash seed 0: ok" in out
+        assert "crash seed 2: ok" in out
+        assert "diff  seed 0: ok" in out
+        assert "3 crash + 1 differential schedules passed" in out
+
+    def test_single_seed_reproduction_mode(self, capsys):
+        assert main(["chaos", "--crash-seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "crash seed 4: ok" in out
+        assert "1 crash + 0 differential" in out
+
+    def test_chaos_failure_is_a_clean_error(self, capsys, monkeypatch):
+        import repro.chaos as chaos
+        from repro.chaos import ChaosInvariantError
+
+        def boom(seed, data_dir):
+            raise ChaosInvariantError(f"chaos seed {seed}: boom")
+
+        # _cmd_chaos imports from repro.chaos at call time, so the patched
+        # runner is what the sweep executes.
+        monkeypatch.setattr(chaos, "run_crash_scenario", boom)
+        code = main(["chaos", "--crash-seeds", "1", "--diff-seeds", "0"])
+        assert code == 1
+        assert "chaos seed 0: boom" in capsys.readouterr().err

@@ -1,0 +1,195 @@
+"""Crash-consistency harness: N seeded fault schedules, one invariant.
+
+Every test here reduces to the same claim: whatever faults a seed's
+schedule injects — torn WAL appends, failing or silently dropped fsyncs,
+faults between the durable append and the in-memory apply, crashes
+between snapshot temp-write and rename, torn snapshot archives — recovery
+lands on a well-defined record count and answers queries **bit-identically**
+to a never-crashed index over the same records.
+
+A failing seed prints itself; reproduce any failure with::
+
+    repro chaos --crash-seed <seed>
+
+The in-process schedules simulate a crash with ``IndexService.abort()``
+(user-space buffers flush to the OS on close; the page cache survives a
+process crash).  The subprocess tests at the bottom remove even that
+assumption: the child is armed through ``REPRO_FAILPOINTS`` and dies with
+``os._exit(137)`` mid-operation — nothing unflushed survives.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    CRASH_KINDS,
+    DIM,
+    ChaosInvariantError,
+    chaos_mbi_config,
+    make_crash_scenario,
+    run_crash_scenario,
+    stream_vector,
+)
+from repro.core.mbi import MultiLevelBlockIndex
+from repro.faultinject import ENV_VAR, Action, format_failpoints
+from repro.service import IndexService, ServiceConfig
+
+N_SCHEDULES = 50
+
+
+@pytest.mark.parametrize("seed", range(N_SCHEDULES))
+def test_seeded_fault_schedule(seed, tmp_path):
+    """The headline acceptance test: 50 distinct seeded fault schedules."""
+    report = run_crash_scenario(seed, tmp_path)
+    assert report.queries_checked > 0
+    assert report.recovered >= 0
+
+
+def test_schedules_cover_every_fault_kind():
+    kinds = {make_crash_scenario(seed).kind for seed in range(N_SCHEDULES)}
+    assert kinds == set(CRASH_KINDS)
+
+
+def test_scenarios_are_pure_functions_of_the_seed():
+    for seed in (0, 7, 41):
+        assert make_crash_scenario(seed) == make_crash_scenario(seed)
+    assert make_crash_scenario(0) != make_crash_scenario(1)
+    assert "seed=7" in make_crash_scenario(7).describe()
+
+
+def test_violation_messages_embed_the_seed(tmp_path, monkeypatch):
+    """A failing schedule must be reproducible from its printed line alone."""
+    import repro.chaos as chaos
+
+    # Sabotage the recovered-count invariant so the scenario fails.
+    monkeypatch.setattr(
+        chaos, "_expected_recovered", lambda *a, **k: {10**9}
+    )
+    with pytest.raises(ChaosInvariantError) as excinfo:
+        run_crash_scenario(3, tmp_path)
+    message = str(excinfo.value)
+    assert "chaos seed 3" in message
+    assert "repro chaos --crash-seed 3" in message
+
+
+# ----------------------------------------------------- subprocess hard crash
+
+_CHILD = """
+import sys
+from repro.chaos import DIM, chaos_mbi_config, stream_vector
+from repro.service import IndexService, ServiceConfig
+
+seed, n_ops, data_dir, snap = (
+    int(sys.argv[1]), int(sys.argv[2]), sys.argv[3], int(sys.argv[4])
+)
+service = IndexService.open(
+    data_dir,
+    dim=DIM,
+    mbi_config=chaos_mbi_config(),
+    config=ServiceConfig(fsync="always", snapshot_every=snap),
+)
+for i in range(n_ops):
+    service.ingest(stream_vector(seed, i), float(i))
+service.close()
+print("survived")  # only reached if the armed crash never fired
+"""
+
+
+def _run_child(
+    tmp_path: Path, failpoints: dict, seed: int, n_ops: int, snap: int = 0
+) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    env[ENV_VAR] = format_failpoints(failpoints)
+    return subprocess.run(
+        [
+            sys.executable, "-c", _CHILD,
+            str(seed), str(n_ops), str(tmp_path), str(snap),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def _assert_recovers_bit_identically(
+    tmp_path: Path, seed: int, expected_records: int
+) -> None:
+    config = chaos_mbi_config()
+    service = IndexService.open(
+        tmp_path,
+        dim=DIM,
+        mbi_config=config,
+        config=ServiceConfig(fsync="never"),
+    )
+    try:
+        assert service.applied_records == expected_records
+        reference = MultiLevelBlockIndex(DIM, "euclidean", config)
+        for i in range(expected_records):
+            reference.insert(stream_vector(seed, i), float(i))
+        queries = np.random.default_rng([0xBEE, seed]).standard_normal(
+            (4, DIM)
+        )
+        k = max(1, min(5, expected_records))
+        for qi, query in enumerate(queries):
+            got = service.search(query, k, rng=np.random.default_rng(qi))
+            want = reference.search(query, k, rng=np.random.default_rng(qi))
+            assert np.array_equal(got.positions, want.positions)
+            assert np.array_equal(got.distances, want.distances)
+    finally:
+        service.close()
+
+
+def test_hard_crash_mid_append(tmp_path):
+    """kill-9 semantics, for real: ``os._exit`` inside the WAL append.
+
+    The failpoint sits before the record bytes are written, and every
+    prior append was individually fsynced, so recovery must land on
+    exactly ``skip`` records — the page cache is irrelevant.
+    """
+    seed, crash_at = 9001, 12
+    proc = _run_child(
+        tmp_path,
+        {"wal.append": Action("crash", skip=crash_at)},
+        seed=seed,
+        n_ops=30,
+    )
+    assert proc.returncode == 137, proc.stderr
+    assert "survived" not in proc.stdout
+    _assert_recovers_bit_identically(tmp_path, seed, crash_at)
+
+
+def test_hard_crash_mid_snapshot(tmp_path):
+    """``os._exit`` inside the checkpoint's snapshot write.
+
+    The WAL already holds every applied record durably, so the aborted
+    snapshot must change nothing: recovery replays the full WAL.
+    """
+    seed, snap = 9002, 10
+    proc = _run_child(
+        tmp_path,
+        {"snapshot.write": Action("crash")},
+        seed=seed,
+        n_ops=30,
+        snap=snap,
+    )
+    assert proc.returncode == 137, proc.stderr
+    # The first automatic checkpoint fires when `snap` records are applied;
+    # that record's ingest had already appended + fsynced it.
+    _assert_recovers_bit_identically(tmp_path, seed, snap)
+
+
+def test_clean_child_run_is_unharmed(tmp_path):
+    """Sanity: with no failpoints armed the child finishes and closes."""
+    proc = _run_child(tmp_path, {}, seed=9003, n_ops=20)
+    assert proc.returncode == 0, proc.stderr
+    assert "survived" in proc.stdout
+    _assert_recovers_bit_identically(tmp_path, 9003, 20)

@@ -1,0 +1,249 @@
+"""Unit tests for the deterministic failpoint registry (repro.faultinject)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.faultinject import (
+    Action,
+    FailpointError,
+    Failpoints,
+    failpoint,
+    format_failpoints,
+    get_failpoints,
+    install_from_env,
+    parse_action,
+    parse_failpoints,
+    truncated,
+)
+from repro.observability.metrics import get_registry
+
+
+# ------------------------------------------------------------------ parsing
+
+
+@pytest.mark.parametrize(
+    "spec, expected",
+    [
+        ("raise", Action("raise")),
+        ("raise:io", Action("raise", "io")),
+        ("raise:runtime*3", Action("raise", "runtime", times=3)),
+        ("5+raise:service", Action("raise", "service", skip=5)),
+        ("truncate:9", Action("truncate", 9)),
+        ("2+truncate:16*4", Action("truncate", 16, skip=2, times=4)),
+        ("delay:0.5", Action("delay", 0.5)),
+        ("yield", Action("yield")),
+        ("drop*-1", Action("drop", times=-1)),
+        ("drop*inf", Action("drop", times=-1)),
+        ("crash", Action("crash")),
+        (" 3+delay:0.01*2 ", Action("delay", 0.01, skip=3, times=2)),
+    ],
+)
+def test_parse_action(spec, expected):
+    assert parse_action(spec) == expected
+
+
+def test_spec_roundtrips():
+    for action in (
+        Action("raise", "io"),
+        Action("truncate", 9, skip=5, times=3),
+        Action("drop", times=-1),
+        Action("yield", 0.001),
+        Action("crash", skip=12),
+    ):
+        assert parse_action(action.spec()) == action
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "explode",  # unknown kind
+        "raise:oom",  # unknown exception selector
+        "truncate",  # missing byte count
+        "truncate:0",  # non-positive byte count
+        "x+raise",  # non-integer skip
+        "raise*zero",  # non-integer times
+        "raise*0",  # times must be -1 or >= 1
+        "delay:soon",  # non-numeric arg
+    ],
+)
+def test_parse_action_rejects_malformed(bad):
+    with pytest.raises(FailpointError):
+        parse_action(bad)
+
+
+def test_parse_format_failpoints_roundtrip():
+    mapping = {
+        "wal.fsync": Action("drop", times=-1),
+        "wal.append": Action("truncate", 9, skip=4),
+        "snapshot.rename": Action("raise", "io"),
+    }
+    text = format_failpoints(mapping)
+    assert parse_failpoints(text) == mapping
+    # Tolerates blank entries and whitespace.
+    assert parse_failpoints(" ; " + text + " ; ") == mapping
+
+
+def test_parse_failpoints_rejects_entry_without_equals():
+    with pytest.raises(FailpointError):
+        parse_failpoints("wal.fsync")
+    with pytest.raises(FailpointError):
+        parse_failpoints("=raise")
+
+
+def test_install_from_env():
+    armed = install_from_env({"REPRO_FAILPOINTS": "test.env=raise:runtime"})
+    assert armed == {"test.env": Action("raise", "runtime")}
+    assert get_failpoints().armed()["test.env"] == Action("raise", "runtime")
+    assert install_from_env({}) == {}
+
+
+# ----------------------------------------------------------------- schedule
+
+
+def test_disarmed_failpoint_is_a_noop():
+    assert failpoint("never.armed") is None
+
+
+def test_skip_then_fire_then_expire():
+    fp = get_failpoints()
+    with fp.scope({"test.point": "2+raise:runtime*2"}):
+        # Two skipped hits.
+        assert failpoint("test.point") is None
+        assert failpoint("test.point") is None
+        # Two fires.
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                failpoint("test.point")
+        # Expired: dormant again.
+        assert failpoint("test.point") is None
+        assert fp.hits("test.point") == 5
+        assert fp.fires("test.point") == 2
+
+
+def test_unlimited_times_never_expires():
+    fp = get_failpoints()
+    with fp.scope({"test.point": "drop*-1"}):
+        for _ in range(10):
+            assert failpoint("test.point").kind == "drop"
+    assert fp.fires("test.point") == 10
+
+
+def test_raise_kinds_map_to_exception_classes():
+    fp = get_failpoints()
+    for selector, excclass in (
+        ("io", OSError),
+        ("runtime", RuntimeError),
+        ("service", ServiceError),
+    ):
+        with fp.scope({"test.point": f"raise:{selector}"}):
+            with pytest.raises(excclass, match="test.point"):
+                failpoint("test.point")
+
+
+def test_site_kinds_are_returned_not_executed():
+    fp = get_failpoints()
+    with fp.scope({"test.point": "truncate:7*-1"}):
+        act = failpoint("test.point")
+        assert (act.kind, act.arg) == ("truncate", 7)
+
+
+def test_delay_and_yield_return_none():
+    fp = get_failpoints()
+    with fp.scope({"a": "delay:0.001", "b": "yield"}):
+        assert failpoint("a") is None
+        assert failpoint("b") is None
+    assert fp.fires("a") == 1
+    assert fp.fires("b") == 1
+
+
+def test_rearming_resets_the_schedule():
+    fp = get_failpoints()
+    fp.arm("test.point", "raise:runtime")
+    with pytest.raises(RuntimeError):
+        failpoint("test.point")
+    assert failpoint("test.point") is None  # expired
+    fp.arm("test.point", "raise:runtime")  # fresh schedule
+    with pytest.raises(RuntimeError):
+        failpoint("test.point")
+    fp.disarm("test.point")
+
+
+# ----------------------------------------------------------------- registry
+
+
+def test_scope_restores_prior_arming():
+    fp = get_failpoints()
+    fp.arm("outer.point", "drop")
+    try:
+        with fp.scope({"inner.point": "raise:io"}):
+            assert set(fp.armed()) == {"inner.point"}
+        assert set(fp.armed()) == {"outer.point"}
+    finally:
+        fp.disarm_all()
+
+
+def test_counters_survive_disarm_and_reset_clears_them():
+    fp = get_failpoints()
+    with fp.scope({"test.point": "drop*-1"}):
+        failpoint("test.point")
+        failpoint("test.point")
+    assert fp.fires("test.point") == 2
+    assert fp.hits("test.point") == 2
+    fp.reset()
+    assert fp.fires("test.point") == 0
+    assert fp.hits("test.point") == 0
+
+
+def test_wait_for_fires():
+    fp = get_failpoints()
+    with fp.scope({"test.point": "drop*-1"}):
+        assert not fp.wait_for_fires("test.point", 1, timeout=0.01)
+        failpoint("test.point")
+        assert fp.wait_for_fires("test.point", 1, timeout=0.01)
+
+
+def test_invalid_names_rejected():
+    fp = Failpoints()
+    for bad in ("", "a=b", "a;b"):
+        with pytest.raises(FailpointError):
+            fp.arm(bad, "drop")
+
+
+def test_fires_exported_to_metrics():
+    fp = get_failpoints()
+    registry = get_registry()
+    with fp.scope({"test.metrics": "drop"}):
+        before = registry.counter("failpoint_fires_total", "").value
+        failpoint("test.metrics")
+        failpoint("test.metrics")  # expired: hit but no fire
+    assert registry.counter("failpoint_fires_total", "").value == before + 1
+    assert (
+        registry.counter("failpoint_test_metrics_fires_total", "").value >= 1
+    )
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def test_truncated_helper():
+    payload = b"0123456789"
+    assert truncated(payload, None) == (payload, False)
+    assert truncated(payload, Action("drop")) == (payload, False)
+    assert truncated(payload, Action("truncate", 4)) == (b"012345", True)
+    # Cutting more than the payload leaves nothing, still torn.
+    assert truncated(payload, Action("truncate", 99)) == (b"", True)
+
+
+def test_action_validation():
+    with pytest.raises(FailpointError):
+        Action("nonsense")
+    with pytest.raises(FailpointError):
+        Action("raise", skip=-1)
+    with pytest.raises(FailpointError):
+        Action("raise", times=0)
+    with pytest.raises(FailpointError):
+        Action("raise", "keyboard")
+    with pytest.raises(FailpointError):
+        Action("truncate")

@@ -1,0 +1,214 @@
+"""Metamorphic relations of TkNN search (no oracle needed for the relation).
+
+ISSUE 6 satellite.  Three relations, each checked on a pinned clustered
+workload so the assertions are deterministic:
+
+* **Recall monotonicity** — aggregate recall@k against the exact oracle is
+  non-decreasing in ``epsilon`` and in ``beam_width`` (more slack / wider
+  beams only ever explore supersets).
+* **k-prefix consistency** — on the exact configuration, top-``k1`` is a
+  prefix of top-``k2`` for ``k1 < k2`` (the merge's ``(distance,
+  position)`` order is k-independent).
+* **Window shrinking** — shrinking the query window never *adds* a
+  neighbor: every member of the wide-window top-``k`` that survives the
+  narrower window is in the narrow window's top-``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GraphConfig,
+    MBIConfig,
+    MultiLevelBlockIndex,
+    SearchParams,
+)
+from repro.baselines import exact_tknn
+from repro.distances.metrics import resolve_metric
+from repro.storage.vector_store import VectorStore
+
+DIM = 8
+N = 600
+K = 10
+# A hair of slack for float-tie reordering across BLAS builds; the sweeps
+# below are strictly monotone on the pinned workload.
+SLACK = 0.005
+
+
+def _workload():
+    rng = np.random.default_rng(42)
+    centers = rng.standard_normal((6, DIM)) * 2
+    vectors = (
+        centers[rng.integers(0, 6, N)] + rng.standard_normal((N, DIM))
+    ).astype(np.float32)
+    timestamps = np.arange(N, dtype=np.float64)
+    queries = rng.standard_normal((25, DIM))
+    return vectors, timestamps, queries
+
+
+VECTORS, TIMESTAMPS, QUERIES = _workload()
+WINDOWS = [(-np.inf, np.inf), (100.0, 500.0), (0.0, 300.0)]
+
+
+@pytest.fixture(scope="module")
+def index():
+    config = MBIConfig(
+        leaf_size=64,
+        tau=0.5,
+        graph=GraphConfig(n_neighbors=8, exact_threshold=100_000),
+        search=SearchParams(
+            epsilon=1.1,
+            max_candidates=48,
+            beam_width=8,
+            brute_force_threshold=0,
+        ),
+    )
+    idx = MultiLevelBlockIndex(DIM, "euclidean", config)
+    idx.extend(VECTORS, TIMESTAMPS)
+    return idx
+
+
+@pytest.fixture(scope="module")
+def oracle_sets():
+    store = VectorStore(DIM)
+    store.extend(VECTORS, TIMESTAMPS)
+    metric = resolve_metric("euclidean")
+    return {
+        (qi, w): set(
+            map(int, exact_tknn(store, metric, q, K, *w).positions)
+        )
+        for qi, q in enumerate(QUERIES)
+        for w in WINDOWS
+    }
+
+
+def _recall(index, params, oracle_sets) -> float:
+    hits = total = 0
+    for qi, query in enumerate(QUERIES):
+        for window in WINDOWS:
+            want = oracle_sets[(qi, window)]
+            got = set(
+                map(
+                    int,
+                    index.search(
+                        query,
+                        K,
+                        *window,
+                        params=params,
+                        rng=np.random.default_rng(qi),
+                    ).positions,
+                )
+            )
+            hits += len(got & want)
+            total += len(want)
+    return hits / total
+
+
+class TestRecallMonotonicity:
+    def test_epsilon_sweep_is_non_decreasing(self, index, oracle_sets):
+        recalls = [
+            _recall(
+                index,
+                SearchParams(
+                    epsilon=eps,
+                    max_candidates=48,
+                    beam_width=8,
+                    brute_force_threshold=0,
+                ),
+                oracle_sets,
+            )
+            for eps in (1.0, 1.05, 1.1, 1.2, 1.3, 1.4)
+        ]
+        for lo, hi in zip(recalls, recalls[1:]):
+            assert hi >= lo - SLACK, f"epsilon sweep regressed: {recalls}"
+        assert recalls[-1] >= recalls[0]
+        assert recalls[-1] >= 0.99  # generous epsilon is near-exact here
+
+    def test_beam_width_sweep_is_non_decreasing(self, index, oracle_sets):
+        recalls = [
+            _recall(
+                index,
+                SearchParams(
+                    epsilon=1.1,
+                    max_candidates=48,
+                    beam_width=beam,
+                    brute_force_threshold=0,
+                ),
+                oracle_sets,
+            )
+            for beam in (1, 2, 4, 8, 16, 32)
+        ]
+        for lo, hi in zip(recalls, recalls[1:]):
+            assert hi >= lo - SLACK, f"beam sweep regressed: {recalls}"
+        assert recalls[-1] >= recalls[0]
+        assert recalls[0] >= 0.9  # even the greedy order is strong here
+
+
+EXACT = SearchParams(epsilon=1.1, max_candidates=48, brute_force_threshold=10**9)
+
+
+class TestKPrefixConsistency:
+    @pytest.mark.parametrize("k1, k2", [(1, 5), (3, 10), (5, 17), (1, 2)])
+    def test_smaller_k_is_a_prefix_of_larger_k(self, index, k1, k2):
+        for qi, query in enumerate(QUERIES[:10]):
+            for window in WINDOWS:
+                big = index.search(
+                    query,
+                    k2,
+                    *window,
+                    params=EXACT,
+                    rng=np.random.default_rng(qi),
+                )
+                small = index.search(
+                    query,
+                    k1,
+                    *window,
+                    params=EXACT,
+                    rng=np.random.default_rng(qi),
+                )
+                np.testing.assert_array_equal(
+                    small.positions, big.positions[: len(small)]
+                )
+                np.testing.assert_array_equal(
+                    small.distances, big.distances[: len(small)]
+                )
+
+
+class TestWindowShrinking:
+    @pytest.mark.parametrize(
+        "outer, inner",
+        [
+            ((0.0, 600.0), (100.0, 500.0)),
+            ((100.0, 500.0), (200.0, 400.0)),
+            ((-np.inf, np.inf), (50.0, 550.0)),
+            ((0.0, 300.0), (0.0, 150.0)),
+        ],
+    )
+    def test_shrinking_never_adds_a_neighbor(self, index, outer, inner):
+        assert outer[0] <= inner[0] and inner[1] <= outer[1]
+        for qi, query in enumerate(QUERIES[:10]):
+            wide = index.search(
+                query,
+                K,
+                *outer,
+                params=EXACT,
+                rng=np.random.default_rng(qi),
+            )
+            narrow = index.search(
+                query,
+                K,
+                *inner,
+                params=EXACT,
+                rng=np.random.default_rng(qi),
+            )
+            survivors = {
+                int(p)
+                for p, t in zip(wide.positions, wide.timestamps)
+                if inner[0] <= float(t) < inner[1]
+            }
+            assert survivors <= set(map(int, narrow.positions)), (
+                f"shrinking {outer} -> {inner} dropped a surviving "
+                f"neighbor for query {qi}"
+            )

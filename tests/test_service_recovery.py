@@ -244,7 +244,37 @@ class TestKillAndRecover:
                 time.sleep(0.02)
             else:
                 pytest.fail("subprocess never reached a snapshot")
-            time.sleep(0.1)  # keep ingesting a WAL tail past the snapshot
+
+            # Wait for an observable WAL tail past the snapshot (>= 5 full
+            # records in the rotated segment) instead of sleeping a fixed
+            # interval and hoping the child was fast enough.  The condition
+            # is exact, so the recovery below always replays snapshot +
+            # non-empty tail, on any machine speed.
+            record_bytes = 8 + 8 + DIM * 4  # prefix + timestamp + payload
+            header_bytes = 16
+
+            def tail_records() -> int:
+                tails = [
+                    path
+                    for path in data_dir.glob("wal-*.log")
+                    if int(path.stem.split("-")[1]) >= 48
+                ]
+                if not tails:
+                    return 0
+                newest = max(
+                    tails, key=lambda p: int(p.stem.split("-")[1])
+                )
+                size = newest.stat().st_size - header_bytes
+                return max(0, size) // record_bytes
+
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if tail_records() >= 5:
+                    break
+                time.sleep(0.005)
+            else:
+                pytest.fail("subprocess never wrote a WAL tail past "
+                            "the snapshot")
             os.kill(process.pid, signal.SIGKILL)
             process.wait(timeout=30)
         finally:

@@ -1,8 +1,9 @@
 """Concurrency stress: parallel readers + writer with torn-read detection.
 
-ISSUE 2 satellite: >= 4 reader threads + 1 writer for >= 2 seconds with
-zero exceptions, no torn reads, and service metrics consistent with
-request counts.
+ISSUE 2 satellite, made deterministic in ISSUE 6: >= 4 reader threads vs
+1 writer over a fixed write quota with zero exceptions, no torn reads,
+and service metrics consistent with request counts.  Dense interleaving
+comes from ``lock.acquire_*`` yield failpoints, not wall-clock load.
 
 The torn-read check is exact, not statistical.  Queries run with a huge
 ``brute_force_threshold`` so every selected block is scanned exactly,
@@ -23,6 +24,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import MBIConfig, SearchParams
+from repro.faultinject import get_failpoints
 from repro.graph.builder import GraphConfig
 from repro.observability.metrics import get_registry
 from repro.service import IndexService, ServiceConfig
@@ -31,7 +33,12 @@ DIM = 8
 LEAF = 32
 K = 5
 READERS = 4
-DURATION = 2.2  # seconds of sustained writer load
+# Fixed writer workload: the test used to run the writer against a
+# wall-clock deadline, which made the write count (and therefore the
+# offline torn-read verification) machine-dependent.  A fixed count with
+# failpoint-driven preemption yields at every lock acquisition gives the
+# same reader/writer interleaving pressure deterministically.
+N_WRITES = 600
 
 
 def stream_vector(i: int) -> np.ndarray:
@@ -101,12 +108,9 @@ class TestReadersVsWriter:
 
         def writer() -> None:
             try:
-                i = LEAF
-                deadline = time.monotonic() + DURATION
-                while time.monotonic() < deadline:
+                for i in range(LEAF, LEAF + N_WRITES):
                     svc.ingest(stream_vector(i), float(i))
-                    i += 1
-                written[0] = i
+                    written[0] = i + 1
             except BaseException as exc:  # noqa: BLE001 - collected
                 errors.append(exc)
             finally:
@@ -148,18 +152,23 @@ class TestReadersVsWriter:
             threading.Thread(target=reader, args=(100 + r,), name=f"r{r}")
             for r in range(READERS)
         ]
-        started = time.monotonic()
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=120)
-        elapsed = time.monotonic() - started
+        # Force a GIL yield at every rwlock acquisition so readers and the
+        # writer interleave densely regardless of scheduler quantum.
+        with get_failpoints().scope(
+            {
+                "lock.acquire_read": "yield*-1",
+                "lock.acquire_write": "yield*-1",
+            }
+        ):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
 
         assert not errors, f"thread raised: {errors[:3]}"
-        assert elapsed >= DURATION
         assert all(not t.is_alive() for t in threads)
         n_total = written[0]
-        assert n_total > LEAF, "writer made no progress"
+        assert n_total == LEAF + N_WRITES, "writer did not finish its quota"
         assert len(samples) >= READERS, "readers made no progress"
 
         # --- no torn reads: every answer matches some consistent prefix ---

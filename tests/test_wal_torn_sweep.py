@@ -1,0 +1,101 @@
+"""Torn-tail recovery across *every* record boundary offset.
+
+ISSUE 6 satellite.  A crashed writer can leave any prefix of the final
+record on disk.  Earlier tests sampled a few torn offsets by slicing
+files after the fact; the ``wal.append`` truncate failpoint lets us
+produce every single torn length through the real write path — the same
+buffered-write/flush sequence a genuine crash interrupts — and assert
+recovery discards exactly the tail, every time.
+
+Record layout for ``dim`` float32 vectors:
+``8 (crc32+length prefix) + 8 (f64 timestamp) + 4*dim (payload)`` bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PersistenceError
+from repro.faultinject import get_failpoints
+from repro.service.wal import HEADER_SIZE, WriteAheadLog, replay_wal
+
+DIM = 6
+RECORD_SIZE = 8 + 8 + 4 * DIM  # prefix + timestamp + float32 payload
+N_CLEAN = 5
+
+
+def _vector(i: int) -> np.ndarray:
+    return np.random.default_rng(i).standard_normal(DIM).astype(np.float32)
+
+
+def _write_torn_wal(path, cut: int) -> None:
+    """N_CLEAN clean appends, then one append torn ``cut`` bytes short."""
+    wal = WriteAheadLog(path, DIM, fsync="always")
+    try:
+        for i in range(N_CLEAN):
+            wal.append(_vector(i), float(i))
+        with get_failpoints().scope({"wal.append": f"truncate:{cut}"}):
+            with pytest.raises(OSError):
+                wal.append(_vector(N_CLEAN), float(N_CLEAN))
+    finally:
+        wal.abandon()
+
+
+@pytest.mark.parametrize("cut", range(1, RECORD_SIZE + 1))
+def test_every_torn_offset_recovers_the_clean_prefix(tmp_path, cut):
+    path = tmp_path / "wal.log"
+    _write_torn_wal(path, cut)
+    assert path.stat().st_size == (
+        HEADER_SIZE + (N_CLEAN + 1) * RECORD_SIZE - cut
+    )
+
+    result = replay_wal(path)
+    assert len(result.records) == N_CLEAN
+    for i, record in enumerate(result.records):
+        assert record.timestamp == float(i)
+        np.testing.assert_array_equal(record.vector, _vector(i))
+    if cut == RECORD_SIZE:
+        # The whole record is missing: the segment simply ends cleanly.
+        assert result.clean
+        assert result.discarded_bytes == 0
+    else:
+        assert not result.clean
+        assert result.discarded_bytes == RECORD_SIZE - cut
+
+
+@pytest.mark.parametrize("cut", [1, 7, 8, 9, RECORD_SIZE - 1])
+def test_reopen_truncates_the_torn_tail_and_continues(tmp_path, cut):
+    """Reopening a torn segment drops the tail and appends atop the prefix."""
+    path = tmp_path / "wal.log"
+    _write_torn_wal(path, cut)
+
+    wal = WriteAheadLog(path, DIM, fsync="always")
+    try:
+        assert wal.record_count == N_CLEAN
+        assert path.stat().st_size == HEADER_SIZE + N_CLEAN * RECORD_SIZE
+        wal.append(_vector(100), 100.0)
+    finally:
+        wal.close()
+    result = replay_wal(path)
+    assert result.clean
+    assert len(result.records) == N_CLEAN + 1
+    assert result.records[-1].timestamp == 100.0
+
+
+def test_torn_append_poisons_the_open_segment(tmp_path):
+    """After a torn write the open handle refuses further appends: anything
+    written after mid-file garbage would be unrecoverable."""
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path, DIM, fsync="always")
+    try:
+        wal.append(_vector(0), 0.0)
+        with get_failpoints().scope({"wal.append": "truncate:9"}):
+            with pytest.raises(OSError):
+                wal.append(_vector(1), 1.0)
+        with pytest.raises(PersistenceError, match="poisoned|torn|fail"):
+            wal.append(_vector(2), 2.0)
+    finally:
+        wal.abandon()
+    # The clean prefix is still perfectly recoverable.
+    assert len(replay_wal(path).records) == 1
