@@ -1,7 +1,7 @@
 """Reproducible performance harness — the numbers behind ``repro bench``.
 
-Three pinned-seed suites, emitted as one schema-versioned JSON document
-(``repro-bench/v2``) that every future PR appends a sibling of:
+Four pinned-seed suites, emitted as one schema-versioned JSON document
+(``repro-bench/v3``) that every future PR appends a sibling of:
 
 * **sequential_vs_parallel** — per-query TkNN latency of ``MBI.search``
   run sequentially and fanned out across ``QueryExecutor`` pools of
@@ -16,7 +16,14 @@ Three pinned-seed suites, emitted as one schema-versioned JSON document
 * **graph_kernels** — the raw Algorithm 2 engines head-to-head on one
   built graph of the same workload shape: the legacy node-at-a-time
   ``greedy_graph_search`` versus the vectorized beam engine at several
-  widths, each with recall and distance-evaluation columns.
+  widths, each with recall and distance-evaluation columns;
+* **tiering** — the same batched workload against an all-hot index and
+  against the same index under a memory budget half its resident size
+  (``repro.tiering``): a recent-window batch (served hot; bit-identity
+  checked against the all-hot answers) and a backfill batch over the
+  cold prefix (promotions/rebuilds on the critical path).  Rows carry
+  ``resident_bytes`` and ``tier_hit_rate``; the suite records the
+  budget and whether peak resident bytes stayed under it.
 
 The harness is import-light and fast by design: the ``--smoke`` profile
 finishes in seconds so CI can run it on every push (and fail on schema
@@ -47,7 +54,7 @@ from pathlib import Path
 
 import numpy as np
 
-SCHEMA = "repro-bench/v2"
+SCHEMA = "repro-bench/v3"
 
 #: Pool widths exercised by the sequential-vs-parallel suite (0 means
 #: sequential; widths beyond the CPU count measure oversubscription).
@@ -427,6 +434,173 @@ def run_graph_kernels_suite(
     }
 
 
+def _resident_block_bytes(index) -> int:
+    """All-hot resident bytes, mirroring ``TierManager._block_nbytes``.
+
+    Computed *before* tiering is enabled, so the suite can size the
+    budget at half of what the untiered index keeps in memory.
+    """
+    total = 0
+    store = index.store
+    for block in index._blocks.values():
+        backend = block.backend
+        if backend is None:
+            continue
+        total += int(backend.nbytes())
+        norms = getattr(backend, "norms", None)
+        if norms is not None:
+            total += int(norms.nbytes())
+        filled = min(block.positions.stop, len(store))
+        total += store.slice_nbytes(block.positions.start, filled)
+    return total
+
+
+def run_tiering_suite(index, queries, profile: HarnessProfile, seed: int) -> dict:
+    """Batched throughput all-hot versus under a halved memory budget.
+
+    Measures a recent window (inside the hot window — served without
+    promotions) and a backfill window over the oldest fifth of the
+    timeline (promotions and deterministic rebuilds on the critical
+    path), first against the untiered index and then after
+    ``enable_tiering`` with ``budget = all_hot_resident / 2`` and a
+    compaction sweep.  Tiered rows are bit-identity checked against
+    their all-hot twins; every row reports the settled resident bytes
+    and the hit rate of block resolutions during its timed passes.
+
+    Runs **last** in :func:`run_harness` — enabling tiering on the
+    shared index is one-way (the first configuration wins).
+    """
+    from repro.observability.metrics import get_registry
+    from repro.storage.timeline import TimeWindow
+    from repro.tiering.compactor import Compactor
+
+    registry = get_registry()
+    hits = registry.counter("tier_hits_total")
+    misses = registry.counter("tier_misses_total")
+    promotions = registry.counter("tier_promotions_total")
+    resident_gauge = registry.gauge("tier_resident_bytes")
+
+    n = profile.n_items
+    store = index.store
+    vectors = store.slice(0, len(store))
+    windows = {
+        "recent": (n * 0.8, float(n)),
+        "backfill": (0.0, n * 0.2),
+    }
+    oracles = {}
+    for window_name, (lo, hi) in windows.items():
+        span = store.resolve_window(TimeWindow(lo, hi))
+        oracles[window_name] = exact_window_topk(
+            vectors, queries, profile.k, span.start, span.stop
+        )
+
+    all_hot_resident = _resident_block_bytes(index)
+    rows = []
+    results_by_method: dict[str, list] = {}
+
+    def measure(method: str, window_name: str, tiered: bool) -> None:
+        lo, hi = windows[window_name]
+        hits_before, misses_before = hits.value, misses.value
+        promotions_before = promotions.value
+        best = float("inf")
+        results = None
+        for _ in range(profile.repeats):
+            started = time.perf_counter()
+            batch = index.search_batch(
+                queries,
+                profile.k,
+                lo,
+                hi,
+                rng=np.random.default_rng(seed),
+            )
+            best = min(best, time.perf_counter() - started)
+            if results is None:
+                results = batch
+        # Prefetch (``note_selection``) promotes cold selected blocks
+        # before the per-block resolve ever misses, so cold activity is
+        # the promotions counter, not the miss counter.
+        resolutions = (hits.value - hits_before) + (
+            misses.value - misses_before
+        )
+        promoted = promotions.value - promotions_before
+        recall = statistics.fmean(
+            _recall(result.positions, exact, profile.k)
+            for result, exact in zip(results, oracles[window_name])
+        )
+        dist_evals = statistics.fmean(
+            float(result.stats.distance_evaluations) for result in results
+        )
+        baseline = results_by_method.get(f"all-hot-{window_name}")
+        identical = baseline is None or all(
+            _identical(a, b) for a, b in zip(baseline, results)
+        )
+        results_by_method[method] = results
+        resident = (
+            index.tiering.cache.resident_bytes if tiered else all_hot_resident
+        )
+        rows.append(
+            {
+                "method": method,
+                "qps": len(queries) / best if best > 0 else float("inf"),
+                "mean_ms": best / len(queries) * 1e3,
+                "batch_seconds": best,
+                "recall_at_k": recall,
+                "dist_evals_per_query": dist_evals,
+                "resident_bytes": int(resident),
+                "tier_hit_rate": (
+                    max(0.0, 1.0 - promoted / resolutions)
+                    if resolutions
+                    else 1.0
+                ),
+                "identical_to_all_hot": bool(identical),
+            }
+        )
+
+    measure("all-hot-recent", "recent", tiered=False)
+    measure("all-hot-backfill", "backfill", tiered=False)
+
+    hot_window = int(0.3 * n)
+    manager = index.enable_tiering(
+        memory_budget_mb=all_hot_resident / 2 / 2**20,
+        hot_window_vectors=hot_window,
+    )
+    # enable_tiering is first-config-wins, so an ambient
+    # REPRO_MEMORY_BUDGET_MB (the CI tight-budget job) would otherwise
+    # displace the experiment's halved budget — pin it explicitly.
+    manager.reconfigure(
+        memory_budget_mb=all_hot_resident / 2 / 2**20,
+        hot_window_vectors=hot_window,
+    )
+    Compactor(manager).run_once()
+    # The enable-time sync records a full-resident peak in the gauge —
+    # every block genuinely was hot before the sweep — but the suite
+    # audits the *query phase*, so reset the high-water mark to the
+    # post-compaction residency before the timed passes.
+    resident_gauge._reset()
+    resident_gauge.set(manager.cache.resident_bytes)
+
+    measure("tiered-recent", "recent", tiered=True)
+    measure("tiered-backfill", "backfill", tiered=True)
+
+    stats = manager.stats()
+    by_method = {row["method"]: row for row in rows}
+    return {
+        "budget_bytes": int(stats["budget_bytes"]),
+        "all_hot_resident_bytes": int(all_hot_resident),
+        "peak_resident_bytes": int(stats["peak_resident_bytes"]),
+        "within_budget": bool(
+            stats["peak_resident_bytes"] <= stats["budget_bytes"]
+        ),
+        "cold_blocks": int(stats["cold_blocks"]),
+        "hot_window_vectors": hot_window,
+        "recent_qps_ratio": (
+            by_method["tiered-recent"]["qps"]
+            / by_method["all-hot-recent"]["qps"]
+        ),
+        "rows": rows,
+    }
+
+
 def run_harness(
     seed: int = 0,
     smoke: bool = False,
@@ -458,6 +632,8 @@ def run_harness(
     graph_kernels = run_graph_kernels_suite(
         index, queries, profile, seed, beam_sweep
     )
+    # Last on purpose: enabling tiering on the shared index is one-way.
+    tiering = run_tiering_suite(index, queries, profile, seed)
 
     payload = {
         "schema": SCHEMA,
@@ -483,6 +659,7 @@ def run_harness(
             "sequential_vs_parallel": sequential_vs_parallel,
             "qps": qps,
             "graph_kernels": graph_kernels,
+            "tiering": tiering,
         },
     }
     validate_bench(payload)
@@ -493,16 +670,18 @@ def run_harness(
 
 
 def validate_bench(payload: dict) -> None:
-    """Raise ``ValueError`` unless ``payload`` is a valid repro-bench/v2 doc.
+    """Raise ``ValueError`` unless ``payload`` is a valid repro-bench/v3 doc.
 
     This is the schema gate the CI smoke job runs: it checks document
     structure, row fields/types, and the semantic invariants — the
     sequential-vs-parallel suite must contain a sequential baseline plus
     at least one parallel row, every parallel row must report
-    bit-identical results, every qps / graph_kernels row must carry a
-    recall in ``[0, 1]`` and a non-negative distance-evaluation count,
-    and the graph_kernels suite must pit the legacy greedy engine against
-    at least one beam width.
+    bit-identical results, every qps / graph_kernels / tiering row must
+    carry a recall in ``[0, 1]`` and a non-negative distance-evaluation
+    count, the graph_kernels suite must pit the legacy greedy engine
+    against at least one beam width, and the tiering suite must show
+    cold blocks, bit-identical tiered answers, a hit rate in ``[0, 1]``
+    per row, and a query-phase peak residency within the budget.
     """
 
     def fail(message: str) -> None:
@@ -597,6 +776,57 @@ def validate_bench(payload: dict) -> None:
             f"least one beam width, got {kernel_methods}"
         )
 
+    tiering = suites.get("tiering")
+    tier_methods = check_throughput_rows("tiering", tiering)
+    for row in tiering["rows"]:
+        for field_name, kind in (
+            ("resident_bytes", int),
+            ("tier_hit_rate", (int, float)),
+            ("identical_to_all_hot", bool),
+        ):
+            if not isinstance(row.get(field_name), kind):
+                fail(
+                    f"tiering row field {field_name!r} missing or "
+                    f"mistyped: {row!r}"
+                )
+        if row["resident_bytes"] < 0:
+            fail(f"negative resident_bytes in row {row!r}")
+        if not 0.0 <= row["tier_hit_rate"] <= 1.0:
+            fail(f"tier_hit_rate outside [0, 1] in row {row!r}")
+        if not row["identical_to_all_hot"]:
+            fail(
+                f"tiered answers diverged from all-hot in row {row!r} "
+                "(tiering must never change answers)"
+            )
+    required_tier_methods = {
+        "all-hot-recent",
+        "all-hot-backfill",
+        "tiered-recent",
+        "tiered-backfill",
+    }
+    if not required_tier_methods <= tier_methods:
+        fail(
+            "tiering suite must measure all-hot and tiered passes over "
+            f"the recent and backfill windows, got {tier_methods}"
+        )
+    for key in (
+        "budget_bytes",
+        "all_hot_resident_bytes",
+        "peak_resident_bytes",
+        "cold_blocks",
+        "within_budget",
+    ):
+        if key not in tiering:
+            fail(f"tiering suite missing key {key!r}")
+    if tiering["cold_blocks"] <= 0:
+        fail("tiering suite measured no cold blocks (budget never bound)")
+    if tiering["within_budget"] is not True:
+        fail(
+            "tiering query-phase peak resident bytes "
+            f"({tiering['peak_resident_bytes']}) exceeded the budget "
+            f"({tiering['budget_bytes']})"
+        )
+
 
 def default_output_path(base_dir: str | Path = ".") -> Path:
     """``BENCH_<today>.json`` in ``base_dir`` (the repo-root convention)."""
@@ -662,6 +892,31 @@ def render_bench(payload: dict) -> str:
             f"  {row['method']:<22} {row['qps']:>9.0f} {row['mean_ms']:>9.3f} "
             f"{row['recall_at_k']:>9.4f} {row['dist_evals_per_query']:>9.0f}"
         )
+    tiering = payload["suites"]["tiering"]
+    lines.append("")
+    lines.append(
+        f"tiering (budget {tiering['budget_bytes'] / 2**20:.2f} MiB = half "
+        f"of {tiering['all_hot_resident_bytes'] / 2**20:.2f} MiB all-hot, "
+        f"{tiering['cold_blocks']} cold blocks, query-phase peak "
+        f"{tiering['peak_resident_bytes'] / 2**20:.2f} MiB, "
+        f"{'within' if tiering['within_budget'] else 'OVER'} budget):"
+    )
+    lines.append(
+        f"  {'method':<22} {'qps':>9} {'mean ms':>9} {'recall@k':>9} "
+        f"{'resident MiB':>12} {'hit rate':>9}  identical"
+    )
+    for row in tiering["rows"]:
+        lines.append(
+            f"  {row['method']:<22} {row['qps']:>9.0f} {row['mean_ms']:>9.3f} "
+            f"{row['recall_at_k']:>9.4f} "
+            f"{row['resident_bytes'] / 2**20:>12.2f} "
+            f"{row['tier_hit_rate']:>9.3f}  "
+            f"{'yes' if row['identical_to_all_hot'] else 'NO'}"
+        )
+    lines.append(
+        f"  recent-window qps ratio (tiered / all-hot): "
+        f"{tiering['recent_qps_ratio']:.2f}"
+    )
     return "\n".join(lines)
 
 

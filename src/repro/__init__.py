@@ -43,6 +43,7 @@ from .core import (
     QueryStats,
     SearchParams,
     TauTuner,
+    TieringConfig,
     get_default_executor,
     shutdown_default_executor,
 )
@@ -77,6 +78,10 @@ from .observability import (
 from .service import IndexService, ServiceConfig, WriteAheadLog
 from .storage import TimeWindow, VectorStore
 
+# Imported after .service: the tiering package uses the service's RWLock,
+# so it must not load while repro.service is still initialising.
+from .tiering import BlockCache, Compactor, TierManager
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -85,6 +90,8 @@ __all__ = [
     "BestOfBaselines",
     "Block",
     "BlockBackend",
+    "BlockCache",
+    "Compactor",
     "ConfigurationError",
     "DatasetError",
     "DeadlineExceededError",
@@ -116,6 +123,8 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "TauTuner",
+    "TierManager",
+    "TieringConfig",
     "TimeWindow",
     "TimestampOrderError",
     "TraceSummary",

@@ -7,7 +7,9 @@ scenario, in two families:
 ingest length, a durability configuration, a fault family (torn WAL
 append, fsync error, a fault in the durable-but-unapplied window, a crash
 between snapshot temp-write and rename, a torn snapshot archive, dropped
-fsyncs, or pure preemption chaos) and a deterministic fire schedule for
+fsyncs, pure preemption chaos, or — under a pathological memory budget —
+torn/failed cold-tier demotions, failing cold-file reads on promotion,
+and failing compaction renames) and a deterministic fire schedule for
 the :mod:`repro.faultinject` points that express it.  The scenario ingests
 until the fault fires, *crashes* the service
 (:meth:`~repro.service.IndexService.abort` — no drain, no fsync), recovers
@@ -47,7 +49,7 @@ seeds in CI.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -87,6 +89,21 @@ CRASH_KINDS = (
     "snapshot_torn",
     "fsync_drop",
     "preemption",
+    "tier_demote",
+    "tier_promote",
+    "tier_compact",
+)
+
+#: Families whose faults are absorbed inside the service (never surface as
+#: an ingest error): the dropped fsync is silent, preemption only yields,
+#: and every tier fault falls back to staying hot / rebuilding / keeping
+#: the old idx file — so ``fault`` legitimately stays ``None``.
+_ABSORBED_KINDS = (
+    "fsync_drop",
+    "preemption",
+    "tier_demote",
+    "tier_promote",
+    "tier_compact",
 )
 
 
@@ -100,6 +117,10 @@ class CrashScenario:
     fsync: str
     snapshot_every: int
     failpoints: dict[str, Action] = field(default_factory=dict)
+    #: Hot-tier budget for the ``tier_*`` families (``None`` = untiered).
+    #: Deliberately pathological — everything demotes — so the scenario
+    #: exercises demotion, promotion, rebuild, and compaction constantly.
+    memory_budget_mb: float | None = None
 
     def describe(self) -> str:
         """One-line human summary."""
@@ -158,6 +179,7 @@ def make_crash_scenario(seed: int) -> CrashScenario:
     record_bytes = 8 + 8 + DIM * 4  # crc/len prefix + timestamp + float32[DIM]
     fsync = "always"
     snapshot_every = 0
+    memory_budget_mb: float | None = None
     points: dict[str, Action] = {}
     if kind == "torn_append":
         cut = int(rng.integers(1, record_bytes))
@@ -187,6 +209,29 @@ def make_crash_scenario(seed: int) -> CrashScenario:
         points["lock.acquire_read"] = Action("yield", 0.0, times=-1)
         fsync = str(rng.choice(["always", "interval"]))
         snapshot_every = int(rng.choice([0, 12]))
+    elif kind in ("tier_demote", "tier_promote", "tier_compact"):
+        # A budget no block fits: every built block demotes, every query
+        # over an old window promotes (or rebuilds), and each checkpoint
+        # sweeps + compacts the cold tier — with the family's failpoint
+        # firing throughout.  All three faults are absorbed inside the
+        # tier (stay hot / rebuild / keep the old idx), so ingest never
+        # errors; the crash is the end of the op loop, as in fsync_drop.
+        memory_budget_mb = 0.001
+        snapshot_every = int(rng.integers(8, 17))
+        if kind == "tier_demote":
+            if rng.random() < 0.5:
+                points["tier.demote_write"] = Action("raise", "io", times=-1)
+            else:
+                # Tear the *committed* idx file a few times: the torn
+                # block must rebuild deterministically on promotion.
+                cut = int(rng.integers(8, 512))
+                points["tier.demote_write"] = Action(
+                    "truncate", cut, times=int(rng.integers(1, 4))
+                )
+        elif kind == "tier_promote":
+            points["tier.promote_read"] = Action("raise", "io", times=-1)
+        else:
+            points["tier.compact_rename"] = Action("raise", "io", times=-1)
     return CrashScenario(
         seed=seed,
         kind=kind,
@@ -194,6 +239,7 @@ def make_crash_scenario(seed: int) -> CrashScenario:
         fsync=fsync,
         snapshot_every=snapshot_every,
         failpoints=points,
+        memory_budget_mb=memory_budget_mb,
     )
 
 
@@ -223,13 +269,23 @@ def run_crash_scenario(
     """
     scenario = make_crash_scenario(seed)
     config = chaos_mbi_config()
+    if scenario.memory_budget_mb is not None:
+        # Drop the brute-force threshold so searches actually walk block
+        # graphs (and therefore promote/rebuild cold blocks) at chaos
+        # scale; the reference index uses the same config, so the
+        # bit-identity invariant is unchanged.
+        config = replace(
+            config, search=replace(config.search, brute_force_threshold=4)
+        )
     data_dir = Path(data_dir)
     service = IndexService.open(
         data_dir,
         dim=DIM,
         mbi_config=config,
         config=ServiceConfig(
-            fsync=scenario.fsync, snapshot_every=scenario.snapshot_every
+            fsync=scenario.fsync,
+            snapshot_every=scenario.snapshot_every,
+            memory_budget_mb=scenario.memory_budget_mb,
         ),
     )
     failpoints = get_failpoints()
@@ -244,8 +300,12 @@ def run_crash_scenario(
                     fault = f"{type(error).__name__}: {error}"
                     break
                 acked += 1
-                if scenario.kind == "preemption" and i % 7 == 3:
-                    # Interleave reads through the yielded lock path.
+                if (
+                    scenario.kind == "preemption"
+                    or scenario.memory_budget_mb is not None
+                ) and i % 7 == 3:
+                    # Interleave reads: through the yielded lock path
+                    # (preemption) or the promote/rebuild path (tiered).
                     service.search(
                         stream_vector(seed + 1, i),
                         min(_K, acked),
@@ -254,16 +314,16 @@ def run_crash_scenario(
     finally:
         service.abort()
 
-    if scenario.failpoints and scenario.kind not in (
-        "fsync_drop", "preemption"
-    ):
+    if scenario.failpoints and scenario.kind not in _ABSORBED_KINDS:
         _check(fault is not None, seed, "the scheduled fault never fired")
 
     recovered = IndexService.open(
         data_dir,
         dim=DIM,
         mbi_config=config,
-        config=ServiceConfig(fsync="never"),
+        config=ServiceConfig(
+            fsync="never", memory_budget_mb=scenario.memory_budget_mb
+        ),
     )
     try:
         n = recovered.applied_records

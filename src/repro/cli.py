@@ -9,6 +9,7 @@ Subcommands::
     repro explain                          EXPLAIN-trace one TkNN query
     repro ingest --data-dir DIR            durably ingest into a service dir
     repro serve --data-dir DIR             serve TkNN over HTTP (recovers)
+    repro tier stats --data-dir DIR        inspect the cold block tier
     repro bench [--smoke]                  run the perf harness -> BENCH_<date>.json
     repro bench --paper                    how to regenerate the paper's tables
     repro chaos                            seeded fault-injection smoke sweep
@@ -203,6 +204,20 @@ def build_parser() -> argparse.ArgumentParser:
         "see docs/performance.md)",
     )
 
+    tier = commands.add_parser(
+        "tier",
+        help="inspect tiered block storage (cold files, cache counters)",
+    )
+    tier_actions = tier.add_subparsers(dest="tier_command", required=True)
+    tier_stats = tier_actions.add_parser(
+        "stats",
+        help="list the cold blocks of a service data directory "
+        "(one row per committed cold file, plus totals)",
+    )
+    tier_stats.add_argument(
+        "--data-dir", required=True, help="service state directory"
+    )
+
     bench = commands.add_parser(
         "bench",
         help="run the reproducible perf harness (sequential-vs-parallel "
@@ -290,6 +305,21 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--tau", type=float, default=0.5, help="tau for a fresh index"
+    )
+    parser.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help="hot-tier byte budget; blocks over budget are demoted to "
+        "memory-mapped cold files under <data-dir>/tiers "
+        "(default: everything stays in memory)",
+    )
+    parser.add_argument(
+        "--compact-interval",
+        type=float,
+        default=None,
+        help="seconds between background compaction sweeps (requires "
+        "--memory-budget-mb; default: compact only at checkpoints)",
     )
 
 
@@ -514,6 +544,10 @@ def _service_config(args: argparse.Namespace):
         extras["default_timeout"] = args.timeout
     if getattr(args, "search_workers", None) is not None:
         extras["search_workers"] = args.search_workers
+    if getattr(args, "memory_budget_mb", None) is not None:
+        extras["memory_budget_mb"] = args.memory_budget_mb
+    if getattr(args, "compact_interval", None) is not None:
+        extras["compact_interval"] = args.compact_interval
     return ServiceConfig(
         fsync=args.fsync,
         snapshot_every=args.snapshot_every,
@@ -625,6 +659,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tier(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .tiering.blockfile import ColdBlockStore
+
+    tiers = Path(args.data_dir) / "tiers"
+    if not tiers.is_dir():
+        print(
+            f"no cold tier at {tiers} — the service has never demoted a "
+            "block (run with --memory-budget-mb to enable tiering)"
+        )
+        return 0
+    # dim is only needed to memory-map vectors; describe() reads metadata
+    # and file sizes, so any value works here.
+    store = ColdBlockStore(tiers, dim=0)
+    rows = store.describe()
+    if not rows:
+        print(f"cold tier at {tiers} is empty")
+        return 0
+    table = [
+        [
+            row["index"],
+            row["backend"],
+            f"[{row['lo']}, {row['hi']})",
+            row["vec_ref"] if row["vec_ref"] != row["index"] else "self",
+            f"{row['idx_bytes'] / 1e3:.1f} KB",
+            f"{row['vec_bytes'] / 1e3:.1f} KB" if row["vec_bytes"] else "-",
+            "TORN" if row["torn"] else "ok",
+        ]
+        for row in rows
+    ]
+    print(f"cold tier       : {tiers}")
+    print(f"cold blocks     : {len(rows)}")
+    print(f"disk bytes      : {store.disk_bytes() / 1e6:.2f} MB")
+    torn = sum(1 for row in rows if row["torn"])
+    if torn:
+        print(
+            f"torn idx files  : {torn} (will be rebuilt deterministically "
+            "on next access)"
+        )
+    print()
+    print(
+        format_table(
+            ["block", "backend", "positions", "vec", "idx", "vectors", "state"],
+            table,
+        )
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.paper:
         print(
@@ -712,6 +796,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "ingest": _cmd_ingest,
     "serve": _cmd_serve,
+    "tier": _cmd_tier,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
 }

@@ -9,7 +9,14 @@ from .backends import (
 )
 from .block import Block
 from .brute import brute_force_topk
-from .config import IVFConfig, IVFPQConfig, LSHParams, MBIConfig, SearchParams
+from .config import (
+    IVFConfig,
+    IVFPQConfig,
+    LSHParams,
+    MBIConfig,
+    SearchParams,
+    TieringConfig,
+)
 from .executor import (
     QueryExecutor,
     default_worker_count,
@@ -39,6 +46,7 @@ __all__ = [
     "SearchParams",
     "TauCalibration",
     "TauTuner",
+    "TieringConfig",
     "available_backends",
     "brute_force_topk",
     "default_worker_count",

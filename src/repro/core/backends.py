@@ -119,9 +119,15 @@ class GraphBackend(BlockBackend):
 
     Args:
         graph: Search-ready proximity graph over the block's vectors.
-        store: The shared vector store.
+        store: The shared vector store — or any object with the same
+            ``slice(start, stop)`` contract, e.g. the memory-mapped
+            vector source a promoted cold block attaches
+            (:class:`repro.tiering.blockfile.MemmapVectorSource`).
         positions: The block's position range in the store.
         metric: Distance metric.
+        norms: A ready per-row norm cache for the block's slice (the tier
+            manager passes the one persisted at demotion so promotion
+            skips the recompute); ``None`` computes it from the slice.
     """
 
     name: ClassVar[str] = "graph"
@@ -132,6 +138,7 @@ class GraphBackend(BlockBackend):
         store: VectorStore,
         positions: range,
         metric: Metric,
+        norms: NormCache | None = None,
     ) -> None:
         self.graph = graph
         self._store = store
@@ -140,7 +147,9 @@ class GraphBackend(BlockBackend):
         # retain_points=False: the store's backing buffer is reallocated as
         # it grows, so the cache keeps only the (position-indexed) per-row
         # data and each search re-resolves a fresh slice.
-        self.norms = NormCache(self._points(), metric, retain_points=False)
+        if norms is None:
+            norms = NormCache(self._points(), metric, retain_points=False)
+        self.norms = norms
 
     def _points(self) -> np.ndarray:
         return self._store.slice(self._positions.start, self._positions.stop)

@@ -5,6 +5,17 @@ store *positions* (its vector set ``D_i``, immutable once the block's graph
 exists) and, once full, a graph-based kNN index ``G_i``.  Blocks never copy
 vectors: they reference the shared :class:`repro.storage.VectorStore` by
 position range, so the index size attributable to a block is its graph.
+
+Under tiered storage (:mod:`repro.tiering`) a built block's ``backend``
+may be *detached* — demoted to a cold file and set back to ``None`` —
+and reattached on demand.  ``backend is None`` therefore means "not
+resident", not "never built": the open leaf has never been built, while
+a demoted block is built-but-cold and the tier manager will promote it
+(or rebuild it deterministically) the moment a query needs it.  Code
+that must distinguish the two asks the index
+(:meth:`~repro.core.mbi.MultiLevelBlockIndex.resolved_backend`) or the
+tier manager (:meth:`~repro.tiering.manager.TierManager.is_cold`), never
+the block alone.
 """
 
 from __future__ import annotations
@@ -27,7 +38,8 @@ class Block:
             *capacity* range; the actually-filled prefix is determined by
             the store length at query time.
         backend: The block's kNN index (``G_i``), or ``None`` while the
-            block is an open leaf.
+            block is an open leaf — or while it is demoted to the cold
+            tier (see the module docstring).
         build_seconds: Wall-clock time spent building the backend.
         distance_evaluations: Distance computations the build performed.
     """
@@ -46,7 +58,20 @@ class Block:
 
     @property
     def is_built(self) -> bool:
-        """Whether the block's kNN index exists (block is sealed)."""
+        """Whether the block's kNN index is attached *in memory*.
+
+        Under tiering this is residency, not build history: a demoted
+        block reports ``False`` here even though a built copy exists in
+        the cold tier.  Use :attr:`is_resident` (the honest name) in
+        tier-aware code; ``is_built`` is kept for the pre-tiering call
+        sites that treat "no backend" as "scan the span brute-force",
+        which remains the correct fallback either way.
+        """
+        return self.backend is not None
+
+    @property
+    def is_resident(self) -> bool:
+        """Whether the block's kNN index is attached in memory (hot tier)."""
         return self.backend is not None
 
     @property

@@ -207,6 +207,60 @@ class SearchParams:
 
 
 @dataclass(frozen=True)
+class TieringConfig:
+    """Knobs of the two-tier block lifecycle (:mod:`repro.tiering`).
+
+    Attributes:
+        enabled: Turn tiering on.  Off (the default), every built block
+            stays resident and the index behaves exactly as before — the
+            tier manager is never constructed.
+        memory_budget_mb: Size budget, in MiB, for resident block index
+            structures (backend + per-block norm cache bytes).  ``None``
+            means unbounded: blocks are demoted only by explicit compaction
+            sweeps, never by cache pressure.  The budget is enforced by
+            LRU eviction after promotions and builds; a single query's
+            working set may transiently overshoot it (correctness first —
+            a selected block is never evicted mid-search to satisfy the
+            budget).
+        hot_window_vectors: Keep blocks overlapping the newest this-many
+            store positions hot regardless of LRU age (the recency prior:
+            queries skew toward recent windows).  ``None`` derives it as
+            two leaves' worth of vectors at manager construction.
+        directory: Where cold block files live.  ``None`` uses a private
+            temporary directory (removed when the index is collected);
+            :class:`repro.service.IndexService` passes ``data_dir/tiers``.
+        prefetch_selected: Promote the blocks a query's selection walk
+            picked *before* the per-block searches run, so a parallel
+            fan-out never stalls two workers on the same cold block.
+    """
+
+    enabled: bool = False
+    memory_budget_mb: float | None = None
+    hot_window_vectors: int | None = None
+    directory: str | None = None
+    prefetch_selected: bool = True
+
+    def __post_init__(self) -> None:
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ConfigurationError(
+                f"memory_budget_mb must be > 0 or None, "
+                f"got {self.memory_budget_mb}"
+            )
+        if self.hot_window_vectors is not None and self.hot_window_vectors < 0:
+            raise ConfigurationError(
+                f"hot_window_vectors must be >= 0 or None, "
+                f"got {self.hot_window_vectors}"
+            )
+
+    @property
+    def budget_bytes(self) -> int | None:
+        """The byte form of ``memory_budget_mb`` (``None`` = unbounded)."""
+        if self.memory_budget_mb is None:
+            return None
+        return int(self.memory_budget_mb * 1024 * 1024)
+
+
+@dataclass(frozen=True)
 class MBIConfig:
     """Index-time parameters of Multi-level Block Indexing.
 
@@ -248,6 +302,9 @@ class MBIConfig:
             least this many blocks; below it the query runs sequentially
             on the calling thread (dispatch overhead beats the win for
             tiny search sets — see ``docs/performance.md``).
+        tiering: Two-tier block lifecycle knobs (see :class:`TieringConfig`
+            and ``docs/tiering.md``).  Disabled by default; answers are
+            bit-identical with tiering on or off, for any budget.
         seed: Base seed for all randomness inside the index (NNDescent,
             entry sampling).
     """
@@ -267,6 +324,7 @@ class MBIConfig:
     query_parallel: bool = False
     query_workers: int | None = None
     parallel_min_blocks: int = 2
+    tiering: TieringConfig = field(default_factory=TieringConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -315,5 +373,6 @@ class MBIConfig:
             query_parallel=self.query_parallel,
             query_workers=self.query_workers,
             parallel_min_blocks=self.parallel_min_blocks,
+            tiering=self.tiering,
             seed=self.seed,
         )

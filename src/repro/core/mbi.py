@@ -19,9 +19,10 @@ MBI"); NumPy kernels release the GIL for the bulk of the work.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -37,11 +38,14 @@ from ..storage.vector_store import VectorStore
 from .backends import GraphBackend, get_builder
 from .block import Block
 from .brute import brute_force_topk
-from .config import MBIConfig, SearchParams
+from .config import MBIConfig, SearchParams, TieringConfig
 from .executor import QueryExecutor, resolve_executor
 from .results import QueryResult, QueryStats, merge_partial_results
 from .selection import select_blocks
 from .tree import leaf_block_index, leaf_range_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tiering.manager import TierManager
 
 _METRICS = get_registry()
 _SEARCH_QUERIES = _METRICS.counter(
@@ -129,6 +133,22 @@ class MultiLevelBlockIndex:
         self._rng = np.random.default_rng(self._config.seed)
         self._total_build_seconds = 0.0
         self._total_distance_evaluations = 0
+        # Tiered block storage (docs/tiering.md).  Declarative enablement
+        # via MBIConfig.tiering; the REPRO_MEMORY_BUDGET_MB environment
+        # variable is a runtime-only switch (used by the CI tight-budget
+        # smoke job) that never changes answers, only residency.
+        self._tiering: "TierManager" | None = None
+        if self._config.tiering.enabled:
+            self.enable_tiering()
+        else:
+            env_budget = os.environ.get("REPRO_MEMORY_BUDGET_MB")
+            if env_budget:
+                try:
+                    budget: float | None = float(env_budget)
+                except ValueError:
+                    budget = None
+                if budget is not None and budget > 0:
+                    self.enable_tiering(memory_budget_mb=budget)
 
     # ------------------------------------------------------------- inspection
 
@@ -151,6 +171,86 @@ class MultiLevelBlockIndex:
     def store(self) -> VectorStore:
         """The underlying vector store (shared, append-only)."""
         return self._store
+
+    @property
+    def tiering(self) -> "TierManager" | None:
+        """The tier manager, or ``None`` when tiering is disabled."""
+        return self._tiering
+
+    def enable_tiering(
+        self,
+        memory_budget_mb: float | None = None,
+        directory: str | os.PathLike | None = None,
+        hot_window_vectors: int | None = None,
+        prefetch_selected: bool | None = None,
+    ) -> "TierManager":
+        """Turn on tiered block storage for this index (idempotent).
+
+        Arguments override the corresponding :class:`TieringConfig`
+        fields; omitted ones fall back to ``config.tiering``.  Already
+        enabled tiering is returned unchanged — the first configuration
+        wins.  Tiering never changes answers (``docs/tiering.md``): cold
+        blocks are promoted back bit-identically, or rebuilt from the
+        same deterministic seed that built them.
+        """
+        if self._tiering is not None:
+            return self._tiering
+        # Function-level import: repro.tiering pulls in repro.service.locks,
+        # which would cycle back into this module at import time.
+        from ..tiering.manager import TierManager
+
+        base = self._config.tiering
+        effective = TieringConfig(
+            enabled=True,
+            memory_budget_mb=(
+                memory_budget_mb
+                if memory_budget_mb is not None
+                else base.memory_budget_mb
+            ),
+            hot_window_vectors=(
+                hot_window_vectors
+                if hot_window_vectors is not None
+                else base.hot_window_vectors
+            ),
+            directory=(
+                os.fspath(directory) if directory is not None else base.directory
+            ),
+            prefetch_selected=(
+                prefetch_selected
+                if prefetch_selected is not None
+                else base.prefetch_selected
+            ),
+        )
+        self._tiering = TierManager(self, effective)
+        return self._tiering
+
+    def resolved_backend(self, block: Block):
+        """The block's backend, promoting through the tier if needed.
+
+        ``None`` only for never-built blocks (the open leaf).  Callers
+        that just need the *arrays* (persistence) should prefer
+        :meth:`block_arrays`, which reads cold files without promoting.
+        """
+        if block.backend is not None:
+            return block.backend
+        if self._tiering is not None:
+            backend, _ = self._tiering.resolve(block)
+            return backend
+        return None
+
+    def block_arrays(self, block: Block) -> dict[str, np.ndarray] | None:
+        """Serialisable arrays of a built block, resolved through the tier.
+
+        Used by :func:`repro.core.persistence.save_index` so snapshots
+        include cold blocks *without* churning the hot cache: hot blocks
+        serialise in memory, cold ones stream from their cold file.
+        Returns ``None`` for never-built blocks.
+        """
+        if block.backend is not None:
+            return block.backend.to_arrays()
+        if self._tiering is not None:
+            return self._tiering.cold_arrays(block)
+        return None
 
     def __len__(self) -> int:
         return len(self._store)
@@ -323,6 +423,8 @@ class MultiLevelBlockIndex:
                 block.positions,
                 self._metric,
             )
+            if self._tiering is not None:
+                self._tiering.note_built(block)
             return
         builder = get_builder(self._config.backend)
         # Per-block seeding keeps builds deterministic regardless of whether
@@ -343,6 +445,8 @@ class MultiLevelBlockIndex:
         _BUILD_DIST_EVALS.inc(evaluations)
         _BLOCKS_GAUGE.set(len(self._blocks))
         _VECTORS_GAUGE.set(len(self._store))
+        if self._tiering is not None:
+            self._tiering.note_built(block)
 
     # ---------------------------------------------------------------- queries
 
@@ -468,6 +572,10 @@ class MultiLevelBlockIndex:
         selected = self._select_blocks_cached(
             window, effective_tau, positions, trace
         )
+        if self._tiering is not None:
+            # Pin the window's blocks against eviction and (optionally)
+            # promote cold ones up front so fan-out never stalls.
+            self._tiering.note_selection(selected)
         # Per-block randomness is derived *before* dispatch, so scheduling
         # never feeds back into the computation: sequential and parallel
         # execution consume identical seeds and return bit-identical
@@ -696,6 +804,8 @@ class MultiLevelBlockIndex:
         selected = self._select_blocks_cached(
             window, self._config.tau, positions, trace=None
         )
+        if self._tiering is not None:
+            self._tiering.note_selection(selected)
         # Row i is the block-seed vector query i would draw in ``search``:
         # default_rng(seeds[i]).integers(0, 2**63 - 1, size=len(selected)).
         if selected:
@@ -772,7 +882,18 @@ class MultiLevelBlockIndex:
             min(window.stop, filled_stop),
         )
         span = local.stop - local.start
-        if block.backend is None or span <= params.brute_force_threshold:
+        backend = block.backend
+        if self._tiering is not None and (
+            backend is not None or span > params.brute_force_threshold
+        ):
+            # Cold block (or open leaf — resolve returns None for those):
+            # promote through the tier before the strategy decision so a
+            # demoted block graph-searches exactly like a hot one.  Hot
+            # blocks go through resolve too: it bumps the hit counter and
+            # LRU recency.  Short-window slices of a cold block skip the
+            # promotion — they brute-force against the shared store.
+            backend, _ = self._tiering.resolve(block)
+        if backend is None or span <= params.brute_force_threshold:
             stats = QueryStats.for_brute_force(span)
             if span <= 0:
                 empty = (
@@ -787,7 +908,7 @@ class MultiLevelBlockIndex:
         allowed = range(local.start - offset, local.stop - offset)
         out = []
         for i in range(len(queries)):
-            outcome = block.backend.search(
+            outcome = backend.search(
                 queries[i],
                 k,
                 allowed,
@@ -837,7 +958,18 @@ class MultiLevelBlockIndex:
         span = local.stop - local.start
         if record:
             block_started = time.perf_counter()
-        if block.backend is None or span <= params.brute_force_threshold:
+        backend = block.backend
+        tier = "hot"
+        if self._tiering is not None and (
+            backend is not None or span > params.brute_force_threshold
+        ):
+            # Cold block: promote through the tier before the strategy
+            # decision.  Hot blocks go through resolve too (hit counter,
+            # LRU recency).  Short-window slices of a cold block skip the
+            # promotion — they brute-force against the shared store
+            # either way, exactly like the untiered index.
+            backend, tier = self._tiering.resolve(block)
+        if backend is None or span <= params.brute_force_threshold:
             # Open (non-full) leaf — Algorithm 4 line 6 — or a window slice
             # small enough that an exact scan beats the block index.
             found = brute_force_topk(
@@ -846,28 +978,33 @@ class MultiLevelBlockIndex:
             stats = QueryStats.for_brute_force(span)
             event = None
             if record:
+                built = backend is not None
+                if not built and self._tiering is not None:
+                    # A short-window slice of a *cold* block is still a
+                    # built block; label it so explain output is honest.
+                    built = self._tiering.is_cold(block)
+                    if built:
+                        tier = "cold"
                 event = dict(
                     block_index=block.index,
                     height=block.height,
                     positions=(block.positions.start, block.positions.stop),
                     window=(local.start, local.stop),
-                    built=block.backend is not None,
+                    built=built,
                     strategy="brute",
-                    reason=(
-                        "open-leaf" if block.backend is None
-                        else "short-window"
-                    ),
+                    reason="short-window" if built else "open-leaf",
                     nodes_visited=0,
                     distance_evaluations=stats.distance_evaluations,
                     seconds=time.perf_counter() - block_started,
                     n_results=len(found[0]),
                     started=block_started - t0,
+                    tier=tier,
                 )
             return found, stats, event
 
         offset = block.positions.start
         allowed = range(local.start - offset, local.stop - offset)
-        outcome = block.backend.search(query, k, allowed, params, rng)
+        outcome = backend.search(query, k, allowed, params, rng)
         stats = QueryStats.for_graph_search(
             nodes_visited=outcome.nodes_visited,
             distance_evaluations=outcome.distance_evaluations,
@@ -887,6 +1024,7 @@ class MultiLevelBlockIndex:
                 seconds=time.perf_counter() - block_started,
                 n_results=len(outcome.ids),
                 started=block_started - t0,
+                tier=tier,
             )
         return (
             ((offset + outcome.ids).astype(np.int64), outcome.dists),

@@ -25,7 +25,14 @@ from ..graph.nndescent import NNDescentParams
 from ..storage.vector_store import VectorStore
 from .backends import get_loader
 from .block import Block
-from .config import IVFConfig, IVFPQConfig, LSHParams, MBIConfig, SearchParams
+from .config import (
+    IVFConfig,
+    IVFPQConfig,
+    LSHParams,
+    MBIConfig,
+    SearchParams,
+    TieringConfig,
+)
 from .mbi import MultiLevelBlockIndex
 
 FORMAT_VERSION = 2
@@ -44,6 +51,13 @@ def save_index(index: MultiLevelBlockIndex, path: str | Path) -> Path:
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     store = index.store
+    # Resolve each block's arrays *through the tier*: a demoted block is
+    # still built, and its arrays stream from the cold file without
+    # promoting it (snapshots stay self-contained either way — a snapshot
+    # loads without the tier directory).
+    per_block_arrays = {
+        block.index: index.block_arrays(block) for block in index.iter_blocks()
+    }
     header = {
         "format_version": FORMAT_VERSION,
         "dim": index.dim,
@@ -55,7 +69,7 @@ def save_index(index: MultiLevelBlockIndex, path: str | Path) -> Path:
                 "height": block.height,
                 "lo": block.positions.start,
                 "hi": block.positions.stop,
-                "built": block.is_built,
+                "built": per_block_arrays[block.index] is not None,
                 "build_seconds": block.build_seconds,
                 "distance_evaluations": block.distance_evaluations,
             }
@@ -69,10 +83,10 @@ def save_index(index: MultiLevelBlockIndex, path: str | Path) -> Path:
             json.dumps(header).encode("utf-8"), dtype=np.uint8
         ),
     }
-    for block in index.iter_blocks():
-        if block.backend is not None:
-            for key, array in block.backend.to_arrays().items():
-                arrays[f"block_{block.index}_{key}"] = array
+    for block_index, block_payload in per_block_arrays.items():
+        if block_payload is not None:
+            for key, array in block_payload.items():
+                arrays[f"block_{block_index}_{key}"] = array
     try:
         act = failpoint("snapshot.write")
         with open(path, "wb") as handle:
@@ -173,6 +187,10 @@ def load_index(path: str | Path) -> MultiLevelBlockIndex:
     index._total_distance_evaluations = sum(
         b.distance_evaluations for b in blocks.values()
     )
+    if index._tiering is not None:
+        # Tiering was (re-)enabled by the constructor (config or env):
+        # account the freshly attached blocks and demote back under budget.
+        index._tiering.sync()
     return index
 
 
@@ -202,5 +220,8 @@ def _config_from_dict(payload: dict) -> MBIConfig:
         query_parallel=payload.get("query_parallel", False),
         query_workers=payload.get("query_workers"),
         parallel_min_blocks=payload.get("parallel_min_blocks", 2),
+        # Absent in pre-tiering snapshots (and ignored by pre-tiering
+        # readers, which pick header keys explicitly) — no version bump.
+        tiering=TieringConfig(**payload.get("tiering", {})),
         seed=payload["seed"],
     )

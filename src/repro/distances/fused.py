@@ -253,6 +253,60 @@ class NormCache:
         """Bytes used by the cached per-row data (the points are shared)."""
         return int(self._row_data.nbytes) if self._row_data is not None else 0
 
+    @property
+    def row_data(self) -> np.ndarray | None:
+        """The per-row cached data (squared norms / norms), or ``None``.
+
+        Exposed for serialisation: a demoted block's cold file stores this
+        array so promotion can restore the cache without touching the
+        vectors (see :meth:`from_row_data`).
+        """
+        return self._row_data
+
+    @classmethod
+    def from_row_data(
+        cls,
+        row_data: np.ndarray | None,
+        metric: Metric,
+        n_rows: int,
+    ) -> "NormCache":
+        """Rebuild a cache from previously computed per-row data.
+
+        The inverse of reading :attr:`row_data`: no norms are recomputed, so
+        promoting a cold block costs one array load instead of a pass over
+        its vectors.  The caller guarantees ``row_data`` was computed by a
+        cache with the same ``metric`` over the same ``n_rows`` rows — the
+        stored rows are immutable (sealed block), so the loaded cache is
+        bit-identical to a freshly computed one.
+
+        ``row_data=None`` is valid for metrics that cache nothing
+        (inner-product and generic metrics); a mismatched length raises.
+        """
+        cache = cls.__new__(cls)
+        cache.metric = metric
+        cache._n = int(n_rows)
+        cache._kind = _kind_of(metric)
+        cache._sqrt = metric is EUCLIDEAN
+        expected = _row_data_for(cache._kind, np.empty((0, 1))) is not None
+        if expected:
+            if row_data is None:
+                raise ValueError(
+                    f"metric {metric.name!r} requires per-row data but none "
+                    "was given"
+                )
+            row_data = np.ascontiguousarray(row_data, dtype=np.float64)
+            if len(row_data) != cache._n:
+                raise ValueError(
+                    f"row_data has {len(row_data)} rows but the cache covers "
+                    f"{cache._n}"
+                )
+            cache._row_data = row_data
+        else:
+            cache._row_data = None
+        cache.points = None
+        cache.evaluations = 0
+        return cache
+
 
 class StoreNormCache:
     """Growable fused-kernel cache over an append-only vector store.

@@ -107,44 +107,73 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up and down (e.g. current block count)."""
+    """A value that can go up and down (e.g. current block count).
 
-    __slots__ = ("name", "help", "_lock", "_value")
+    Besides the instantaneous value, a gauge tracks its **high-water mark**
+    (:attr:`peak`): the largest value ever set.  Peak tracking is what lets
+    the tier cache assert *peak resident bytes stayed under budget* after a
+    run, without sampling the gauge from a second thread.
+    """
+
+    __slots__ = ("name", "help", "_lock", "_value", "_peak")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self._lock = threading.Lock()
         self._value = 0.0
+        self._peak = 0.0
 
     @property
     def value(self) -> float:
         """Current value."""
         return self._value
 
+    @property
+    def peak(self) -> float:
+        """Largest value the gauge has held since creation/reset."""
+        return self._peak
+
     def set(self, value: float) -> None:
         """Set the gauge to ``value``."""
         with self._lock:
             self._value = float(value)
+            if self._value > self._peak:
+                self._peak = self._value
+
+    def observe(self, value: float) -> None:
+        """Alias of :meth:`set` — gauges record observations of a level."""
+        self.set(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (may be negative) to the gauge."""
         with self._lock:
             self._value += amount
+            if self._value > self._peak:
+                self._peak = self._value
 
     def _reset(self) -> None:
         with self._lock:
             self._value = 0.0
+            self._peak = 0.0
 
-    def _dump(self) -> float:
-        return self._value
-
-    def _restore(self, state: float) -> None:
+    def _dump(self) -> tuple[float, float]:
         with self._lock:
-            self._value = float(state)
+            return (self._value, self._peak)
+
+    def _restore(self, state: tuple[float, float] | float) -> None:
+        # Pre-peak dumps were a bare float; accept both so dump_state
+        # snapshots taken before an upgrade still restore.
+        with self._lock:
+            if isinstance(state, tuple):
+                self._value = float(state[0])
+                self._peak = float(state[1])
+            else:
+                self._value = float(state)
+                self._peak = max(0.0, self._value)
 
     def __repr__(self) -> str:
-        return f"Gauge({self.name}={self._value:g})"
+        return f"Gauge({self.name}={self._value:g}, peak={self._peak:g})"
 
 
 class Histogram:

@@ -86,6 +86,13 @@ class BlockSearchEvent:
             block's *timing span*: under parallel fan-out
             (``MBIConfig.query_parallel`` or an explicit ``executor=``)
             spans of different blocks overlap; sequentially they abut.
+        tier: Where the block's backend lived when the search hit it —
+            ``"hot"`` (resident, or tiering disabled), ``"promoted"``
+            (just brought back from the cold tier), or ``"cold"`` (a
+            short-window brute scan over a block whose backend is
+            demoted).  Like the timing fields, the tier depends on cache
+            state, not on the query's decisions, so it is excluded from
+            :meth:`QueryTrace.signature`.
     """
 
     block_index: int
@@ -100,6 +107,7 @@ class BlockSearchEvent:
     seconds: float
     n_results: int
     started: float = 0.0
+    tier: str = "hot"
 
 
 @dataclass
@@ -187,6 +195,7 @@ class QueryTrace:
         seconds: float,
         n_results: int,
         started: float = 0.0,
+        tier: str = "hot",
     ) -> None:
         """Append one per-block search event (called by ``MBI._search_block``)."""
         self.blocks.append(
@@ -203,6 +212,7 @@ class QueryTrace:
                 seconds=seconds,
                 n_results=n_results,
                 started=started,
+                tier=tier,
             )
         )
 
@@ -305,12 +315,13 @@ class QueryTrace:
         for e in self.blocks:
             span = f"[{e.positions[0]}, {e.positions[1]})"
             window = f"{e.window[0]}..{e.window[1]}"
+            tier = "" if e.tier == "hot" else f" [{e.tier}]"
             lines.append(
                 f"  block {e.block_index:>4} h={e.height} {span:<16} "
                 f"{e.strategy:<5} {e.reason:<12} window {window:<13} "
                 f"visited {e.nodes_visited:>5}  dists {e.distance_evaluations:>6}  "
                 f"{e.n_results:>3} hits  "
-                f"@{e.started * 1e3:7.3f}+{e.seconds * 1e3:.3f} ms"
+                f"@{e.started * 1e3:7.3f}+{e.seconds * 1e3:.3f} ms{tier}"
             )
         lines.append("")
         kept = len(self.result_positions)

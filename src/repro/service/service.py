@@ -148,6 +148,17 @@ class ServiceConfig:
         build_workers: Background build executor width.  The default of 1
             serialises chain builds, which keeps the build-time counters
             exact; queries never wait on builds either way.
+        memory_budget_mb: Resident-byte budget for block indexes.  When
+            set, tiered block storage (:mod:`repro.tiering`) is enabled
+            on the index with cold files under ``<data_dir>/tiers`` and a
+            compaction pass (demote out-of-window blocks, merge cold
+            files) runs after every checkpoint.  ``None`` (the default)
+            keeps every block hot, exactly as before.  Tiering never
+            changes answers — see ``docs/tiering.md``.
+        compact_interval: Seconds between *timed* background compaction
+            passes, on top of the on-checkpoint pass.  ``None`` (the
+            default) compacts only at checkpoints, which keeps recovery
+            scenarios deterministic.  Ignored without a memory budget.
     """
 
     fsync: str = "always"
@@ -158,6 +169,8 @@ class ServiceConfig:
     default_timeout: float | None = None
     search_workers: int | None = None
     build_workers: int = 1
+    memory_budget_mb: float | None = None
+    compact_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.fsync not in FSYNC_POLICIES:
@@ -175,6 +188,16 @@ class ServiceConfig:
         if self.build_workers < 1:
             raise ValueError(
                 f"build_workers must be >= 1, got {self.build_workers}"
+            )
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ValueError(
+                f"memory_budget_mb must be > 0 when set, "
+                f"got {self.memory_budget_mb}"
+            )
+        if self.compact_interval is not None and self.compact_interval <= 0:
+            raise ValueError(
+                f"compact_interval must be > 0 when set, "
+                f"got {self.compact_interval}"
             )
 
 
@@ -260,6 +283,24 @@ class IndexService:
         )
         self._build_futures: list[Future] = []
         self._build_futures_lock = threading.Lock()
+
+        # Tiered block storage: a service-level memory budget enables the
+        # tier on the index (cold files live beside the WAL/snapshots so
+        # they survive restarts) and attaches a compactor that runs after
+        # every checkpoint — plus on a timer when compact_interval is set.
+        self._compactor: "Compactor | None" = None
+        if self._config.memory_budget_mb is not None and index.tiering is None:
+            index.enable_tiering(
+                memory_budget_mb=self._config.memory_budget_mb,
+                directory=self._data_dir / "tiers",
+            )
+        if index.tiering is not None:
+            from ..tiering.compactor import Compactor
+
+            self._compactor = Compactor(index.tiering, executor=self._executor)
+            index.tiering.sync()
+            if self._config.compact_interval is not None:
+                self._compactor.start(self._config.compact_interval)
 
         self._queue = AdmissionQueue(self._config.max_queue)
         self._worker = threading.Thread(
@@ -723,6 +764,11 @@ class IndexService:
             self._segment_base = count
             self._gc(keep_snapshot=count)
             _SNAPSHOTS.inc()
+            if self._compactor is not None:
+                # Demotion-on-checkpoint: the snapshot just captured every
+                # block, so blocks outside the hot window demote to cold
+                # files and undersized cold files merge into ancestors'.
+                self._compactor.run_once()
             return final
 
     def _gc(self, keep_snapshot: int) -> None:
@@ -770,6 +816,8 @@ class IndexService:
         if self._closed:
             return
         self._closed = True
+        if self._compactor is not None:
+            self._compactor.stop()
         self._queue.close()
         self._worker.join(timeout=drain_timeout)
         with self._ingest_lock:
@@ -801,6 +849,8 @@ class IndexService:
         if self._closed:
             return
         self._closed = True
+        if self._compactor is not None:
+            self._compactor.stop(timeout=1.0)
         self._queue.close()
         for request in self._queue.reject_all():
             if request.future.set_running_or_notify_cancel():

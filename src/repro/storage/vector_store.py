@@ -263,9 +263,27 @@ class VectorStore:
         return TimeWindow(start, end)
 
     def nbytes(self) -> int:
-        """Bytes used by live data (vectors + timestamps), excluding slack."""
-        per_row = self._dim * self._dtype.itemsize + 8
-        return self._size * per_row
+        """Bytes used by live data (vectors + timestamps), excluding slack.
+
+        Exact accounting: the value is the sum of ``.nbytes`` over the live
+        views of the held arrays, never a formula that could drift from the
+        storage layout.  The tier cache budget (:mod:`repro.tiering`) relies
+        on this exactness.
+        """
+        return int(self.vectors.nbytes) + int(self.timestamps.nbytes)
+
+    def slice_nbytes(self, start: int, stop: int) -> int:
+        """Exact vector bytes attributable to positions ``[start, stop)``.
+
+        Used by the tier cache to attribute shared-store vector bytes to
+        individual blocks.  Clamped to the live prefix; timestamps are not
+        included (they are never demoted).
+        """
+        lo = max(0, int(start))
+        hi = min(self._size, int(stop))
+        if hi <= lo:
+            return 0
+        return int(self._vectors[lo:hi].nbytes)
 
     # ------------------------------------------------------------ convenience
 

@@ -1,0 +1,46 @@
+"""Tiered block storage: hot in-memory blocks, memory-mapped cold blocks.
+
+The MBI accumulates blocks forever but queries concentrate on recent
+windows, so most block indexes are pure memory overhead most of the
+time.  This package gives the index a two-tier lifecycle:
+
+* **Hot** blocks keep their backend (graph/IVF/...) and norm cache in
+  memory, exactly as before.
+* **Cold** blocks are serialised to per-block files
+  (:mod:`~repro.tiering.blockfile`) and their in-memory backend is
+  detached; on the next query that selects one, it is **promoted** —
+  vectors reattach via ``numpy.memmap``, graph and norms load from the
+  idx file (or rebuild deterministically if the file is torn).
+
+A size-budgeted LRU :class:`~repro.tiering.cache.BlockCache` with
+window-aware pinning decides who stays hot; the
+:class:`~repro.tiering.manager.TierManager` mediates every transition
+behind an RWLock; the background
+:class:`~repro.tiering.compactor.Compactor` demotes blocks that fall out
+of the hot window and merges undersized cold files into their
+ancestors'.
+
+Enable it per index with
+:meth:`repro.MultiLevelBlockIndex.enable_tiering`, declaratively via
+:class:`repro.TieringConfig`, per service with
+``ServiceConfig.memory_budget_mb`` (or ``repro serve
+--memory-budget-mb``), or process-wide with the ``REPRO_MEMORY_BUDGET_MB``
+environment variable.  Tiering never changes answers — only where the
+bytes live.  See ``docs/tiering.md``.
+"""
+
+from .blockfile import ColdBlockMeta, ColdBlockStore, MemmapVectorSource
+from .cache import BlockCache, BlockHandle
+from .compactor import CompactionReport, Compactor
+from .manager import TierManager
+
+__all__ = [
+    "BlockCache",
+    "BlockHandle",
+    "ColdBlockMeta",
+    "ColdBlockStore",
+    "CompactionReport",
+    "Compactor",
+    "MemmapVectorSource",
+    "TierManager",
+]

@@ -1,0 +1,418 @@
+"""Cold block files — the on-disk format of the demoted tier.
+
+A demoted block is two files in the tier directory:
+
+* ``block-<i>.vec.npy`` — the block's vector rows as a plain ``.npy``
+  array (float32, byte-identical to the store slice), chosen precisely
+  because ``numpy.memmap`` can reattach it without reading it: a promoted
+  block serves its vectors straight from the page cache.
+* ``block-<i>.idx.npz`` — everything else: the backend's
+  :meth:`~repro.core.backends.BlockBackend.to_arrays` payload, the
+  per-row norm-cache data (so promotion loads norms instead of
+  recomputing them), and a JSON ``meta`` record naming the backend and
+  the vector file to attach.
+
+Both files are written to a temp name and published with ``os.replace``;
+the **idx rename is the commit point** — a block is cold iff its idx file
+exists.  A crash between the two writes leaves at worst an orphaned
+vector file, never a half-cold block.  Because built blocks are immutable
+(rebuilds are deterministic from ``(seed, block.index)``), a committed
+cold file never needs rewriting: the second demotion of a block is a
+single reference flip.
+
+Compaction exploits the multi-level layout: a parent block's vector file
+covers both children's position ranges, so a child's idx can be
+*retargeted* at the parent file (``vec_ref``) and its own vector file
+deleted — the paper's merge rule applied to the cold tier.
+
+Failpoints (``repro.faultinject``): ``tier.demote_write`` fires before a
+demotion writes (``truncate`` tears the committed idx file, modelling
+page-cache loss), ``tier.promote_read`` before a promotion reads, and
+``tier.compact_rename`` before a retarget publishes.  The chaos harness
+(:mod:`repro.chaos`) drives all three and asserts answers stay
+bit-identical — torn or missing cold files degrade to a deterministic
+rebuild, never to a wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import PersistenceError
+from ..faultinject import failpoint
+
+_IDX_RE = re.compile(r"^block-(\d+)\.idx\.npz$")
+
+#: numpy parses every ``.npy`` header with ``ast.literal_eval``, and
+#: CPython 3.11's AST-object constructor tracks its recursion depth in
+#: *shared* module state — concurrent header parses race the counter and
+#: raise ``SystemError: AST constructor recursion depth mismatch``.
+#: Promotions and compaction sweeps read cold files from many threads at
+#: once, so every header-parsing numpy read is serialized through this
+#: lock (writes generate headers without parsing and need no lock).
+_HEADER_LOCK = threading.Lock()
+
+#: What a torn/corrupt idx file can raise out of ``np.load``: I/O errors,
+#: a truncated zip container (``BadZipFile`` is *not* an ``OSError``),
+#: missing keys, or garbled JSON.
+_TORN_IDX_ERRORS = (
+    OSError,
+    KeyError,
+    ValueError,
+    json.JSONDecodeError,
+    zipfile.BadZipFile,
+)
+
+#: Key prefix separating backend arrays from blockfile-owned keys.
+_ARR_PREFIX = "arr_"
+
+
+class MemmapVectorSource:
+    """A read-only, memory-mapped stand-in for the vector store's slice API.
+
+    Block backends touch vectors exclusively through
+    ``store.slice(positions.start, positions.stop)`` with absolute store
+    positions; this class satisfies exactly that contract over one cold
+    vector file, mapping absolute positions onto file rows.  The rows are
+    byte-identical float32 copies of the store slice, so every distance
+    computed through a memmap-backed backend is bit-identical to the
+    in-memory one.
+
+    Args:
+        path: The ``.vec.npy`` file to attach.
+        lo: Absolute store position of the file's first row.
+        dim: Expected vector dimensionality (validated).
+        needed_hi: Absolute position the file must cover (validated), or
+            ``None`` to accept any length.
+    """
+
+    __slots__ = ("path", "_lo", "_rows")
+
+    def __init__(
+        self,
+        path: str | Path,
+        lo: int,
+        dim: int,
+        needed_hi: int | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self._lo = int(lo)
+        try:
+            with _HEADER_LOCK:
+                rows = np.load(self.path, mmap_mode="r")
+        except (OSError, ValueError) as error:
+            raise PersistenceError(
+                f"cold vector file {self.path} is unreadable: {error}"
+            ) from None
+        if rows.ndim != 2 or rows.shape[1] != dim:
+            raise PersistenceError(
+                f"cold vector file {self.path} has shape {rows.shape}, "
+                f"expected (*, {dim})"
+            )
+        if needed_hi is not None and self._lo + len(rows) < needed_hi:
+            raise PersistenceError(
+                f"cold vector file {self.path} covers positions "
+                f"[{self._lo}, {self._lo + len(rows)}) but "
+                f"[{self._lo}, {needed_hi}) is required"
+            )
+        self._rows = rows
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality of the mapped rows."""
+        return int(self._rows.shape[1])
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Read-only view of the rows at absolute positions ``[start, stop)``."""
+        return self._rows[start - self._lo : stop - self._lo]
+
+    def __len__(self) -> int:
+        return self._lo + len(self._rows)
+
+
+@dataclass(frozen=True)
+class ColdBlockMeta:
+    """The JSON header of one cold block's idx file.
+
+    Attributes:
+        index: The block's postorder id.
+        backend: Registry name of the serialised backend.
+        lo: Block position range start.
+        hi: Block position range stop.
+        vec_ref: Block id whose ``.vec.npy`` file holds this block's
+            vectors — itself, or (after compaction) a cold ancestor.
+        vec_lo: Absolute position of that vector file's first row.
+    """
+
+    index: int
+    backend: str
+    lo: int
+    hi: int
+    vec_ref: int
+    vec_lo: int
+
+
+class ColdBlockStore:
+    """Reads and writes cold block files under one tier directory."""
+
+    def __init__(self, directory: str | Path, dim: int) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._dim = int(dim)
+
+    # ------------------------------------------------------------------ paths
+
+    def vec_path(self, index: int) -> Path:
+        """The vector file of block ``index``."""
+        return self.directory / f"block-{index:08d}.vec.npy"
+
+    def idx_path(self, index: int) -> Path:
+        """The idx (commit-point) file of block ``index``."""
+        return self.directory / f"block-{index:08d}.idx.npz"
+
+    def has(self, index: int) -> bool:
+        """Whether block ``index`` is committed cold (its idx file exists)."""
+        return self.idx_path(index).exists()
+
+    def indices(self) -> list[int]:
+        """Sorted block ids committed in this directory."""
+        out = []
+        for entry in self.directory.iterdir():
+            if m := _IDX_RE.match(entry.name):
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def disk_bytes(self) -> int:
+        """Total bytes of every cold file currently on disk."""
+        total = 0
+        for entry in self.directory.iterdir():
+            try:
+                total += entry.stat().st_size
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+        return total
+
+    # ------------------------------------------------------------------ write
+
+    def write(
+        self,
+        index: int,
+        positions: range,
+        backend_name: str,
+        arrays: dict[str, np.ndarray],
+        row_data: np.ndarray | None,
+        vectors: np.ndarray,
+    ) -> None:
+        """Commit block ``index`` to the cold tier (idempotent, atomic).
+
+        The vector file is written first (skipped when already present —
+        built blocks are immutable, so an existing file is already
+        correct), then the idx file; each goes through a temp name and
+        ``os.replace``.  The ``tier.demote_write`` failpoint fires before
+        any byte is written (``raise`` aborts cleanly) and its
+        ``truncate`` action tears the *committed* idx file before
+        raising, modelling a crash after the rename but before the data
+        reached the platter.
+        """
+        if len(vectors) != positions.stop - positions.start:
+            raise PersistenceError(
+                f"block {index} demotion got {len(vectors)} vectors for "
+                f"positions [{positions.start}, {positions.stop})"
+            )
+        try:
+            act = failpoint("tier.demote_write")
+            vec = self.vec_path(index)
+            if not vec.exists():
+                tmp = vec.with_suffix(".tmp")
+                with open(tmp, "wb") as handle:
+                    np.save(handle, np.ascontiguousarray(vectors))
+                os.replace(tmp, vec)
+            meta = {
+                "index": int(index),
+                "backend": backend_name,
+                "lo": positions.start,
+                "hi": positions.stop,
+                "vec_ref": int(index),
+                "vec_lo": positions.start,
+                "dim": self._dim,
+            }
+            payload: dict[str, np.ndarray] = {
+                "meta": np.frombuffer(
+                    json.dumps(meta).encode("utf-8"), dtype=np.uint8
+                )
+            }
+            if row_data is not None:
+                payload["norm_row_data"] = np.asarray(
+                    row_data, dtype=np.float64
+                )
+            for key, array in arrays.items():
+                payload[_ARR_PREFIX + key] = array
+            idx = self.idx_path(index)
+            tmp = idx.with_suffix(".tmp")
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp, idx)
+            if act is not None and act.kind == "truncate":
+                size = idx.stat().st_size
+                with open(idx, "r+b") as handle:
+                    handle.truncate(max(0, size - int(act.arg)))
+                raise OSError(
+                    f"failpoint tier.demote_write: torn cold file "
+                    f"({act.arg} bytes lost) at {idx}"
+                )
+        except OSError as error:
+            raise PersistenceError(
+                f"could not demote block {index} to {self.directory}: {error}"
+            ) from None
+
+    # ------------------------------------------------------------------- read
+
+    def read(
+        self, index: int, positions: range
+    ) -> tuple[
+        ColdBlockMeta,
+        dict[str, np.ndarray],
+        np.ndarray | None,
+        MemmapVectorSource,
+    ]:
+        """Load block ``index`` for promotion.
+
+        Returns ``(meta, backend_arrays, norm_row_data, vector_source)``.
+        The idx payload is read eagerly (it is small); the vectors are
+        attached as a :class:`MemmapVectorSource` and never copied.
+
+        Raises:
+            PersistenceError: On a missing, torn, or inconsistent file —
+                the caller falls back to a deterministic rebuild.
+        """
+        idx = self.idx_path(index)
+        try:
+            failpoint("tier.promote_read")
+            with _HEADER_LOCK, np.load(idx) as archive:
+                meta_raw = json.loads(bytes(archive["meta"]).decode("utf-8"))
+                arrays = {
+                    name[len(_ARR_PREFIX) :]: archive[name]
+                    for name in archive.files
+                    if name.startswith(_ARR_PREFIX)
+                }
+                row_data = (
+                    archive["norm_row_data"]
+                    if "norm_row_data" in archive.files
+                    else None
+                )
+        except FileNotFoundError:
+            raise PersistenceError(
+                f"cold block {index} has no committed idx file at {idx}"
+            ) from None
+        except _TORN_IDX_ERRORS as error:
+            raise PersistenceError(
+                f"cold block {index} idx file {idx} is unreadable: {error}"
+            ) from None
+        meta = ColdBlockMeta(
+            index=int(meta_raw["index"]),
+            backend=str(meta_raw["backend"]),
+            lo=int(meta_raw["lo"]),
+            hi=int(meta_raw["hi"]),
+            vec_ref=int(meta_raw["vec_ref"]),
+            vec_lo=int(meta_raw["vec_lo"]),
+        )
+        if (meta.index, meta.lo, meta.hi) != (
+            index,
+            positions.start,
+            positions.stop,
+        ):
+            raise PersistenceError(
+                f"cold block {index} idx file describes block "
+                f"{meta.index} [{meta.lo}, {meta.hi}), expected "
+                f"[{positions.start}, {positions.stop})"
+            )
+        source = MemmapVectorSource(
+            self.vec_path(meta.vec_ref),
+            meta.vec_lo,
+            self._dim,
+            needed_hi=positions.stop,
+        )
+        return meta, arrays, row_data, source
+
+    def read_meta(self, index: int) -> ColdBlockMeta | None:
+        """Just the meta record of a committed block, or ``None`` if torn."""
+        idx = self.idx_path(index)
+        try:
+            with _HEADER_LOCK, np.load(idx) as archive:
+                meta_raw = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        except _TORN_IDX_ERRORS:
+            return None
+        return ColdBlockMeta(
+            index=int(meta_raw["index"]),
+            backend=str(meta_raw["backend"]),
+            lo=int(meta_raw["lo"]),
+            hi=int(meta_raw["hi"]),
+            vec_ref=int(meta_raw["vec_ref"]),
+            vec_lo=int(meta_raw["vec_lo"]),
+        )
+
+    # -------------------------------------------------------------- compaction
+
+    def retarget(self, index: int, vec_ref: int, vec_lo: int) -> None:
+        """Point block ``index`` at another block's vector file (atomic).
+
+        The compaction primitive: rewrites the idx file with the new
+        ``vec_ref``/``vec_lo`` and publishes it with ``os.replace``.  The
+        ``tier.compact_rename`` failpoint fires just before the publish —
+        a crash there leaves the old idx intact (reads still resolve).
+        The caller is responsible for deleting the now-unreferenced
+        vector file *after* the retarget committed.
+        """
+        idx = self.idx_path(index)
+        try:
+            with _HEADER_LOCK, np.load(idx) as archive:
+                payload = {name: archive[name] for name in archive.files}
+                meta_raw = json.loads(bytes(payload["meta"]).decode("utf-8"))
+            meta_raw["vec_ref"] = int(vec_ref)
+            meta_raw["vec_lo"] = int(vec_lo)
+            payload["meta"] = np.frombuffer(
+                json.dumps(meta_raw).encode("utf-8"), dtype=np.uint8
+            )
+            tmp = idx.with_suffix(".tmp")
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            failpoint("tier.compact_rename")
+            os.replace(tmp, idx)
+        except _TORN_IDX_ERRORS as error:
+            raise PersistenceError(
+                f"could not retarget cold block {index}: {error}"
+            ) from None
+
+    def drop_vec(self, index: int) -> None:
+        """Delete block ``index``'s own vector file (post-retarget cleanup)."""
+        self.vec_path(index).unlink(missing_ok=True)
+
+    def describe(self) -> list[dict[str, object]]:
+        """One row per committed cold block (for ``repro tier stats``)."""
+        rows = []
+        for index in self.indices():
+            meta = self.read_meta(index)
+            idx_bytes = self.idx_path(index).stat().st_size
+            vec = self.vec_path(index)
+            vec_bytes = vec.stat().st_size if vec.exists() else 0
+            rows.append(
+                {
+                    "index": index,
+                    "backend": meta.backend if meta else "?",
+                    "lo": meta.lo if meta else -1,
+                    "hi": meta.hi if meta else -1,
+                    "vec_ref": meta.vec_ref if meta else -1,
+                    "idx_bytes": int(idx_bytes),
+                    "vec_bytes": int(vec_bytes),
+                    "torn": meta is None,
+                }
+            )
+        return rows

@@ -1,0 +1,171 @@
+"""Size-budgeted LRU cache of resident (hot) blocks.
+
+The cache does not hold vectors or graphs itself — blocks stay attached
+to the index tree either way — it is the *residency ledger*: which built
+blocks are currently hot, how many bytes each accounts for, and which
+ones the tier manager should demote first when the budget is exceeded.
+
+Eviction is LRU with **window-aware pinning**: block selection in
+:meth:`repro.core.mbi.MultiLevelBlockIndex.search` reports the blocks
+the current query window touches via :meth:`BlockCache.pin`, which
+advances a generation counter and stamps those handles.  Handles carrying
+the current generation are never offered for eviction, so a tight budget
+can momentarily overshoot rather than evict a block out from under the
+query that just selected it — correctness and latency of the in-flight
+query always win over the budget.  The next query's pin releases the
+previous generation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.block import Block
+
+
+@dataclass
+class BlockHandle:
+    """Residency bookkeeping for one hot block (cache-internal).
+
+    Attributes:
+        block: The tree block this handle tracks.
+        nbytes: Bytes attributed to the block while resident (backend
+            structures + norm cache + its share of the vector store).
+        last_used: Monotonic use tick (larger = more recently used).
+        pin_gen: Pin generation stamped by the last selection that
+            included this block; equal to the cache's current generation
+            means "in use by the in-flight query window".
+    """
+
+    block: "Block"
+    nbytes: int
+    last_used: int = 0
+    pin_gen: int = field(default=-1)
+
+
+class BlockCache:
+    """Thread-safe LRU ledger of hot blocks under an optional byte budget.
+
+    Args:
+        budget_bytes: Resident-byte budget, or ``None`` for unbounded
+            (the ledger still tracks bytes, nothing is ever offered for
+            eviction).
+    """
+
+    def __init__(self, budget_bytes: int | None = None) -> None:
+        self._budget = budget_bytes if budget_bytes is None else int(budget_bytes)
+        self._lock = threading.Lock()
+        self._handles: dict[int, BlockHandle] = {}
+        self._resident = 0
+        self._tick = itertools.count(1)
+        self._generation = 0
+
+    @property
+    def budget_bytes(self) -> int | None:
+        """The configured resident-byte budget (``None`` = unbounded)."""
+        return self._budget
+
+    def set_budget(self, budget_bytes: int | None) -> None:
+        """Retune the budget at runtime (``TierManager.reconfigure``)."""
+        with self._lock:
+            self._budget = (
+                budget_bytes if budget_bytes is None else int(budget_bytes)
+            )
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently attributed to hot blocks."""
+        return self._resident
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._handles
+
+    def add(self, block: "Block", nbytes: int) -> None:
+        """Track ``block`` as hot, accounting ``nbytes`` against the budget.
+
+        Re-adding an already-tracked block updates its size and bumps its
+        recency (promotions and rebuilds go through here).
+        """
+        with self._lock:
+            handle = self._handles.get(block.index)
+            if handle is None:
+                handle = BlockHandle(block=block, nbytes=int(nbytes))
+                self._handles[block.index] = handle
+            else:
+                self._resident -= handle.nbytes
+                handle.nbytes = int(nbytes)
+            handle.last_used = next(self._tick)
+            self._resident += handle.nbytes
+
+    def remove(self, index: int) -> int:
+        """Stop tracking block ``index``; returns the bytes it freed."""
+        with self._lock:
+            handle = self._handles.pop(index, None)
+            if handle is None:
+                return 0
+            self._resident -= handle.nbytes
+            return handle.nbytes
+
+    def note_use(self, index: int) -> None:
+        """Bump recency of block ``index`` (cache hit)."""
+        with self._lock:
+            handle = self._handles.get(index)
+            if handle is not None:
+                handle.last_used = next(self._tick)
+
+    def pin(self, indices: Iterable[int]) -> None:
+        """Pin the blocks a query window selected.
+
+        Advances the pin generation — handles stamped by *previous*
+        selections become evictable again — and stamps the given blocks
+        with the new generation so no eviction plan touches them while
+        their query is in flight.
+        """
+        with self._lock:
+            self._generation += 1
+            for index in indices:
+                handle = self._handles.get(index)
+                if handle is not None:
+                    handle.pin_gen = self._generation
+                    handle.last_used = next(self._tick)
+
+    def eviction_candidates(self, incoming: int = 0) -> list["Block"]:
+        """LRU-ordered blocks to demote to get back under budget.
+
+        A static plan: the blocks (oldest first) whose combined release
+        would bring resident bytes (plus ``incoming``, bytes a promotion
+        is about to add) to the budget or below, skipping handles pinned
+        by the current generation.  Empty when unbounded or already
+        under budget.  The caller demotes each and the ledger updates
+        through :meth:`remove`; a block that gets re-used between
+        planning and demotion is the tier manager's race to resolve.
+        """
+        with self._lock:
+            if self._budget is None:
+                return []
+            over = self._resident + int(incoming) - self._budget
+            if over <= 0:
+                return []
+            plan: list["Block"] = []
+            for handle in sorted(
+                self._handles.values(), key=lambda h: h.last_used
+            ):
+                if handle.pin_gen == self._generation:
+                    continue
+                plan.append(handle.block)
+                over -= handle.nbytes
+                if over <= 0:
+                    break
+            return plan
+
+    def handles(self) -> list[BlockHandle]:
+        """Snapshot of all handles (for stats/debugging), LRU-first."""
+        with self._lock:
+            return sorted(self._handles.values(), key=lambda h: h.last_used)

@@ -83,12 +83,43 @@ class TestHarnessRun:
             assert 0.0 <= row["recall_at_k"] <= 1.0
             assert row["dist_evals_per_query"] > 0
 
+    def test_tiering_suite_stays_under_budget(self, payload):
+        suite = payload["suites"]["tiering"]
+        assert suite["budget_bytes"] > 0
+        assert suite["cold_blocks"] > 0
+        assert suite["within_budget"] is True
+        assert suite["peak_resident_bytes"] <= suite["budget_bytes"]
+        assert suite["budget_bytes"] < suite["all_hot_resident_bytes"]
+
+    def test_tiering_rows_carry_tier_columns(self, payload):
+        rows = {r["method"]: r for r in payload["suites"]["tiering"]["rows"]}
+        assert {
+            "all-hot-recent",
+            "all-hot-backfill",
+            "tiered-recent",
+            "tiered-backfill",
+        } <= set(rows)
+        for row in rows.values():
+            assert 0.0 <= row["tier_hit_rate"] <= 1.0
+            assert row["resident_bytes"] > 0
+            assert row["identical_to_all_hot"] is True
+        # The tiered passes run against a halved budget, so they must
+        # account fewer resident bytes than the all-hot baseline.
+        assert (
+            rows["tiered-recent"]["resident_bytes"]
+            < rows["all-hot-recent"]["resident_bytes"]
+        )
+        # The backfill window is cold: promotions must dent its hit rate.
+        assert rows["tiered-backfill"]["tier_hit_rate"] < 1.0
+
     def test_render_mentions_all_suites(self, payload):
         out = render_bench(payload)
         assert "sequential vs parallel" in out
         assert "qps" in out
         assert "graph kernels" in out
+        assert "tiering" in out
         assert "recall@k" in out
+        assert "hit rate" in out
 
     def test_determinism_across_runs(self, payload):
         """Same seed, same workload -> same result identity verdicts."""
@@ -172,6 +203,30 @@ class TestValidateBench:
         bad = copy.deepcopy(payload)
         del bad["suites"]["graph_kernels"]
         with pytest.raises(ValueError, match="graph_kernels"):
+            validate_bench(bad)
+
+    def test_rejects_over_budget_tiering(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["tiering"]["within_budget"] = False
+        with pytest.raises(ValueError, match="exceeded the budget"):
+            validate_bench(bad)
+
+    def test_rejects_divergent_tiered_answers(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["tiering"]["rows"][-1]["identical_to_all_hot"] = False
+        with pytest.raises(ValueError, match="never change answers"):
+            validate_bench(bad)
+
+    def test_rejects_tiering_without_cold_blocks(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["tiering"]["cold_blocks"] = 0
+        with pytest.raises(ValueError, match="no cold blocks"):
+            validate_bench(bad)
+
+    def test_rejects_out_of_range_hit_rate(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["tiering"]["rows"][0]["tier_hit_rate"] = 1.5
+        with pytest.raises(ValueError, match="tier_hit_rate"):
             validate_bench(bad)
 
     def test_rejects_beamless_graph_kernels(self, payload):

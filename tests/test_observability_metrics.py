@@ -38,6 +38,40 @@ class TestGauge:
         g.inc(-3)
         assert g.value == 7.0
 
+    def test_peak_is_a_high_water_mark(self):
+        g = Gauge("x")
+        g.set(10)
+        g.set(4)
+        g.inc(2)
+        assert g.value == 6.0
+        assert g.peak == 10.0
+        g.inc(7)
+        assert g.peak == 13.0
+
+    def test_observe_is_an_alias_of_set(self):
+        g = Gauge("x")
+        g.observe(3.5)
+        assert g.value == 3.5
+        g.observe(1.0)
+        assert (g.value, g.peak) == (1.0, 3.5)
+
+    def test_dump_restore_round_trips_value_and_peak(self):
+        g = Gauge("x")
+        g.set(9)
+        g.set(2)
+        state = g._dump()
+        g.set(100)
+        g._restore(state)
+        assert (g.value, g.peak) == (2.0, 9.0)
+
+    def test_restore_accepts_legacy_bare_float(self):
+        # dump_state snapshots taken before peak tracking stored a float.
+        g = Gauge("x")
+        g._restore(5.0)
+        assert (g.value, g.peak) == (5.0, 5.0)
+        g._restore(-1.0)
+        assert (g.value, g.peak) == (-1.0, 0.0)
+
 
 class TestHistogram:
     def test_observations_land_in_buckets(self):

@@ -295,3 +295,23 @@ class TestConstructors:
     def test_nbytes_scales_with_size(self):
         small, large = make_store(10), make_store(100)
         assert large.nbytes() == 10 * small.nbytes()
+
+    def test_nbytes_is_exact_not_a_formula(self):
+        # The tier cache budgets against this value, so it must equal the
+        # sum of .nbytes over the live array views — slack capacity from
+        # the growth policy must never be charged.
+        store = make_store(37)
+        assert store.nbytes() == (
+            store.vectors.nbytes + store.timestamps.nbytes
+        )
+        assert store.vectors.nbytes == 37 * store.dim * 4  # float32 rows
+
+    def test_slice_nbytes_attributes_exact_vector_bytes(self):
+        store = make_store(50)
+        assert store.slice_nbytes(10, 30) == store.vectors[10:30].nbytes
+        # Clamped to the live prefix, empty and inverted ranges are zero.
+        assert store.slice_nbytes(40, 400) == store.vectors[40:50].nbytes
+        assert store.slice_nbytes(5, 5) == 0
+        assert store.slice_nbytes(30, 10) == 0
+        # Whole-store attribution adds back up to the vector total.
+        assert store.slice_nbytes(0, 50) == store.vectors.nbytes
