@@ -1,7 +1,7 @@
 """Reproducible performance harness — the numbers behind ``repro bench``.
 
-Four pinned-seed suites, emitted as one schema-versioned JSON document
-(``repro-bench/v3``) that every future PR appends a sibling of:
+Five pinned-seed suites, emitted as one schema-versioned JSON document
+(``repro-bench/v4``) that every future PR appends a sibling of:
 
 * **sequential_vs_parallel** — per-query TkNN latency of ``MBI.search``
   run sequentially and fanned out across ``QueryExecutor`` pools of
@@ -23,7 +23,16 @@ Four pinned-seed suites, emitted as one schema-versioned JSON document
   checked against the all-hot answers) and a backfill batch over the
   cold prefix (promotions/rebuilds on the critical path).  Rows carry
   ``resident_bytes`` and ``tier_hit_rate``; the suite records the
-  budget and whether peak resident bytes stayed under it.
+  budget and whether peak resident bytes stayed under it;
+* **sharding** — scatter-gather serving (``repro.sharding``) at several
+  shard counts under concurrent full-speed ingest: each count first
+  passes a bit-identity gate against the single-shard reference over
+  the settled prefix, then serves narrow-window queries while a writer
+  thread streams new vectors into the active stripe.  Rows carry
+  ``qps``/``p50_ms``/``p99_ms``, the concurrent ``ingest_rate``, and
+  the gate verdict — on a single core the multi-shard uplift comes from
+  contention isolation (queries pruned to quiet shards dodge the
+  writer's lock), not parallelism.
 
 The harness is import-light and fast by design: the ``--smoke`` profile
 finishes in seconds so CI can run it on every push (and fail on schema
@@ -54,7 +63,7 @@ from pathlib import Path
 
 import numpy as np
 
-SCHEMA = "repro-bench/v3"
+SCHEMA = "repro-bench/v4"
 
 #: Pool widths exercised by the sequential-vs-parallel suite (0 means
 #: sequential; widths beyond the CPU count measure oversubscription).
@@ -80,6 +89,11 @@ class HarnessProfile:
         window_fraction: Centered window length as a fraction of the
             timeline; 0.5 straddles the root split so the selection walk
             produces a multi-block search set worth parallelising.
+        shard_counts: Shard counts the sharding suite measures; must
+            start at 1 (the reference every other count is gated
+            against).
+        shard_query_seconds: Wall-clock length of each shard count's
+            timed query phase (concurrent ingest runs throughout).
     """
 
     n_items: int = 8000
@@ -89,10 +103,19 @@ class HarnessProfile:
     k: int = 10
     repeats: int = 3
     window_fraction: float = 0.5
+    shard_counts: tuple = (1, 2, 4)
+    shard_query_seconds: float = 2.5
 
 
 SMOKE = HarnessProfile(
-    n_items=1500, dim=16, leaf_size=125, n_queries=16, k=10, repeats=1
+    n_items=1500,
+    dim=16,
+    leaf_size=125,
+    n_queries=16,
+    k=10,
+    repeats=1,
+    shard_counts=(1, 2),
+    shard_query_seconds=0.75,
 )
 FULL = HarnessProfile()
 
@@ -601,6 +624,189 @@ def run_tiering_suite(index, queries, profile: HarnessProfile, seed: int) -> dic
     }
 
 
+def run_sharding_suite(profile: HarnessProfile, seed: int) -> dict:
+    """Scatter-gather serving vs shard count, under concurrent ingest.
+
+    For each count in ``profile.shard_counts`` (1 first — the
+    reference), opens an in-process :class:`~repro.sharding.ShardRouter`
+    cluster, pre-ingests the settled 80% of the pinned stream, and runs
+    two phases:
+
+    1. **Bit-identity gate** — a pinned query set over three windows
+       (full prefix, middle third, narrow) must answer bit-identically
+       to the single-shard reference.  The cluster uses an exact search
+       configuration (a brute-force threshold above any window), which
+       is what makes cross-shard-count identity provable rather than
+       merely likely.
+    2. **Timed phase** — a writer thread streams fresh vectors into the
+       active stripe at full speed while the client issues
+       single-stripe-window queries over the settled prefix for
+       ``shard_query_seconds``.  With one shard, every query contends
+       with the writer on the single service's writer-preference lock;
+       with more shards the window prunes each query down to one
+       shard — usually not the writer's — so the same single core
+       answers more of them.  The row's qps/p99 uplift measures exactly
+       that contention isolation.
+
+    Rows carry ``shard_count``, ``qps``, ``p50_ms``, ``p99_ms``,
+    ``requests``, ``partial_queries`` (always 0 — degraded serving is
+    off), ``ingest_rate`` (records/s absorbed during the timed phase),
+    and ``identical_to_reference``.
+    """
+    import tempfile
+    import threading
+
+    from repro import MBIConfig, RouterConfig, ServiceConfig, ShardRouter
+    from repro.core.config import SearchParams
+
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=4.0, size=(8, profile.dim))
+    assignments = rng.integers(0, len(centers), size=profile.n_items)
+    vectors = centers[assignments] + rng.normal(
+        size=(profile.n_items, profile.dim)
+    )
+    timestamps = np.arange(profile.n_items, dtype=np.float64)
+    queries = centers[
+        rng.integers(0, len(centers), size=profile.n_queries)
+    ] + rng.normal(size=(profile.n_queries, profile.dim))
+
+    prefix = int(profile.n_items * 0.8)
+    # The timed-phase window fits strictly inside ONE stripe (stripe
+    # size == leaf_size here), so window pruning routes each query to a
+    # single shard — usually not the one the writer is hammering.  A
+    # wider window would straddle a stripe boundary and scatter to
+    # every shard (stripes alternate owners), paying fan-out without
+    # buying isolation.
+    stripe0 = int(0.2 * prefix) // profile.leaf_size
+    narrow = (
+        (stripe0 + 0.25) * profile.leaf_size,
+        (stripe0 + 0.75) * profile.leaf_size,
+    )
+    gate_windows = [
+        (0.0, float(prefix)),
+        (prefix / 3.0, 2.0 * prefix / 3.0),
+        narrow,
+    ]
+    mbi_config = MBIConfig(
+        leaf_size=profile.leaf_size,
+        # Exact per-shard answers make bit-identity across shard counts
+        # a theorem (see docs/sharding.md) instead of a coincidence.
+        # With every window brute-forced the block backends are built
+        # but never searched, so use the cheapest builder — graph
+        # builds over the merge chain would otherwise outlive the
+        # service drain timeout on close.
+        backend="lsh",
+        search=SearchParams(brute_force_threshold=10**9),
+        seed=seed,
+    )
+
+    rows = []
+    reference = None
+    for shard_count in profile.shard_counts:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as tmp:
+            router = ShardRouter.open(
+                Path(tmp),
+                n_shards=shard_count,
+                dim=profile.dim,
+                mbi_config=mbi_config,
+                service_config=ServiceConfig(fsync="never"),
+                config=RouterConfig(seed=seed),
+            )
+            try:
+                router.ingest_batch(vectors[:prefix], timestamps[:prefix])
+
+                # ---- phase 1: bit-identity gate -----------------------
+                answers = [
+                    router.search(query, profile.k, lo, hi, seed=seed + qi)
+                    for lo, hi in gate_windows
+                    for qi, query in enumerate(queries[:8])
+                ]
+                if reference is None:
+                    reference = answers
+                    identical = True
+                else:
+                    # Ranking must be bit-identical; distance *floats*
+                    # may differ in the last ulp because a shard-local
+                    # scan runs its BLAS kernel over a different matrix
+                    # shape than the unsharded scan — the same caveat
+                    # the batched cross kernel documents
+                    # (docs/performance.md).
+                    identical = all(
+                        np.array_equal(a.positions, b.positions)
+                        and np.array_equal(a.timestamps, b.timestamps)
+                        and np.allclose(
+                            a.distances, b.distances, rtol=1e-12, atol=0
+                        )
+                        for a, b in zip(reference, answers)
+                    )
+
+                # ---- phase 2: queries under concurrent ingest ---------
+                stop = threading.Event()
+                written = [0]
+
+                def writer(router=router, start=prefix):
+                    """Full-speed batched stream into the active stripe.
+
+                    Batches (the realistic shape for a high-throughput
+                    writer) hold the owning shard's write lock long
+                    enough that 1-shard readers visibly stall behind
+                    the writer-preference lock — the contention the
+                    multi-shard rows dodge via pruning.
+                    """
+                    wrng = np.random.default_rng([seed, 0xF00D])
+                    ts = float(start)
+                    batch = 64
+                    while not stop.is_set():
+                        router.ingest_batch(
+                            wrng.standard_normal((batch, profile.dim)),
+                            np.arange(ts, ts + batch),
+                        )
+                        ts += batch
+                        written[0] += batch
+
+                thread = threading.Thread(target=writer, daemon=True)
+                latencies: list[float] = []
+                partial_queries = 0
+                thread.start()
+                phase_start = time.perf_counter()
+                deadline = phase_start + profile.shard_query_seconds
+                i = 0
+                while time.perf_counter() < deadline:
+                    query = queries[i % len(queries)]
+                    started = time.perf_counter()
+                    result = router.search(
+                        query, profile.k, *narrow, seed=seed + i
+                    )
+                    latencies.append(time.perf_counter() - started)
+                    if result.partial:
+                        partial_queries += 1
+                    i += 1
+                elapsed = time.perf_counter() - phase_start
+                stop.set()
+                thread.join()
+
+                rows.append(
+                    {
+                        "shard_count": int(shard_count),
+                        "qps": len(latencies) / elapsed,
+                        "p50_ms": _percentile(latencies, 50) * 1e3,
+                        "p99_ms": _percentile(latencies, 99) * 1e3,
+                        "requests": len(latencies),
+                        "partial_queries": int(partial_queries),
+                        "ingest_rate": written[0] / elapsed,
+                        "identical_to_reference": bool(identical),
+                    }
+                )
+            finally:
+                router.close()
+    return {
+        "settled_prefix": prefix,
+        "query_window": [float(narrow[0]), float(narrow[1])],
+        "gate_windows": [[float(a), float(b)] for a, b in gate_windows],
+        "rows": rows,
+    }
+
+
 def run_harness(
     seed: int = 0,
     smoke: bool = False,
@@ -632,6 +838,7 @@ def run_harness(
     graph_kernels = run_graph_kernels_suite(
         index, queries, profile, seed, beam_sweep
     )
+    sharding = run_sharding_suite(profile, seed)
     # Last on purpose: enabling tiering on the shared index is one-way.
     tiering = run_tiering_suite(index, queries, profile, seed)
 
@@ -659,6 +866,7 @@ def run_harness(
             "sequential_vs_parallel": sequential_vs_parallel,
             "qps": qps,
             "graph_kernels": graph_kernels,
+            "sharding": sharding,
             "tiering": tiering,
         },
     }
@@ -670,7 +878,7 @@ def run_harness(
 
 
 def validate_bench(payload: dict) -> None:
-    """Raise ``ValueError`` unless ``payload`` is a valid repro-bench/v3 doc.
+    """Raise ``ValueError`` unless ``payload`` is a valid repro-bench/v4 doc.
 
     This is the schema gate the CI smoke job runs: it checks document
     structure, row fields/types, and the semantic invariants — the
@@ -679,9 +887,12 @@ def validate_bench(payload: dict) -> None:
     bit-identical results, every qps / graph_kernels / tiering row must
     carry a recall in ``[0, 1]`` and a non-negative distance-evaluation
     count, the graph_kernels suite must pit the legacy greedy engine
-    against at least one beam width, and the tiering suite must show
+    against at least one beam width, the tiering suite must show
     cold blocks, bit-identical tiered answers, a hit rate in ``[0, 1]``
-    per row, and a query-phase peak residency within the budget.
+    per row, and a query-phase peak residency within the budget, and
+    the sharding suite must measure a single-shard baseline plus at
+    least one multi-shard count with every row bit-identical to the
+    reference and zero partial answers.
     """
 
     def fail(message: str) -> None:
@@ -775,6 +986,51 @@ def validate_bench(payload: dict) -> None:
             "graph_kernels suite must measure the greedy engine and at "
             f"least one beam width, got {kernel_methods}"
         )
+
+    sharding = suites.get("sharding")
+    if not isinstance(sharding, dict) or not sharding.get("rows"):
+        fail("missing sharding rows")
+    shard_counts = set()
+    for row in sharding["rows"]:
+        for field_name, kind in (
+            ("shard_count", int),
+            ("qps", (int, float)),
+            ("p50_ms", (int, float)),
+            ("p99_ms", (int, float)),
+            ("requests", int),
+            ("partial_queries", int),
+            ("ingest_rate", (int, float)),
+            ("identical_to_reference", bool),
+        ):
+            if not isinstance(row.get(field_name), kind):
+                fail(
+                    f"sharding row field {field_name!r} missing or "
+                    f"mistyped: {row!r}"
+                )
+        if row["qps"] <= 0 or row["p50_ms"] < 0 or row["p99_ms"] < 0:
+            fail(f"non-positive measurement in sharding row {row!r}")
+        if row["requests"] < 1 or row["ingest_rate"] < 0:
+            fail(f"implausible sharding row {row!r}")
+        if not row["identical_to_reference"]:
+            fail(
+                f"sharded answers diverged from the single-shard "
+                f"reference in row {row!r} (scatter-gather must never "
+                "change answers)"
+            )
+        if row["partial_queries"] != 0:
+            fail(
+                f"sharding row {row!r} served partial answers with "
+                "degraded serving disabled"
+            )
+        shard_counts.add(row["shard_count"])
+    if 1 not in shard_counts or not any(c > 1 for c in shard_counts):
+        fail(
+            "sharding suite must measure the single-shard baseline and "
+            f"at least one multi-shard count, got {sorted(shard_counts)}"
+        )
+    for key in ("settled_prefix", "query_window"):
+        if key not in sharding:
+            fail(f"sharding suite missing key {key!r}")
 
     tiering = suites.get("tiering")
     tier_methods = check_throughput_rows("tiering", tiering)
@@ -892,6 +1148,34 @@ def render_bench(payload: dict) -> str:
             f"  {row['method']:<22} {row['qps']:>9.0f} {row['mean_ms']:>9.3f} "
             f"{row['recall_at_k']:>9.4f} {row['dist_evals_per_query']:>9.0f}"
         )
+    sharding = payload["suites"]["sharding"]
+    lines.append("")
+    lines.append(
+        f"sharding (scatter-gather under concurrent ingest, settled "
+        f"prefix {sharding['settled_prefix']:,}, window "
+        f"[{sharding['query_window'][0]:.0f}, "
+        f"{sharding['query_window'][1]:.0f})):"
+    )
+    lines.append(
+        f"  {'shards':>6} {'qps':>9} {'p50 ms':>9} {'p99 ms':>9} "
+        f"{'requests':>9} {'ingest/s':>9}  identical"
+    )
+    for row in sharding["rows"]:
+        lines.append(
+            f"  {row['shard_count']:>6} {row['qps']:>9.0f} "
+            f"{row['p50_ms']:>9.3f} {row['p99_ms']:>9.3f} "
+            f"{row['requests']:>9} {row['ingest_rate']:>9.0f}  "
+            f"{'yes' if row['identical_to_reference'] else 'NO'}"
+        )
+    baseline_qps = next(
+        row["qps"] for row in sharding["rows"] if row["shard_count"] == 1
+    )
+    for row in sharding["rows"]:
+        if row["shard_count"] > 1:
+            lines.append(
+                f"  {row['shard_count']}-shard qps uplift over 1-shard: "
+                f"{row['qps'] / baseline_qps:.2f}x"
+            )
     tiering = payload["suites"]["tiering"]
     lines.append("")
     lines.append(

@@ -25,7 +25,9 @@ The package is organised as:
 * :mod:`repro.datasets` — synthetic datasets, workloads, ground truth;
 * :mod:`repro.eval` — recall, timing, epsilon sweeps, experiment runners;
 * :mod:`repro.service` — the concurrent, durable serving layer (WAL +
-  snapshots + admission control; ``repro serve`` / ``repro ingest``).
+  snapshots + admission control; ``repro serve`` / ``repro ingest``);
+* :mod:`repro.sharding` — scatter-gather serving across N worker shards
+  (``repro serve --shards N``), bit-identical to a single process.
 """
 
 from .baselines import BSBFIndex, BestOfBaselines, ExactOracle, SFIndex
@@ -61,6 +63,8 @@ from .exceptions import (
     ReproError,
     ServiceClosedError,
     ServiceError,
+    ShardError,
+    ShardUnavailableError,
     TimestampOrderError,
     UnknownMetricError,
     VectorInputError,
@@ -76,6 +80,10 @@ from .observability import (
     summarize_traces,
 )
 from .service import IndexService, ServiceConfig, WriteAheadLog
+
+# Imported after .service: the sharding package builds on IndexService,
+# so it must not load while repro.service is still initialising.
+from .sharding import RouterConfig, ShardCluster, ShardedResult, ShardRouter
 from .storage import TimeWindow, VectorStore
 
 # Imported after .service: the tiering package uses the service's RWLock,
@@ -117,11 +125,17 @@ __all__ = [
     "QueryStats",
     "QueryTrace",
     "ReproError",
+    "RouterConfig",
     "SFIndex",
     "SearchParams",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
+    "ShardCluster",
+    "ShardError",
+    "ShardRouter",
+    "ShardUnavailableError",
+    "ShardedResult",
     "TauTuner",
     "TierManager",
     "TieringConfig",

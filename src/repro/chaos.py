@@ -725,15 +725,343 @@ def run_differential_scenario(
     )
 
 
+# --------------------------------------------------------------------------
+# Sharded serving chaos
+# --------------------------------------------------------------------------
+
+
+#: Shard-scenario fault families (all seed-selectable).
+SHARD_KINDS = ("shard_kill", "shard_slow", "shard_flaky")
+
+
+@dataclass(frozen=True)
+class ShardScenario:
+    """One deterministic sharded-serving fault schedule.
+
+    Attributes:
+        seed: The scenario seed (everything below derives from it).
+        kind: ``"shard_kill"`` (crash one shard's service mid-stream,
+            recover it, re-attach), ``"shard_slow"`` (a delayed scatter
+            blows the router's timeout, degrading to a partial result),
+            or ``"shard_flaky"`` (transient scatter faults absorbed by
+            the retry budget).
+        n_shards: Shards in the cluster under test.
+        n_ops: Records ingested through the router before the fault.
+        checkpoint_at: Record count after which every shard checkpoints
+            (0 = never), so kill-recovery exercises snapshot + WAL replay.
+        failpoints: The :mod:`repro.faultinject` schedule armed around
+            the faulted queries (empty for ``shard_kill`` — the crash is
+            a literal ``abort()``).
+    """
+
+    seed: int
+    kind: str
+    n_shards: int
+    n_ops: int
+    checkpoint_at: int = 0
+    failpoints: dict[str, Action] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        points = ", ".join(
+            f"{name}={action.spec()}"
+            for name, action in sorted(self.failpoints.items())
+        )
+        return (
+            f"seed={self.seed} kind={self.kind} shards={self.n_shards} "
+            f"ops={self.n_ops} checkpoint_at={self.checkpoint_at} "
+            f"[{points or 'no failpoints'}]"
+        )
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Outcome of one sharded-serving scenario (only produced on success)."""
+
+    scenario: ShardScenario
+    acked: int
+    recovered: int
+    failed_shards: tuple[int, ...]
+    queries_checked: int
+
+
+def make_shard_scenario(seed: int) -> ShardScenario:
+    """Derive the full sharded-serving schedule for ``seed`` (pure)."""
+    rng = np.random.default_rng([0x5A4D, seed])
+    kind = SHARD_KINDS[int(rng.integers(0, len(SHARD_KINDS)))]
+    n_shards = int(rng.integers(2, 4))
+    n_ops = int(rng.integers(40, 81))
+    checkpoint_at = 0
+    points: dict[str, Action] = {}
+    if kind == "shard_kill":
+        if rng.random() < 0.5:
+            checkpoint_at = int(rng.integers(n_ops // 4, n_ops // 2))
+    elif kind == "shard_slow":
+        # One scatter attempt sleeps far past the router's timeout.
+        points["shard.scatter"] = Action("delay", 1.0, times=1)
+    else:  # shard_flaky
+        points["shard.scatter"] = Action(
+            "raise", "runtime", times=int(rng.integers(1, 3))
+        )
+    return ShardScenario(
+        seed=seed,
+        kind=kind,
+        n_shards=n_shards,
+        n_ops=n_ops,
+        checkpoint_at=checkpoint_at,
+        failpoints=points,
+    )
+
+
+def _shard_router(
+    base: Path,
+    n_shards: int,
+    config: MBIConfig,
+    *,
+    fsync: str = "always",
+    router_config=None,
+):
+    """An in-process N-shard router rooted at ``base`` (chaos plumbing).
+
+    Built from explicit transports (unlike :meth:`ShardRouter.open`) so
+    the scenario can crash (``abort``) and recover individual shard
+    services through the transports it holds.
+    """
+    from .core.shardmap import ShardPlan
+    from .sharding import InProcessTransport, ShardRouter
+
+    plan = ShardPlan.from_config(n_shards, config)
+    transports = []
+    for shard in range(n_shards):
+        shard_dir = Path(base) / f"shard-{shard:03d}"
+
+        def reopen(shard_dir: Path = shard_dir) -> IndexService:
+            return IndexService.open(
+                shard_dir,
+                dim=DIM,
+                mbi_config=config,
+                config=ServiceConfig(fsync=fsync),
+            )
+
+        transports.append(InProcessTransport(shard, reopen(), reopen=reopen))
+    return ShardRouter(transports, plan, config=router_config), transports
+
+
+def _shard_queries(seed: int, n_ops: int):
+    """The fixed query set every shard scenario checks: (query, window)."""
+    rng = np.random.default_rng([0x5AD5, seed])
+    hi = float(n_ops)
+    windows = [
+        (-math.inf, math.inf),
+        (0.0, hi / 2),
+        (hi / 3, 2 * hi / 3),
+        (max(0.0, hi - 10.0), hi),
+    ]
+    return [
+        (rng.standard_normal(DIM), windows[qi % len(windows)])
+        for qi in range(_QUERIES)
+    ]
+
+
+def run_shard_scenario(seed: int, data_dir: str | Path) -> ShardReport:
+    """Execute the sharded-serving chaos check for ``seed``.
+
+    Every scenario ends with the same crown invariant: after the fault
+    (and any recovery), the router's answers are **bit-identical** to
+    both a never-faulted same-split reference router and a single-shard
+    reference over the same stream.
+
+    Raises:
+        ChaosInvariantError: On any violated invariant; the message
+            embeds the seed (reproduce with ``repro chaos --shard-seed``).
+    """
+    from .sharding import RouterConfig, ShardRouter
+
+    scenario = make_shard_scenario(seed)
+    config = chaos_mbi_config()
+    data_dir = Path(data_dir)
+
+    def _fail(message: str) -> None:
+        raise ChaosInvariantError(
+            f"shard seed {seed}: {message} "
+            f"(reproduce with: repro chaos --shard-seed {seed})"
+        )
+
+    vectors = np.stack(
+        [stream_vector(seed, i) for i in range(scenario.n_ops)]
+    )
+    timestamps = np.arange(scenario.n_ops, dtype=np.float64)
+    router_config = RouterConfig(
+        seed=seed,
+        scatter_timeout=(
+            0.25 if scenario.kind == "shard_slow" else None
+        ),
+        retries=(0 if scenario.kind == "shard_slow" else 2),
+        allow_partial=(scenario.kind == "shard_slow"),
+    )
+    router, transports = _shard_router(
+        data_dir / "cluster",
+        scenario.n_shards,
+        config,
+        router_config=router_config,
+    )
+    if scenario.checkpoint_at:
+        router.ingest_batch(
+            vectors[: scenario.checkpoint_at],
+            timestamps[: scenario.checkpoint_at],
+        )
+        router.checkpoint()
+        router.ingest_batch(
+            vectors[scenario.checkpoint_at :],
+            timestamps[scenario.checkpoint_at :],
+        )
+    else:
+        router.ingest_batch(vectors, timestamps)
+    acked = router.total_records
+
+    # Never-faulted references: the same split, and a single shard.
+    reference, _ = _shard_router(
+        data_dir / "reference", scenario.n_shards, config, fsync="never"
+    )
+    single, _ = _shard_router(data_dir / "single", 1, config, fsync="never")
+    reference.ingest_batch(vectors, timestamps)
+    single.ingest_batch(vectors, timestamps)
+
+    failpoints = get_failpoints()
+    queries = _shard_queries(seed, scenario.n_ops)
+    failed_shards: tuple[int, ...] = ()
+    try:
+        if scenario.kind == "shard_kill":
+            victim = int(
+                np.random.default_rng([0x5AFE, seed]).integers(
+                    0, scenario.n_shards
+                )
+            )
+            failed_shards = (victim,)
+            transports[victim].service.abort()  # crash: no drain, no fsync
+            for shard, transport in enumerate(transports):
+                if shard != victim:
+                    transport.service.close()
+                transport.reopen()
+            router.detach()
+            router = ShardRouter(
+                transports, router.plan, config=router_config
+            )
+            reattached = router.total_records
+            if reattached != acked:
+                _fail(
+                    f"re-attached router recovered {reattached} records, "
+                    f"expected {acked} (fsync=always must lose nothing)"
+                )
+        elif scenario.kind == "shard_slow":
+            query, window = queries[0]
+            with failpoints.scope(scenario.failpoints):
+                degraded = router.search(
+                    query, _K, *window, seed=seed
+                )
+            if not degraded.partial or len(degraded.failed_shards) != 1:
+                _fail(
+                    "the delayed scatter did not degrade to a partial "
+                    f"result (partial={degraded.partial}, "
+                    f"failed={degraded.failed_shards})"
+                )
+            failed_shards = degraded.failed_shards
+            # The degraded answer must still be exactly the merge over
+            # the surviving shards: the reference router with the same
+            # shard drained answers bit-identically.
+            for shard in failed_shards:
+                reference.drain(shard)
+            want = reference.search(
+                query, _K, *window, seed=seed, allow_partial=True
+            )
+            for shard in failed_shards:
+                reference.restore(shard)
+            if not (
+                np.array_equal(degraded.positions, want.positions)
+                and np.array_equal(degraded.distances, want.distances)
+                and degraded.failed_shards == want.failed_shards
+            ):
+                _fail(
+                    "the partial result is not the exact merge over the "
+                    "surviving shards"
+                )
+        else:  # shard_flaky
+            query, window = queries[0]
+            with failpoints.scope(scenario.failpoints):
+                result = router.search(query, _K, *window, seed=seed)
+                fired = failpoints.fires("shard.scatter")
+            if fired == 0:
+                _fail("the scheduled scatter fault never fired")
+            if result.partial or result.failed_shards:
+                _fail(
+                    "the retry budget did not absorb "
+                    f"{fired} transient scatter fault(s)"
+                )
+            want = reference.search(query, _K, *window, seed=seed)
+            if not (
+                np.array_equal(result.positions, want.positions)
+                and np.array_equal(result.distances, want.distances)
+            ):
+                _fail("answers diverged after retried scatter faults")
+
+        # Crown invariant, every kind: with no fault armed, the router is
+        # bit-identical to the never-faulted same-split reference AND to
+        # a single-shard reference over the same stream.
+        for qi, (query, window) in enumerate(queries):
+            got = router.search(query, _K, *window, seed=seed + qi)
+            same = reference.search(query, _K, *window, seed=seed + qi)
+            one = single.search(query, _K, *window, seed=seed + qi)
+            if got.partial:
+                _fail(f"query {qi}: unexpected partial result after the fault")
+            if not (
+                np.array_equal(got.positions, same.positions)
+                and np.array_equal(got.distances, same.distances)
+                and np.array_equal(got.timestamps, same.timestamps)
+            ):
+                _fail(
+                    f"query {qi}: answers diverge from the never-faulted "
+                    "same-split reference"
+                )
+            if not (
+                np.array_equal(got.positions, one.positions)
+                and np.array_equal(got.distances, one.distances)
+            ):
+                _fail(
+                    f"query {qi}: answers diverge from the single-shard "
+                    "reference"
+                )
+        # And the router keeps routing writes where it left off.
+        router.ingest(stream_vector(seed, acked), float(acked))
+        if router.total_records != acked + 1:
+            _fail("router did not resume ingesting after the fault")
+        recovered = router.total_records - 1
+    finally:
+        router.close()
+        reference.close()
+        single.close()
+    return ShardReport(
+        scenario=scenario,
+        acked=acked,
+        recovered=recovered,
+        failed_shards=failed_shards,
+        queries_checked=len(queries),
+    )
+
+
 __all__ = [
     "CRASH_KINDS",
+    "SHARD_KINDS",
     "ChaosInvariantError",
     "CrashReport",
     "CrashScenario",
     "DifferentialReport",
+    "ShardReport",
+    "ShardScenario",
     "chaos_mbi_config",
     "make_crash_scenario",
+    "make_shard_scenario",
     "run_crash_scenario",
     "run_differential_scenario",
+    "run_shard_scenario",
     "stream_vector",
 ]

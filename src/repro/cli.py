@@ -9,6 +9,8 @@ Subcommands::
     repro explain                          EXPLAIN-trace one TkNN query
     repro ingest --data-dir DIR            durably ingest into a service dir
     repro serve --data-dir DIR             serve TkNN over HTTP (recovers)
+    repro serve --data-dir DIR --shards N  sharded scatter-gather serving
+    repro shard stats --data-dir DIR       inspect a sharded data directory
     repro tier stats --data-dir DIR        inspect the cold block tier
     repro bench [--smoke]                  run the perf harness -> BENCH_<date>.json
     repro bench --paper                    how to regenerate the paper's tables
@@ -203,6 +205,48 @@ def build_parser() -> argparse.ArgumentParser:
         "fan-out and batched kernels; default: no pool, sequential — "
         "see docs/performance.md)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve N worker-shard processes behind a scatter-gather "
+        "router on --port (workers bind --port+1 .. --port+N; "
+        "0 = single-process serving; see docs/sharding.md)",
+    )
+    serve.add_argument(
+        "--scatter-timeout",
+        type=float,
+        default=None,
+        help="seconds the router waits per shard before declaring it "
+        "slow (sharded serving only; default: wait forever)",
+    )
+    serve.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="degrade to partial results (with the `partial` flag set) "
+        "instead of failing queries when a shard stays down",
+    )
+
+    shard = commands.add_parser(
+        "shard",
+        help="inspect sharded serving state (topology, per-shard "
+        "occupancy; see docs/sharding.md)",
+    )
+    shard_actions = shard.add_subparsers(dest="shard_command", required=True)
+    shard_stats = shard_actions.add_parser(
+        "stats",
+        help="describe a sharded data directory (one row per shard: "
+        "records, stripes, time range)",
+    )
+    shard_stats.add_argument(
+        "--data-dir", required=True, help="sharded state directory"
+    )
+    shard_stats.add_argument(
+        "--leaf-size",
+        type=int,
+        default=125,
+        help="S_L the directory was created with (fixes the stripe size)",
+    )
 
     tier = commands.add_parser(
         "tier",
@@ -269,6 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="first seed of the sweep"
     )
     chaos.add_argument(
+        "--shard-seeds",
+        type=int,
+        default=4,
+        help="number of sharded-serving schedules to run (from --seed)",
+    )
+    chaos.add_argument(
         "--crash-seed",
         type=int,
         default=None,
@@ -279,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="re-run exactly one differential-oracle seed",
+    )
+    chaos.add_argument(
+        "--shard-seed",
+        type=int,
+        default=None,
+        help="re-run exactly one sharded-serving seed",
     )
     return parser
 
@@ -619,6 +675,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import IndexService, make_server
 
+    if args.shards:
+        return _cmd_serve_sharded(args)
     service = IndexService.open(
         args.data_dir,
         dim=args.dim,
@@ -646,7 +704,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     def _shutdown(signum: int, _frame: object) -> None:
         print(f"signal {signum}: draining ...", file=sys.stderr)
-        server.shutdown()
+        # shutdown() blocks until serve_forever()'s loop notices the
+        # request — and that loop runs on this very thread, currently
+        # suspended beneath this handler.  Hand the call to a helper
+        # thread so the handler returns and the loop can exit.
+        import threading
+
+        threading.Thread(target=server.shutdown, daemon=True).start()
 
     signal.signal(signal.SIGTERM, _shutdown)
     signal.signal(signal.SIGINT, _shutdown)
@@ -656,6 +720,130 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         service.close()
         print("drained; bye")
+    return 0
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``repro serve --shards N``: workers + scatter-gather router."""
+    import signal
+
+    from .sharding import (
+        RouterConfig,
+        ShardCluster,
+        ShardRouter,
+        make_router_server,
+    )
+
+    cluster = ShardCluster(
+        args.data_dir,
+        args.shards,
+        host=args.host,
+        base_port=args.port + 1,
+        dim=args.dim,
+        metric=args.metric,
+        mbi_config=_service_mbi_config(args),
+        service_config=_service_config(args),
+    )
+    cluster.start()
+    router = None
+    try:
+        router = ShardRouter(
+            cluster.transports(timeout=args.scatter_timeout),
+            cluster.plan(),
+            config=RouterConfig(
+                scatter_timeout=args.scatter_timeout,
+                allow_partial=args.allow_partial,
+            ),
+        )
+        server = make_router_server(router, args.host, args.port)
+    except BaseException:
+        # Never leak worker processes when the frontend fails to come
+        # up (e.g. the router port is already in use).
+        if router is not None:
+            router.detach()
+        cluster.stop()
+        raise
+    host, port = server.server_address[:2]
+    print(
+        f"serving {router.total_records:,} records across "
+        f"{args.shards} shards on http://{host}:{port} "
+        f"(workers on ports {args.port + 1}..{args.port + args.shards}) — "
+        "endpoints: /healthz /metrics /query /ingest /checkpoint "
+        "/shard/stats"
+    )
+
+    def _shutdown(signum: int, _frame: object) -> None:
+        print(f"signal {signum}: draining shards ...", file=sys.stderr)
+        # Same trick as single-process serve: shutdown() must not run
+        # on the thread serve_forever() occupies, or it deadlocks.
+        import threading
+
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        router.close()
+        cluster.stop()
+        print("drained; bye")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    """``repro shard stats``: offline inspection of a sharded data dir."""
+    from pathlib import Path
+
+    from .core.config import MBIConfig
+    from .core.shardmap import ShardPlan
+    from .service import IndexService, ServiceConfig
+    from .sharding.transport import shard_info
+
+    base = Path(args.data_dir)
+    shard_dirs = sorted(base.glob("shard-*"))
+    if not shard_dirs:
+        print(
+            f"no shard directories under {base} — expected shard-000, "
+            "shard-001, ... (create them with `repro serve --shards N`)"
+        )
+        return 1
+    plan = ShardPlan.from_config(
+        len(shard_dirs), MBIConfig(leaf_size=args.leaf_size)
+    )
+    rows = []
+    total = 0
+    for shard, shard_dir in enumerate(shard_dirs):
+        service = IndexService.open(
+            shard_dir, config=ServiceConfig(fsync="never")
+        )
+        try:
+            info = shard_info(service, plan.stripe_size)
+        finally:
+            service.close(checkpoint=False)
+        bounds = info["stripe_bounds"]
+        total += info["records"]
+        rows.append(
+            [
+                shard,
+                shard_dir.name,
+                f"{info['records']:,}",
+                len(bounds),
+                f"{bounds[0][0]:.6g}" if bounds else "-",
+                f"{bounds[-1][1]:.6g}" if bounds else "-",
+            ]
+        )
+    print(f"sharded dir     : {base}")
+    print(f"shards          : {len(shard_dirs)}")
+    print(f"stripe size     : {plan.stripe_size} records (S_L={args.leaf_size})")
+    print(f"total records   : {total:,}")
+    print()
+    print(
+        format_table(
+            ["shard", "dir", "records", "stripes", "t_min", "t_max"], rows
+        )
+    )
     return 0
 
 
@@ -756,14 +944,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import tempfile
 
-    from .chaos import run_crash_scenario, run_differential_scenario
+    from .chaos import (
+        run_crash_scenario,
+        run_differential_scenario,
+        run_shard_scenario,
+    )
 
-    if args.crash_seed is not None or args.diff_seed is not None:
+    reproduction = (
+        args.crash_seed is not None
+        or args.diff_seed is not None
+        or args.shard_seed is not None
+    )
+    if reproduction:
         crash_seeds = [args.crash_seed] if args.crash_seed is not None else []
         diff_seeds = [args.diff_seed] if args.diff_seed is not None else []
+        shard_seeds = [args.shard_seed] if args.shard_seed is not None else []
     else:
         crash_seeds = list(range(args.seed, args.seed + args.crash_seeds))
         diff_seeds = list(range(args.seed, args.seed + args.diff_seeds))
+        shard_seeds = list(range(args.seed, args.seed + args.shard_seeds))
     started = time.perf_counter()
     for seed in crash_seeds:
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as data_dir:
@@ -780,10 +979,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"beam_recall={report.beam_recall:.3f} "
             f"greedy_recall={report.greedy_recall:.3f}"
         )
+    for seed in shard_seeds:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as data_dir:
+            report = run_shard_scenario(seed, data_dir)
+        print(
+            f"shard seed {seed}: ok  {report.scenario.kind:<12} "
+            f"shards={report.scenario.n_shards} "
+            f"acked={report.acked:<3} recovered={report.recovered:<3} "
+            f"queries={report.queries_checked}"
+        )
     elapsed = time.perf_counter() - started
     print(
         f"chaos: {len(crash_seeds)} crash + {len(diff_seeds)} differential "
-        f"schedules passed in {elapsed:.1f}s"
+        f"+ {len(shard_seeds)} shard schedules passed in {elapsed:.1f}s"
     )
     return 0
 
@@ -796,6 +1004,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "ingest": _cmd_ingest,
     "serve": _cmd_serve,
+    "shard": _cmd_shard,
     "tier": _cmd_tier,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,

@@ -28,6 +28,7 @@ from .executor import (
 from .mbi import MultiLevelBlockIndex
 from .results import QueryResult, QueryStats, merge_partial_results
 from .selection import select_blocks
+from .shardmap import ShardPlan, prune_shards
 from .tuning import TauCalibration, TauTuner
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "QueryResult",
     "QueryStats",
     "SearchParams",
+    "ShardPlan",
     "TauCalibration",
     "TauTuner",
     "TieringConfig",
@@ -52,6 +54,7 @@ __all__ = [
     "default_worker_count",
     "get_default_executor",
     "merge_partial_results",
+    "prune_shards",
     "register_backend",
     "resolve_executor",
     "select_blocks",

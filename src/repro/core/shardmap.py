@@ -1,0 +1,169 @@
+"""Window→shard pruning math for sharded serving (`docs/sharding.md`).
+
+The time-accumulating stream is partitioned across ``n_shards`` worker
+processes by **contiguous vector-index range**: the global position axis
+is cut into fixed-size *stripes* of ``stripe_size`` consecutive vectors,
+and stripe ``j`` is owned by shard ``j % n_shards``.  Each shard
+therefore holds a set of disjoint contiguous ranges, exactly like the
+blocks of the paper's multi-level tree hold disjoint ranges — which is
+what makes the partition prunable: because the store is globally sorted
+by timestamp, every stripe covers a contiguous time interval, and a
+query window can skip any shard none of whose stripes intersect it.
+
+The stripe size is derived from :class:`~repro.core.config.MBIConfig`:
+it is a whole multiple of ``leaf_size``, so each stripe fills a whole
+number of leaves of its shard-local block tree and shard-local leaf
+boundaries stay aligned with global stripe boundaries.
+
+Everything in this module is pure arithmetic over ``(position, shard,
+stripe)`` triples — no I/O, no index access — so the router, the chaos
+harness, and the property tests all share one routing rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import ConfigurationError
+from .config import MBIConfig
+
+__all__ = ["ShardPlan", "prune_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The routing rule: how global positions map onto shards.
+
+    Attributes:
+        n_shards: Number of worker shards (>= 1).
+        stripe_size: Consecutive global positions per stripe; stripe
+            ``j`` (positions ``[j * stripe_size, (j+1) * stripe_size)``)
+            is owned by shard ``j % n_shards``.
+    """
+
+    n_shards: int
+    stripe_size: int
+
+    def __post_init__(self) -> None:
+        """Validate the plan dimensions."""
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if self.stripe_size < 1:
+            raise ConfigurationError(
+                f"stripe_size must be >= 1, got {self.stripe_size}"
+            )
+
+    @classmethod
+    def from_config(
+        cls, n_shards: int, config: MBIConfig, stripe_leaves: int = 1
+    ) -> "ShardPlan":
+        """Derive a plan from an :class:`MBIConfig`.
+
+        The stripe is ``stripe_leaves`` whole leaves (``leaf_size *
+        stripe_leaves`` vectors), so every stripe a shard receives fills
+        complete leaves of its local block tree.
+        """
+        if stripe_leaves < 1:
+            raise ConfigurationError(
+                f"stripe_leaves must be >= 1, got {stripe_leaves}"
+            )
+        return cls(
+            n_shards=n_shards, stripe_size=config.leaf_size * stripe_leaves
+        )
+
+    # ------------------------------------------------------------- routing
+
+    def stripe_of(self, position: int) -> int:
+        """The global stripe index owning global ``position``."""
+        return position // self.stripe_size
+
+    def shard_of(self, position: int) -> int:
+        """The shard owning global ``position``."""
+        return self.stripe_of(position) % self.n_shards
+
+    def local_position(self, position: int) -> int:
+        """Map a global position to its position inside the owning shard.
+
+        Shard ``s`` receives global stripes ``s, s + n, s + 2n, ...`` in
+        order, so its local store is the concatenation of those stripes.
+        """
+        stripe, offset = divmod(position, self.stripe_size)
+        return (stripe // self.n_shards) * self.stripe_size + offset
+
+    def global_position(self, shard: int, local: int) -> int:
+        """Inverse of :meth:`local_position` for a given ``shard``."""
+        local_stripe, offset = divmod(local, self.stripe_size)
+        return (
+            local_stripe * self.n_shards + shard
+        ) * self.stripe_size + offset
+
+    def shard_record_counts(self, total: int) -> list[int]:
+        """Per-shard record counts after ``total`` global appends.
+
+        This is the consistency check recovery uses: a healthy cluster's
+        per-shard counts must equal exactly this split.
+        """
+        counts = []
+        for shard in range(self.n_shards):
+            full, rem = divmod(total, self.stripe_size * self.n_shards)
+            n = full * self.stripe_size
+            # The partial cycle: stripes [full*n_shards, ...) in order.
+            rem_stripe, rem_offset = divmod(rem, self.stripe_size)
+            if shard < rem_stripe:
+                n += self.stripe_size
+            elif shard == rem_stripe:
+                n += rem_offset
+            counts.append(n)
+        return counts
+
+    def total_records(self, per_shard: Sequence[int]) -> int:
+        """Reconstruct the global record count from per-shard counts.
+
+        Raises :class:`ConfigurationError` when the counts cannot have
+        been produced by this plan (a shard lost or gained records).
+        """
+        if len(per_shard) != self.n_shards:
+            raise ConfigurationError(
+                f"expected {self.n_shards} shard counts, got {len(per_shard)}"
+            )
+        total = int(sum(per_shard))
+        if list(per_shard) != self.shard_record_counts(total):
+            raise ConfigurationError(
+                f"per-shard record counts {list(per_shard)} are not a "
+                f"prefix of this plan (expected "
+                f"{self.shard_record_counts(total)} for {total} records)"
+            )
+        return total
+
+
+def prune_shards(
+    t_start: float,
+    t_end: float,
+    stripe_bounds: Sequence[Sequence[tuple[float, float]]],
+) -> list[int]:
+    """Shards whose data can intersect the half-open window ``[t_start, t_end)``.
+
+    ``stripe_bounds[shard]`` lists ``(t_min, t_max)`` per local stripe of
+    that shard (both inclusive — the first and last timestamp the stripe
+    holds).  A stripe can contain an in-window vector iff
+    ``t_min < t_end and t_max >= t_start``; a shard survives iff any of
+    its stripes can.  Shards with no data are always pruned.
+
+    The rule is conservative in exactly one direction: a surviving shard
+    may turn out to contribute nothing (timestamps inside its stripe may
+    all dodge the window only when ``t_min/t_max`` equal the bounds), but
+    a pruned shard can never hold an in-window vector — so pruning never
+    changes answers, only work.
+    """
+    if t_start >= t_end:  # empty half-open window holds nothing
+        return []
+    survivors = []
+    for shard, bounds in enumerate(stripe_bounds):
+        for t_min, t_max in bounds:
+            if t_min < t_end and t_max >= t_start:
+                survivors.append(shard)
+                break
+    return survivors

@@ -92,5 +92,25 @@ class DeadlineExceededError(ServiceError):
     """A request's deadline passed before the service could answer it."""
 
 
+class ShardError(ServiceError):
+    """Base class for errors raised by the sharded serving layer."""
+
+
+class ShardUnavailableError(ShardError):
+    """A shard could not answer (dead, draining, or past its retry budget).
+
+    Raised by :class:`repro.sharding.ShardRouter` when a required shard
+    fails and the caller did not opt into degraded partial results; also
+    raised for ingests routed to a draining shard, which must never be
+    silently redirected (the routing rule is positional, so redirecting
+    would corrupt the partition).
+    """
+
+    def __init__(self, shard: int, reason: str) -> None:
+        self.shard = shard
+        self.reason = reason
+        super().__init__(f"shard {shard} unavailable: {reason}")
+
+
 class DatasetError(ReproError):
     """A dataset profile or workload could not be generated."""

@@ -24,6 +24,7 @@ from .trace import (
     BlockSearchEvent,
     QueryTrace,
     SelectionEvent,
+    ShardScatterEvent,
     TraceSummary,
     merge_traces_stats,
     summarize_traces,
@@ -38,6 +39,7 @@ __all__ = [
     "MetricsRegistry",
     "QueryTrace",
     "SelectionEvent",
+    "ShardScatterEvent",
     "TraceSummary",
     "get_registry",
     "merge_traces_stats",

@@ -110,6 +110,34 @@ class BlockSearchEvent:
     tier: str = "hot"
 
 
+@dataclass(frozen=True)
+class ShardScatterEvent:
+    """One shard's role in a scatter-gather query (sharded serving only).
+
+    Attributes:
+        shard: Shard id.
+        pruned: Whether window pruning skipped the shard entirely.
+        failed: Whether the shard failed past its retry budget (its
+            results, if any, are absent from the merge).
+        n_results: Partial results the shard contributed to the merge.
+        distance_evaluations: Distance computations the shard reported.
+        seconds: Wall-clock time from scatter to gathered reply.  Like
+            ``BlockSearchEvent.seconds`` this is a timing field: it
+            depends on scheduling, not on the query's decisions, so it
+            is excluded from :meth:`QueryTrace.signature`.
+        started: Offset in seconds from the start of the scatter to when
+            this shard's task was submitted (also timing-only).
+    """
+
+    shard: int
+    pruned: bool
+    failed: bool
+    n_results: int
+    distance_evaluations: int
+    seconds: float = 0.0
+    started: float = 0.0
+
+
 @dataclass
 class QueryTrace:
     """Everything one TkNN query did, decision by decision.
@@ -127,6 +155,9 @@ class QueryTrace:
         window_positions: Store positions the window resolved to.
         selection: The selection walk, in visit order.
         blocks: Per-block searches, in execution order.
+        shards: Per-shard scatter spans, one per shard, when the query
+            ran through a :class:`~repro.sharding.ShardRouter` (empty
+            for single-process queries).
         result_positions: Final merged result positions.
         result_distances: Final merged result distances.
         stats: The query's merged :class:`~repro.core.results.QueryStats`.
@@ -148,6 +179,7 @@ class QueryTrace:
     window_positions: tuple[int, int] = (0, 0)
     selection: list[SelectionEvent] = field(default_factory=list)
     blocks: list[BlockSearchEvent] = field(default_factory=list)
+    shards: list[ShardScatterEvent] = field(default_factory=list)
     result_positions: tuple[int, ...] = ()
     result_distances: tuple[float, ...] = ()
     stats: "QueryStats | None" = None
@@ -216,6 +248,29 @@ class QueryTrace:
             )
         )
 
+    def record_shard(
+        self,
+        shard: int,
+        pruned: bool,
+        failed: bool,
+        n_results: int,
+        distance_evaluations: int,
+        seconds: float = 0.0,
+        started: float = 0.0,
+    ) -> None:
+        """Append one shard scatter span (called by ``ShardRouter``)."""
+        self.shards.append(
+            ShardScatterEvent(
+                shard=shard,
+                pruned=pruned,
+                failed=failed,
+                n_results=n_results,
+                distance_evaluations=distance_evaluations,
+                seconds=seconds,
+                started=started,
+            )
+        )
+
     # ----------------------------------------------------------- inspection
 
     @property
@@ -254,6 +309,16 @@ class QueryTrace:
                     e.n_results,
                 )
                 for e in self.blocks
+            ),
+            tuple(
+                (
+                    e.shard,
+                    e.pruned,
+                    e.failed,
+                    e.n_results,
+                    e.distance_evaluations,
+                )
+                for e in self.shards
             ),
             self.result_positions,
             self.result_distances,
@@ -323,6 +388,21 @@ class QueryTrace:
                 f"{e.n_results:>3} hits  "
                 f"@{e.started * 1e3:7.3f}+{e.seconds * 1e3:.3f} ms{tier}"
             )
+        if self.shards:
+            lines.append("")
+            lines.append("shard scatter:")
+            for s in self.shards:
+                if s.pruned:
+                    status = "pruned"
+                elif s.failed:
+                    status = "FAILED"
+                else:
+                    status = "ok"
+                lines.append(
+                    f"  shard {s.shard:>3} {status:<7} "
+                    f"{s.n_results:>3} hits  dists {s.distance_evaluations:>6}  "
+                    f"@{s.started * 1e3:7.3f}+{s.seconds * 1e3:.3f} ms"
+                )
         lines.append("")
         kept = len(self.result_positions)
         contributed = sum(e.n_results for e in self.blocks)

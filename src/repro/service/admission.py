@@ -74,6 +74,7 @@ class AdmissionQueue:
     """
 
     def __init__(self, maxsize: int) -> None:
+        """Create a bounded queue admitting at most ``maxsize`` requests."""
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self._maxsize = int(maxsize)
@@ -82,6 +83,7 @@ class AdmissionQueue:
         self._closed = False
 
     def __len__(self) -> int:
+        """Number of requests currently queued."""
         return len(self._items)
 
     @property

@@ -36,6 +36,7 @@ class RWLock:
     """
 
     def __init__(self) -> None:
+        """Create an unlocked reader-writer lock."""
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False

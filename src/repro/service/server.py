@@ -14,7 +14,9 @@ path        method   behaviour
 /healthz    GET      liveness + record/block counts
 /metrics    GET      the process metrics registry, text format
 /query      POST     ``{"query": [...], "k": 10, "t_start"?, "t_end"?,
-                     "timeout"?}`` → positions/distances/timestamps
+                     "timeout"?, "seed"?}`` → positions/distances/
+                     timestamps (``seed`` picks the synchronous
+                     deterministic path the shard router scatters on)
 /ingest     POST     ``{"vector": [...], "timestamp": 1.5}`` or
                      ``{"vectors": [[...]], "timestamps": [...]}``
 /checkpoint POST     force a snapshot + WAL rotation
@@ -55,7 +57,7 @@ def make_server(
     """
 
     class Handler(_ServiceHandler):
-        pass
+        """Per-server handler subclass carrying the injected state."""
 
     Handler.service = service
     server = ThreadingHTTPServer((host, port), Handler)
@@ -170,18 +172,41 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         return True
 
     def _handle_query(self) -> None:
+        """Answer ``POST /query``.
+
+        Without ``"seed"`` the request flows through the admission queue
+        (bounded, deadline-aware, micro-batched) and entry-sampling
+        randomness is drawn from the service's stream.  With an integer
+        ``"seed"`` the query runs synchronously under
+        ``np.random.default_rng(seed)`` instead — the deterministic path
+        the shard router scatters on, so any two transports (or a
+        recovered replica) answer bit-identically.
+        """
         payload = self._read_json()
         query = np.asarray(payload["query"], dtype=np.float64)
         k = int(payload.get("k", 10))
-        result = self.service.query(
-            query,
-            k,
-            float(payload.get("t_start", float("-inf"))),
-            float(payload.get("t_end", float("inf"))),
-            timeout=(
-                float(payload["timeout"]) if "timeout" in payload else None
-            ),
-        )
+        t_start = float(payload.get("t_start", float("-inf")))
+        t_end = float(payload.get("t_end", float("inf")))
+        if "seed" in payload:
+            result = self.service.search(
+                query,
+                k,
+                t_start,
+                t_end,
+                rng=np.random.default_rng(int(payload["seed"])),
+            )
+        else:
+            result = self.service.query(
+                query,
+                k,
+                t_start,
+                t_end,
+                timeout=(
+                    float(payload["timeout"])
+                    if "timeout" in payload
+                    else None
+                ),
+            )
         self._reply(
             200,
             {
@@ -189,7 +214,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 "distances": [float(d) for d in result.distances],
                 "timestamps": [float(t) for t in result.timestamps],
                 "blocks_searched": result.stats.blocks_searched,
+                "graph_blocks": result.stats.graph_blocks,
+                "nodes_visited": result.stats.nodes_visited,
                 "distance_evaluations": result.stats.distance_evaluations,
+                "window_size": result.stats.window_size,
             },
         )
 

@@ -173,6 +173,7 @@ class ServiceConfig:
     compact_interval: float | None = None
 
     def __post_init__(self) -> None:
+        """Validate the configured policies."""
         if self.fsync not in FSYNC_POLICIES:
             raise ValueError(
                 f"fsync must be one of {FSYNC_POLICIES}, got {self.fsync!r}"
@@ -242,6 +243,7 @@ class IndexService:
         applied_records: int | None = None,
         recovery: RecoveryReport | None = None,
     ) -> None:
+        """Wire an index to its durability state; prefer :meth:`open`."""
         self._index = index
         self._data_dir = Path(data_dir)
         self._data_dir.mkdir(parents=True, exist_ok=True)
@@ -864,12 +866,15 @@ class IndexService:
         self._wal.abandon()
 
     def __enter__(self) -> "IndexService":
+        """Enter a ``with`` block; :meth:`close` runs on exit."""
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        """Close the service (checkpoint + drain) on block exit."""
         self.close()
 
     def __repr__(self) -> str:
+        """Compact state summary for logs and debugging."""
         return (
             f"IndexService(dir={self._data_dir}, records={self._applied}, "
             f"dim={self._index.dim}, closed={self._closed})"

@@ -230,6 +230,7 @@ class WriteAheadLog:
         fsync: str = "always",
         fsync_interval: float = 0.05,
     ) -> None:
+        """Open (creating if needed) the log file at ``path``."""
         if fsync not in FSYNC_POLICIES:
             raise ValueError(
                 f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
@@ -399,12 +400,15 @@ class WriteAheadLog:
             pass
 
     def __enter__(self) -> "WriteAheadLog":
+        """Enter a ``with`` block; the log closes on exit."""
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        """Flush and close the log on block exit."""
         self.close()
 
     def __repr__(self) -> str:
+        """Compact state summary for logs and debugging."""
         return (
             f"WriteAheadLog({self._path}, dim={self._dim}, "
             f"records={self._record_count}, fsync={self._fsync!r})"

@@ -1,0 +1,59 @@
+"""Sharded scatter-gather serving: one stream, N worker shards.
+
+The time-accumulating stream is partitioned across N full
+:class:`~repro.service.IndexService` instances (each with its own WAL,
+snapshots, and optional tiering) by contiguous vector-index range;
+:class:`ShardRouter` routes every ingest to the owning shard, prunes
+shards whose time range misses the query window, scatters TkNN queries
+to the survivors, and merges the per-shard top-k by the library-wide
+ascending ``(distance, position)`` tie-break — so sharded answers are
+**bit-identical** to a single-process reference over the same data.
+
+Layers, bottom to top:
+
+* :mod:`repro.core.shardmap` — the pure routing arithmetic
+  (:class:`~repro.core.shardmap.ShardPlan`) and window→shard pruning;
+* :mod:`repro.sharding.transport` — in-process and HTTP ways of reaching
+  one shard, answering under the router's derived seeds;
+* :mod:`repro.sharding.router` — scatter, retry/timeout, partial-result
+  degradation, and the deterministic merge;
+* :mod:`repro.sharding.worker` — worker-shard processes and the
+  :class:`ShardCluster` supervisor (``repro serve --shards N``);
+* :mod:`repro.sharding.server` — the router's own HTTP frontend.
+
+See ``docs/sharding.md`` for the operations guide.
+"""
+
+from .router import RouterConfig, ShardedResult, ShardRouter
+from .server import make_router_server
+from .transport import (
+    HttpTransport,
+    InProcessTransport,
+    ShardReply,
+    ShardTransport,
+    shard_info,
+)
+from .worker import (
+    ShardCluster,
+    WorkerHandle,
+    make_worker_server,
+    run_worker,
+    spawn_workers,
+)
+
+__all__ = [
+    "HttpTransport",
+    "InProcessTransport",
+    "RouterConfig",
+    "ShardCluster",
+    "ShardReply",
+    "ShardRouter",
+    "ShardTransport",
+    "ShardedResult",
+    "WorkerHandle",
+    "make_router_server",
+    "make_worker_server",
+    "run_worker",
+    "shard_info",
+    "spawn_workers",
+]

@@ -1,0 +1,174 @@
+"""The router's HTTP frontend: one port in front of N worker shards.
+
+``repro serve --shards N`` binds this in the parent process.  The
+endpoint surface mirrors the single-shard frontend
+(:mod:`repro.service.server`) so clients need no changes — plus a
+``partial`` flag on ``/query`` replies (degraded scatter-gather) and
+``GET /shard/stats`` for topology.
+
+==============  =======  ==============================================
+path            method   behaviour
+==============  =======  ==============================================
+/healthz        GET      aggregate liveness + per-shard health rows
+/metrics        GET      the process metrics registry (``shard_*`` etc.)
+/query          POST     scatter-gather TkNN; reply carries ``partial``,
+                         ``queried_shards``, ``failed_shards``
+/ingest         POST     route to the owning shard (single or batch)
+/checkpoint     POST     snapshot + WAL rotation on every shard
+/shard/stats    GET      the router's topology/occupancy document
+==============  =======  ==============================================
+
+Status codes follow the single-shard frontend (400 malformed, 503
+draining) plus 503 for a failed required shard
+(:class:`~repro.exceptions.ShardUnavailableError` without
+``allow_partial``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import ReproError, ShardUnavailableError
+from ..observability.metrics import get_registry
+from .router import ShardRouter
+
+_MAX_BODY = 64 * 1024 * 1024
+
+__all__ = ["make_router_server"]
+
+
+def make_router_server(
+    router: ShardRouter, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the router frontend bound to ``router``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address``.
+    """
+
+    class Handler(_RouterHandler):
+        """Per-server handler subclass carrying the injected state."""
+
+    Handler.router = router
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    return server
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Request handler translating HTTP to :class:`ShardRouter` calls."""
+
+    router: ShardRouter  # injected by make_router_server
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence per-request stderr logging; metrics cover it."""
+
+    def _reply(self, status: int, payload: dict | str) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0 or length > _MAX_BODY:
+            raise ValueError(f"bad Content-Length {length}")
+        payload = json.loads(self.rfile.read(length))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        """Serve ``/healthz``, ``/metrics``, and ``/shard/stats``."""
+        if self.path == "/healthz":
+            rows = self.router.health()
+            ok = all(row["ok"] or row["draining"] for row in rows)
+            self._reply(
+                200 if ok else 503,
+                {
+                    "status": "ok" if ok else "degraded",
+                    "records": self.router.total_records,
+                    "shards": rows,
+                },
+            )
+        elif self.path == "/metrics":
+            self._reply(200, get_registry().render() + "\n")
+        elif self.path == "/shard/stats":
+            self._reply(200, self.router.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        """Serve ``/query``, ``/ingest``, and ``/checkpoint``."""
+        try:
+            if self.path == "/query":
+                self._handle_query()
+            elif self.path == "/ingest":
+                self._handle_ingest()
+            elif self.path == "/checkpoint":
+                self.router.checkpoint()
+                self._reply(200, {"checkpointed": self.router.n_shards})
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+        except ShardUnavailableError as error:
+            self._reply(503, {"error": str(error), "shard": error.shard})
+        except (ReproError, ValueError, KeyError, TypeError) as error:
+            self._reply(400, {"error": str(error)})
+
+    def _handle_query(self) -> None:
+        """Scatter-gather one query; the reply carries the ``partial`` flag."""
+        payload = self._read_json()
+        result = self.router.search(
+            np.asarray(payload["query"], dtype=np.float64),
+            int(payload.get("k", 10)),
+            float(payload.get("t_start", float("-inf"))),
+            float(payload.get("t_end", float("inf"))),
+            seed=(int(payload["seed"]) if "seed" in payload else None),
+            allow_partial=(
+                bool(payload["allow_partial"])
+                if "allow_partial" in payload
+                else None
+            ),
+        )
+        self._reply(
+            200,
+            {
+                "positions": [int(p) for p in result.positions],
+                "distances": [float(d) for d in result.distances],
+                "timestamps": [float(t) for t in result.timestamps],
+                "partial": result.partial,
+                "queried_shards": list(result.queried_shards),
+                "pruned_shards": list(result.pruned_shards),
+                "failed_shards": list(result.failed_shards),
+                "blocks_searched": result.stats.blocks_searched,
+                "distance_evaluations": result.stats.distance_evaluations,
+            },
+        )
+
+    def _handle_ingest(self) -> None:
+        """Route an ingest (single or batch) to the owning shard(s)."""
+        payload = self._read_json()
+        if "vectors" in payload:
+            assigned = self.router.ingest_batch(
+                np.asarray(payload["vectors"], dtype=np.float64),
+                np.asarray(payload["timestamps"], dtype=np.float64),
+            )
+            self._reply(200, {"positions": [assigned.start, assigned.stop]})
+        else:
+            position = self.router.ingest(
+                np.asarray(payload["vector"], dtype=np.float64),
+                float(payload["timestamp"]),
+            )
+            self._reply(200, {"position": position})

@@ -1,0 +1,319 @@
+"""Worker-shard processes: one full ``IndexService`` + HTTP server each.
+
+A *worker* is the unit the router scatters to: a process that recovers
+one shard's data directory (WAL + snapshots, optional tiering — exactly
+the single-node serving stack of :mod:`repro.service`) and serves the
+standard HTTP endpoints plus ``GET /shard/info``, the attach endpoint
+:class:`~repro.sharding.router.ShardRouter` uses to reconstruct routing
+state after a restart.
+
+:class:`ShardCluster` supervises N such processes from the parent: it
+spawns them (ephemeral or fixed ports), waits for readiness, hands out
+:class:`~repro.sharding.transport.HttpTransport` instances, and can
+kill (``SIGKILL``, for chaos), restart, and drain them.  ``repro serve
+--shards N`` and the bench harness's sharding suite are both built on
+it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import urllib.parse
+from dataclasses import dataclass
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+
+from ..core.config import MBIConfig
+from ..core.shardmap import ShardPlan
+from ..service.server import _ServiceHandler
+from ..service.service import IndexService, ServiceConfig
+from .transport import HttpTransport, shard_info
+
+__all__ = [
+    "ShardCluster",
+    "WorkerHandle",
+    "make_worker_server",
+    "run_worker",
+    "spawn_workers",
+]
+
+
+class _WorkerHandler(_ServiceHandler):
+    """The shard worker's HTTP handler: base endpoints + ``/shard/info``."""
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        """Serve ``/shard/info`` (router attach) or defer to the base."""
+        if self.path.startswith("/shard/info"):
+            if not self._admit_request():
+                return
+            query = urllib.parse.urlparse(self.path).query
+            params = urllib.parse.parse_qs(query)
+            try:
+                stripe_size = int(params.get("stripe_size", ["0"])[0])
+                if stripe_size < 1:
+                    raise ValueError(f"bad stripe_size {stripe_size}")
+                self._reply(200, shard_info(self.service, stripe_size))
+            except (ValueError, KeyError) as error:
+                self._reply(400, {"error": str(error)})
+            return
+        super().do_GET()
+
+
+def make_worker_server(
+    service: IndexService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Build (not start) a shard-worker HTTP server bound to ``service``.
+
+    Identical to :func:`repro.service.make_server` plus the
+    ``/shard/info`` endpoint; ``port=0`` binds an ephemeral port (read
+    it back from ``server.server_address``).
+    """
+
+    class Handler(_WorkerHandler):
+        """Per-server handler subclass carrying the injected state."""
+
+    Handler.service = service
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    return server
+
+
+def run_worker(
+    shard: int,
+    data_dir: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    dim: int | None = None,
+    metric: str = "euclidean",
+    mbi_config: MBIConfig | None = None,
+    service_config: ServiceConfig | None = None,
+    ready_queue=None,
+) -> None:
+    """Worker-process main: recover the shard, serve HTTP until SIGTERM.
+
+    Opens (recovering) the shard's :class:`IndexService` at ``data_dir``,
+    binds the worker server, reports ``(shard, port)`` on
+    ``ready_queue`` (when given), and serves until ``SIGTERM``/
+    ``SIGINT`` — then drains the service and exits.  Run directly, or as
+    a ``multiprocessing.Process`` target via :class:`ShardCluster`.
+    """
+    service = IndexService.open(
+        data_dir,
+        dim=dim,
+        metric=metric,
+        mbi_config=mbi_config,
+        config=service_config,
+    )
+    server = make_worker_server(service, host, port)
+
+    def _shutdown(signum: int, _frame: object) -> None:
+        # shutdown() blocks until serve_forever()'s loop notices the
+        # request, and that loop runs on this very thread — hand the
+        # call to a helper thread so the handler can return.
+        import threading
+
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    if ready_queue is not None:
+        ready_queue.put((shard, server.server_address[1]))
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.close()
+
+
+@dataclass
+class WorkerHandle:
+    """One supervised worker: its process, address, and data directory."""
+
+    shard: int
+    process: multiprocessing.Process
+    host: str
+    port: int
+    data_dir: Path
+
+
+class ShardCluster:
+    """Supervisor for N worker-shard processes.
+
+    Shard ``i`` lives in ``data_dir/shard-<i>`` — the same layout
+    :meth:`ShardRouter.open` uses in-process, so a cluster and an
+    in-process router over the same directory serve identical data.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        n_shards: int,
+        *,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        dim: int | None = None,
+        metric: str = "euclidean",
+        mbi_config: MBIConfig | None = None,
+        service_config: ServiceConfig | None = None,
+    ) -> None:
+        """Configure (but do not start) a cluster of ``n_shards`` workers.
+
+        ``base_port=0`` gives every worker an ephemeral port; otherwise
+        worker ``i`` binds ``base_port + i``.
+        """
+        self.data_dir = Path(data_dir)
+        self.n_shards = n_shards
+        self.host = host
+        self.base_port = base_port
+        self.dim = dim
+        self.metric = metric
+        self.mbi_config = mbi_config
+        self.service_config = service_config
+        self.workers: list[WorkerHandle] = []
+
+    def shard_dir(self, shard: int) -> Path:
+        """The data directory of shard ``shard``."""
+        return self.data_dir / f"shard-{shard:03d}"
+
+    def start(self, timeout: float = 60.0) -> list[WorkerHandle]:
+        """Spawn every worker and wait until all report ready.
+
+        Raises ``TimeoutError`` (after terminating the stragglers) when
+        a worker fails to bind within ``timeout`` seconds.
+        """
+        context = multiprocessing.get_context()
+        ready: multiprocessing.Queue = context.Queue()
+        processes = []
+        for shard in range(self.n_shards):
+            port = 0 if self.base_port == 0 else self.base_port + shard
+            process = context.Process(
+                target=run_worker,
+                args=(shard, self.shard_dir(shard)),
+                kwargs={
+                    "host": self.host,
+                    "port": port,
+                    "dim": self.dim,
+                    "metric": self.metric,
+                    "mbi_config": self.mbi_config,
+                    "service_config": self.service_config,
+                    "ready_queue": ready,
+                },
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+        ports: dict[int, int] = {}
+        try:
+            while len(ports) < self.n_shards:
+                shard, port = ready.get(timeout=timeout)
+                ports[shard] = port
+        except Exception as error:
+            for process in processes:
+                process.terminate()
+            raise TimeoutError(
+                f"only {len(ports)}/{self.n_shards} workers became ready"
+            ) from error
+        self.workers = [
+            WorkerHandle(
+                shard=shard,
+                process=processes[shard],
+                host=self.host,
+                port=ports[shard],
+                data_dir=self.shard_dir(shard),
+            )
+            for shard in range(self.n_shards)
+        ]
+        return self.workers
+
+    def transports(
+        self, *, timeout: float | None = None
+    ) -> list[HttpTransport]:
+        """One :class:`HttpTransport` per running worker, in shard order."""
+        return [
+            HttpTransport(w.shard, w.host, w.port, timeout=timeout)
+            for w in self.workers
+        ]
+
+    def plan(self, *, stripe_leaves: int = 1) -> ShardPlan:
+        """The cluster's routing plan (requires ``mbi_config``)."""
+        config = self.mbi_config or MBIConfig()
+        return ShardPlan.from_config(
+            self.n_shards, config, stripe_leaves=stripe_leaves
+        )
+
+    def kill(self, shard: int) -> None:
+        """``SIGKILL`` one worker (the chaos shard-kill fault)."""
+        handle = self.workers[shard]
+        if handle.process.is_alive():
+            os.kill(handle.process.pid, signal.SIGKILL)
+        handle.process.join(timeout=30)
+
+    def restart(self, shard: int, timeout: float = 60.0) -> WorkerHandle:
+        """Respawn one (dead or stopped) worker; waits for readiness.
+
+        The worker recovers its shard from WAL + snapshots; with
+        ``base_port=0`` it may come back on a new ephemeral port, so
+        callers must rebuild transports (the router re-attaches).
+        """
+        self.kill(shard)
+        context = multiprocessing.get_context()
+        ready: multiprocessing.Queue = context.Queue()
+        port = 0 if self.base_port == 0 else self.base_port + shard
+        process = context.Process(
+            target=run_worker,
+            args=(shard, self.shard_dir(shard)),
+            kwargs={
+                "host": self.host,
+                "port": port,
+                "dim": self.dim,
+                "metric": self.metric,
+                "mbi_config": self.mbi_config,
+                "service_config": self.service_config,
+                "ready_queue": ready,
+            },
+            daemon=True,
+        )
+        process.start()
+        shard_id, bound_port = ready.get(timeout=timeout)
+        handle = WorkerHandle(
+            shard=shard_id,
+            process=process,
+            host=self.host,
+            port=bound_port,
+            data_dir=self.shard_dir(shard),
+        )
+        self.workers[shard] = handle
+        return handle
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully drain every worker (``SIGTERM``), escalating to kill."""
+        for handle in self.workers:
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in self.workers:
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():  # pragma: no cover - escalation
+                os.kill(handle.process.pid, signal.SIGKILL)
+                handle.process.join(timeout=5)
+
+    def __enter__(self) -> "ShardCluster":
+        """Context-manager entry (does not start the workers)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: stop the cluster."""
+        self.stop()
+
+
+def spawn_workers(
+    data_dir: str | Path,
+    n_shards: int,
+    **kwargs,
+) -> ShardCluster:
+    """Convenience: build a :class:`ShardCluster` and start it."""
+    cluster = ShardCluster(data_dir, n_shards, **kwargs)
+    cluster.start()
+    return cluster

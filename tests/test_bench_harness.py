@@ -112,11 +112,29 @@ class TestHarnessRun:
         # The backfill window is cold: promotions must dent its hit rate.
         assert rows["tiered-backfill"]["tier_hit_rate"] < 1.0
 
+    def test_sharding_suite_gates_bit_identity(self, payload):
+        suite = payload["suites"]["sharding"]
+        counts = [r["shard_count"] for r in suite["rows"]]
+        assert counts[0] == 1 and any(c > 1 for c in counts)
+        for row in suite["rows"]:
+            assert row["identical_to_reference"] is True
+            assert row["partial_queries"] == 0
+            assert row["requests"] >= 1
+            assert row["qps"] > 0
+            assert row["p50_ms"] <= row["p99_ms"]
+            # The writer ran throughout the timed phase.
+            assert row["ingest_rate"] > 0
+        assert suite["settled_prefix"] > 0
+        lo, hi = suite["query_window"]
+        assert 0 <= lo < hi <= suite["settled_prefix"]
+
     def test_render_mentions_all_suites(self, payload):
         out = render_bench(payload)
         assert "sequential vs parallel" in out
         assert "qps" in out
         assert "graph kernels" in out
+        assert "sharding" in out
+        assert "qps uplift over 1-shard" in out
         assert "tiering" in out
         assert "recall@k" in out
         assert "hit rate" in out
@@ -227,6 +245,34 @@ class TestValidateBench:
         bad = copy.deepcopy(payload)
         bad["suites"]["tiering"]["rows"][0]["tier_hit_rate"] = 1.5
         with pytest.raises(ValueError, match="tier_hit_rate"):
+            validate_bench(bad)
+
+    def test_rejects_divergent_sharded_answers(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["sharding"]["rows"][-1]["identical_to_reference"] = False
+        with pytest.raises(ValueError, match="scatter-gather must never"):
+            validate_bench(bad)
+
+    def test_rejects_partial_sharded_answers(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["sharding"]["rows"][0]["partial_queries"] = 3
+        with pytest.raises(ValueError, match="partial answers"):
+            validate_bench(bad)
+
+    def test_rejects_sharding_without_multi_shard_row(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["sharding"]["rows"] = [
+            r
+            for r in bad["suites"]["sharding"]["rows"]
+            if r["shard_count"] == 1
+        ]
+        with pytest.raises(ValueError, match="at least one multi-shard"):
+            validate_bench(bad)
+
+    def test_rejects_missing_sharding_suite(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["suites"]["sharding"]
+        with pytest.raises(ValueError, match="missing sharding rows"):
             validate_bench(bad)
 
     def test_rejects_beamless_graph_kernels(self, payload):

@@ -267,12 +267,19 @@ class TestErrors:
 
 class TestChaos:
     def test_sweep_runs_and_reports(self, capsys):
-        assert main(["chaos", "--crash-seeds", "3", "--diff-seeds", "1"]) == 0
+        argv = [
+            "chaos",
+            "--crash-seeds", "3",
+            "--diff-seeds", "1",
+            "--shard-seeds", "2",
+        ]
+        assert main(argv) == 0
         out = capsys.readouterr().out
         assert "crash seed 0: ok" in out
         assert "crash seed 2: ok" in out
         assert "diff  seed 0: ok" in out
-        assert "3 crash + 1 differential schedules passed" in out
+        assert "shard seed 1: ok" in out
+        assert "3 crash + 1 differential + 2 shard schedules passed" in out
 
     def test_single_seed_reproduction_mode(self, capsys):
         assert main(["chaos", "--crash-seed", "4"]) == 0

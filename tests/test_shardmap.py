@@ -1,0 +1,134 @@
+"""Unit tests for the pure shard-routing arithmetic (repro.core.shardmap)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MBIConfig
+from repro.core.shardmap import ShardPlan, prune_shards
+from repro.exceptions import ConfigurationError
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+
+class TestShardPlan:
+    def test_from_config_uses_whole_leaves(self):
+        plan = ShardPlan.from_config(3, MBIConfig(leaf_size=125))
+        assert plan.stripe_size == 125
+        plan = ShardPlan.from_config(3, MBIConfig(leaf_size=125), stripe_leaves=4)
+        assert plan.stripe_size == 500
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_shards": 0, "stripe_size": 8},
+            {"n_shards": -1, "stripe_size": 8},
+            {"n_shards": 2, "stripe_size": 0},
+        ],
+    )
+    def test_rejects_degenerate_plans(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ShardPlan(**kwargs)
+
+    def test_rejects_bad_stripe_leaves(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan.from_config(2, MBIConfig(leaf_size=8), stripe_leaves=0)
+
+    def test_round_robin_striping(self):
+        plan = ShardPlan(n_shards=3, stripe_size=4)
+        owners = [plan.shard_of(p) for p in range(24)]
+        assert owners == [0] * 4 + [1] * 4 + [2] * 4 + [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_local_positions_are_dense_per_shard(self):
+        """Each shard's local positions count 0, 1, 2, ... in stream order."""
+        plan = ShardPlan(n_shards=3, stripe_size=4)
+        seen = {shard: 0 for shard in range(plan.n_shards)}
+        for position in range(100):
+            shard = plan.shard_of(position)
+            assert plan.local_position(position) == seen[shard]
+            seen[shard] += 1
+
+    @given(
+        st.integers(1, 7),
+        st.integers(1, 9),
+        st.integers(0, 10_000),
+    )
+    @SETTINGS
+    def test_local_global_round_trip(self, n_shards, stripe_size, position):
+        plan = ShardPlan(n_shards=n_shards, stripe_size=stripe_size)
+        shard = plan.shard_of(position)
+        local = plan.local_position(position)
+        assert plan.global_position(shard, local) == position
+
+    @given(st.integers(1, 7), st.integers(1, 9), st.integers(0, 5_000))
+    @SETTINGS
+    def test_record_counts_match_simulation(self, n_shards, stripe_size, total):
+        plan = ShardPlan(n_shards=n_shards, stripe_size=stripe_size)
+        simulated = [0] * n_shards
+        for position in range(total):
+            simulated[plan.shard_of(position)] += 1
+        assert plan.shard_record_counts(total) == simulated
+        assert plan.total_records(simulated) == total
+
+    def test_total_records_rejects_illegal_split(self):
+        plan = ShardPlan(n_shards=2, stripe_size=4)
+        good = plan.shard_record_counts(13)
+        assert plan.total_records(good) == 13
+        with pytest.raises(ConfigurationError):
+            plan.total_records([good[0] - 1, good[1]])  # shard 0 lost a record
+        with pytest.raises(ConfigurationError):
+            plan.total_records([good[0]])  # wrong shard count
+
+
+class TestPruneShards:
+    def test_empty_shards_always_pruned(self):
+        assert prune_shards(-np.inf, np.inf, [[], [], []]) == []
+
+    def test_intersection_rule(self):
+        bounds = [
+            [(0.0, 3.0), (8.0, 11.0)],  # shard 0
+            [(4.0, 7.0)],  # shard 1
+            [(12.0, 15.0)],  # shard 2
+        ]
+        assert prune_shards(-np.inf, np.inf, bounds) == [0, 1, 2]
+        assert prune_shards(5.0, 6.0, bounds) == [1]
+        assert prune_shards(9.0, 13.0, bounds) == [0, 2]
+        # Half-open window: t_end is exclusive, stripe t_min inclusive.
+        assert prune_shards(0.0, 4.0, bounds) == [0]
+        assert prune_shards(3.0, 4.0, bounds) == [0]
+        # Degenerate empty window prunes everything.
+        assert prune_shards(5.0, 5.0, bounds) == []
+
+    @given(
+        st.integers(1, 4),
+        st.integers(1, 5),
+        st.integers(0, 200),
+        st.floats(-10, 210),
+        st.floats(-10, 210),
+    )
+    @SETTINGS
+    def test_pruning_is_conservative(
+        self, n_shards, stripe_size, total, a, b
+    ):
+        """A pruned shard never owns an in-window record."""
+        t_start, t_end = min(a, b), max(a, b)
+        plan = ShardPlan(n_shards=n_shards, stripe_size=stripe_size)
+        timestamps = np.sort(
+            np.random.default_rng(total).uniform(0, 200, size=total)
+        )
+        bounds: list[list[tuple[float, float]]] = [[] for _ in range(n_shards)]
+        for position, ts in enumerate(timestamps):
+            shard = plan.shard_of(position)
+            stripe = plan.local_position(position) // stripe_size
+            if stripe == len(bounds[shard]):
+                bounds[shard].append((float(ts), float(ts)))
+            else:
+                lo, _ = bounds[shard][stripe]
+                bounds[shard][stripe] = (lo, float(ts))
+        survivors = set(prune_shards(t_start, t_end, bounds))
+        for position, ts in enumerate(timestamps):
+            if t_start <= ts < t_end:
+                assert plan.shard_of(position) in survivors
