@@ -1,7 +1,7 @@
 """Reproducible performance harness — the numbers behind ``repro bench``.
 
-Five pinned-seed suites, emitted as one schema-versioned JSON document
-(``repro-bench/v4``) that every future PR appends a sibling of:
+Six pinned-seed suites, emitted as one schema-versioned JSON document
+(``repro-bench/v5``) that every future PR appends a sibling of:
 
 * **sequential_vs_parallel** — per-query TkNN latency of ``MBI.search``
   run sequentially and fanned out across ``QueryExecutor`` pools of
@@ -24,6 +24,15 @@ Five pinned-seed suites, emitted as one schema-versioned JSON document
   cold prefix (promotions/rebuilds on the critical path).  Rows carry
   ``resident_bytes`` and ``tier_hit_rate``; the suite records the
   budget and whether peak resident bytes stayed under it;
+* **cold_codes** — the compressed cold-tier search path
+  (``MBIConfig.cold_codes``) against promote-on-miss on a backfill-heavy
+  window mix under a quartered memory budget: twin indices answer the
+  same cold-leaning batch cycle, one by promoting every cold block it
+  touches, the other ADC-first from resident PQ code sidecars with an
+  exact memmap re-rank.  Rows carry ``recall_at_k`` against the exact
+  oracle, re-ranked rows per query, promotions, and peak resident
+  bytes; ``validate_bench`` gates the ADC row's recall at ≥ 0.99 and
+  both methods' query-phase peaks within the budget;
 * **sharding** — scatter-gather serving (``repro.sharding``) at several
   shard counts under concurrent full-speed ingest: each count first
   passes a bit-identity gate against the single-shard reference over
@@ -58,12 +67,13 @@ import platform
 import statistics
 import time
 from dataclasses import dataclass
+from dataclasses import replace as dc_replace
 from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
 
-SCHEMA = "repro-bench/v4"
+SCHEMA = "repro-bench/v5"
 
 #: Pool widths exercised by the sequential-vs-parallel suite (0 means
 #: sequential; widths beyond the CPU count measure oversubscription).
@@ -149,6 +159,10 @@ def build_workload(profile: HarnessProfile, seed: int):
         seed=seed,
     )
     index = MultiLevelBlockIndex(profile.dim, "euclidean", config)
+    # Pin the flag over any ambient REPRO_COLD_CODES override: the
+    # shared suites (and the tiering suite's bit-identity gate) measure
+    # the exact promote-on-miss path by construction.
+    index._config = dc_replace(index._config, cold_codes=False)
     index.extend(vectors, timestamps)
 
     half = profile.n_items * profile.window_fraction / 2
@@ -624,6 +638,192 @@ def run_tiering_suite(index, queries, profile: HarnessProfile, seed: int) -> dic
     }
 
 
+def run_cold_codes_suite(
+    profile: HarnessProfile, seed: int, n_workers: int
+) -> dict:
+    """Compressed cold-tier search vs promote-on-miss on a backfill mix.
+
+    Builds twin indices over the pinned workload — one with
+    ``cold_codes=False`` (every cold read promotes the block), one with
+    ``cold_codes=True`` (cold spans answer ADC-first from their PQ code
+    sidecars with an exact memmap re-rank) — then times the same
+    backfill-heavy batch cycle on both under a memory budget of a
+    quarter of the all-hot residency.  The cycle leans cold on purpose:
+    three *disjoint* backfill windows (together ~45% of the timeline)
+    for every recent batch, so the promote-on-miss twin's cold working
+    set cannot fit the quartered budget — every pass re-promotes and
+    re-demotes block after block, which is exactly the churn the code
+    sidecars exist to avoid.
+
+    Both twins answer through the batched block-by-block executor path
+    (the serving layer's fast path): a compressed block then serves all
+    queries of a batch with one multi-query LUT-sum scan
+    (``adc_scan_batch``) instead of a table build per query.
+
+    Self-contained (its own indices), so it is independent of the
+    suite order in :func:`run_harness`.
+    """
+    from repro import MBIConfig, MultiLevelBlockIndex, QueryExecutor
+    from repro.core.config import SearchParams
+    from repro.graph.builder import GraphConfig
+    from repro.observability.metrics import get_registry
+    from repro.storage.timeline import TimeWindow
+    from repro.tiering.compactor import Compactor
+
+    registry = get_registry()
+    promotions = registry.counter("tier_promotions_total")
+    rerank_rows = registry.counter("tier_adc_rerank_rows_total")
+    resident_gauge = registry.gauge("tier_resident_bytes")
+
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=4.0, size=(8, profile.dim))
+    assignments = rng.integers(0, len(centers), size=profile.n_items)
+    vectors = centers[assignments] + rng.normal(
+        size=(profile.n_items, profile.dim)
+    )
+    timestamps = np.arange(profile.n_items, dtype=np.float64)
+    queries = centers[
+        rng.integers(0, len(centers), size=profile.n_queries)
+    ] + rng.normal(size=(profile.n_queries, profile.dim))
+
+    n = profile.n_items
+    windows = {
+        "backfill-a": (0.0, n * 0.2),
+        "backfill-b": (n * 0.25, n * 0.45),
+        "backfill-c": (n * 0.5, n * 0.7),
+        "recent": (n * 0.95, float(n)),
+    }
+    # Cold-heavy cycle: 3 of 4 batches land outside the hot window, on
+    # disjoint spans whose blocks together overflow the budget.
+    mix = ("backfill-a", "backfill-b", "backfill-c", "recent")
+    hot_window = int(0.05 * n)
+
+    rows = []
+    budget_bytes = None
+    oracles = None
+    for method, cold_codes in (
+        ("promote-on-miss", False),
+        ("adc-first", True),
+    ):
+        config = MBIConfig(
+            leaf_size=profile.leaf_size,
+            graph=GraphConfig(n_neighbors=12, exact_threshold=100_000),
+            search=SearchParams(
+                brute_force_threshold=32,
+                cold_adc_threshold=32,
+                cold_rerank_factor=16,
+            ),
+            cold_codes=cold_codes,
+            seed=seed,
+        )
+        index = MultiLevelBlockIndex(profile.dim, "euclidean", config)
+        # The twin comparison IS the explicit on/off flag — re-pin it
+        # over any ambient REPRO_COLD_CODES override.
+        index._config = dc_replace(index._config, cold_codes=cold_codes)
+        index.extend(vectors, timestamps)
+        if oracles is None:
+            store = index.store
+            oracles = {}
+            for window_name, (lo, hi) in windows.items():
+                span = store.resolve_window(TimeWindow(float(lo), float(hi)))
+                oracles[window_name] = exact_window_topk(
+                    vectors, queries, profile.k, span.start, span.stop
+                )
+        if budget_bytes is None:
+            # The twins are byte-identical builds: size the shared
+            # budget once, off the first.  An eighth of all-hot cannot
+            # hold the three backfill windows' blocks at once, so the
+            # promote-on-miss twin churns on every pass.
+            budget_bytes = _resident_block_bytes(index) // 8
+        budget_mb = budget_bytes / 2**20
+        manager = index.enable_tiering(
+            memory_budget_mb=budget_mb, hot_window_vectors=hot_window
+        )
+        # Pin the experiment's budget against an ambient
+        # REPRO_MEMORY_BUDGET_MB (enable_tiering is first-config-wins).
+        manager.reconfigure(
+            memory_budget_mb=budget_mb, hot_window_vectors=hot_window
+        )
+        Compactor(manager).run_once()
+        # Audit the query phase, not the enable-time sync (see
+        # run_tiering_suite).
+        resident_gauge._reset()
+        resident_gauge.set(manager.cache.resident_bytes)
+
+        promotions_before = promotions.value
+        rerank_before = rerank_rows.value
+        best = float("inf")
+        first_pass = None
+        pool = QueryExecutor(n_workers)
+        try:
+            for _ in range(profile.repeats):
+                started = time.perf_counter()
+                batch = [
+                    (name, index.search_batch(
+                        queries,
+                        profile.k,
+                        *windows[name],
+                        rng=np.random.default_rng(seed),
+                        executor=pool,
+                    ))
+                    for name in mix
+                ]
+                best = min(best, time.perf_counter() - started)
+                if first_pass is None:
+                    first_pass = batch
+        finally:
+            pool.shutdown()
+        n_answers = len(queries) * len(mix)
+        recall = statistics.fmean(
+            _recall(result.positions, exact, profile.k)
+            for window_name, results in first_pass
+            for result, exact in zip(results, oracles[window_name])
+        )
+        dist_evals = statistics.fmean(
+            float(result.stats.distance_evaluations)
+            for _, results in first_pass
+            for result in results
+        )
+        stats = manager.stats()
+        rows.append(
+            {
+                "method": method,
+                "qps": n_answers / best if best > 0 else float("inf"),
+                "mean_ms": best / n_answers * 1e3,
+                "batch_seconds": best,
+                "recall_at_k": recall,
+                "dist_evals_per_query": dist_evals,
+                "promotions": int(promotions.value - promotions_before),
+                "rerank_rows_per_query": (
+                    (rerank_rows.value - rerank_before)
+                    / (n_answers * profile.repeats)
+                ),
+                "resident_bytes": int(manager.cache.resident_bytes),
+                "peak_resident_bytes": int(stats["peak_resident_bytes"]),
+                "within_budget": bool(
+                    stats["peak_resident_bytes"] <= budget_bytes
+                ),
+                "cold_blocks": int(stats["cold_blocks"]),
+            }
+        )
+
+    by_method = {row["method"]: row for row in rows}
+    return {
+        "budget_bytes": int(budget_bytes),
+        "hot_window_vectors": hot_window,
+        "mix": list(mix),
+        "windows": {
+            name: [float(lo), float(hi)]
+            for name, (lo, hi) in windows.items()
+        },
+        "qps_ratio": (
+            by_method["adc-first"]["qps"]
+            / by_method["promote-on-miss"]["qps"]
+        ),
+        "rows": rows,
+    }
+
+
 def run_sharding_suite(profile: HarnessProfile, seed: int) -> dict:
     """Scatter-gather serving vs shard count, under concurrent ingest.
 
@@ -839,6 +1039,7 @@ def run_harness(
         index, queries, profile, seed, beam_sweep
     )
     sharding = run_sharding_suite(profile, seed)
+    cold_codes = run_cold_codes_suite(profile, seed, workers)
     # Last on purpose: enabling tiering on the shared index is one-way.
     tiering = run_tiering_suite(index, queries, profile, seed)
 
@@ -867,6 +1068,7 @@ def run_harness(
             "qps": qps,
             "graph_kernels": graph_kernels,
             "sharding": sharding,
+            "cold_codes": cold_codes,
             "tiering": tiering,
         },
     }
@@ -878,7 +1080,7 @@ def run_harness(
 
 
 def validate_bench(payload: dict) -> None:
-    """Raise ``ValueError`` unless ``payload`` is a valid repro-bench/v4 doc.
+    """Raise ``ValueError`` unless ``payload`` is a valid repro-bench/v5 doc.
 
     This is the schema gate the CI smoke job runs: it checks document
     structure, row fields/types, and the semantic invariants — the
@@ -889,10 +1091,13 @@ def validate_bench(payload: dict) -> None:
     count, the graph_kernels suite must pit the legacy greedy engine
     against at least one beam width, the tiering suite must show
     cold blocks, bit-identical tiered answers, a hit rate in ``[0, 1]``
-    per row, and a query-phase peak residency within the budget, and
-    the sharding suite must measure a single-shard baseline plus at
-    least one multi-shard count with every row bit-identical to the
-    reference and zero partial answers.
+    per row, and a query-phase peak residency within the budget, the
+    cold_codes suite must measure both the promote-on-miss baseline and
+    the adc-first method with the ADC row's recall at least 0.99, every
+    row's query-phase peak within the budget, and re-ranked rows only on
+    the ADC side, and the sharding suite must measure a single-shard
+    baseline plus at least one multi-shard count with every row
+    bit-identical to the reference and zero partial answers.
     """
 
     def fail(message: str) -> None:
@@ -1031,6 +1236,53 @@ def validate_bench(payload: dict) -> None:
     for key in ("settled_prefix", "query_window"):
         if key not in sharding:
             fail(f"sharding suite missing key {key!r}")
+
+    cold_codes = suites.get("cold_codes")
+    cc_methods = check_throughput_rows("cold_codes", cold_codes)
+    if cc_methods != {"promote-on-miss", "adc-first"}:
+        fail(
+            "cold_codes suite must measure promote-on-miss and adc-first, "
+            f"got {cc_methods}"
+        )
+    for key in ("budget_bytes", "hot_window_vectors", "mix", "qps_ratio"):
+        if key not in cold_codes:
+            fail(f"cold_codes suite missing key {key!r}")
+    for row in cold_codes["rows"]:
+        for field_name, kind in (
+            ("promotions", int),
+            ("rerank_rows_per_query", (int, float)),
+            ("resident_bytes", int),
+            ("peak_resident_bytes", int),
+            ("within_budget", bool),
+            ("cold_blocks", int),
+        ):
+            if not isinstance(row.get(field_name), kind):
+                fail(
+                    f"cold_codes row field {field_name!r} missing or "
+                    f"mistyped: {row!r}"
+                )
+        if not row["within_budget"]:
+            fail(
+                f"cold_codes query-phase peak resident bytes "
+                f"({row['peak_resident_bytes']}) exceeded the budget "
+                f"({cold_codes['budget_bytes']}) in row {row!r}"
+            )
+        if row["cold_blocks"] <= 0:
+            fail(f"cold_codes row {row!r} measured no cold blocks")
+        if row["method"] == "adc-first":
+            if row["recall_at_k"] < 0.99:
+                fail(
+                    f"adc-first recall_at_k {row['recall_at_k']} is below "
+                    "the 0.99 gate (the exact re-rank shortlist is too "
+                    "aggressive)"
+                )
+            if row["rerank_rows_per_query"] <= 0:
+                fail("adc-first row re-ranked no rows (ADC path never ran)")
+        elif row["rerank_rows_per_query"] != 0:
+            fail(
+                f"promote-on-miss row re-ranked rows ({row!r}) — the ADC "
+                "path ran with cold_codes off"
+            )
 
     tiering = suites.get("tiering")
     tier_methods = check_throughput_rows("tiering", tiering)
@@ -1176,6 +1428,30 @@ def render_bench(payload: dict) -> str:
                 f"  {row['shard_count']}-shard qps uplift over 1-shard: "
                 f"{row['qps'] / baseline_qps:.2f}x"
             )
+    cold_codes = payload["suites"]["cold_codes"]
+    lines.append("")
+    lines.append(
+        f"cold codes (backfill-heavy mix {'/'.join(cold_codes['mix'])}, "
+        f"budget {cold_codes['budget_bytes'] / 2**20:.2f} MiB, hot window "
+        f"{cold_codes['hot_window_vectors']:,} vectors):"
+    )
+    lines.append(
+        f"  {'method':<18} {'qps':>9} {'mean ms':>9} {'recall@k':>9} "
+        f"{'rerank/q':>9} {'promotions':>10} {'peak MiB':>9}  in budget"
+    )
+    for row in cold_codes["rows"]:
+        lines.append(
+            f"  {row['method']:<18} {row['qps']:>9.0f} "
+            f"{row['mean_ms']:>9.3f} {row['recall_at_k']:>9.4f} "
+            f"{row['rerank_rows_per_query']:>9.0f} "
+            f"{row['promotions']:>10} "
+            f"{row['peak_resident_bytes'] / 2**20:>9.2f}  "
+            f"{'yes' if row['within_budget'] else 'NO'}"
+        )
+    lines.append(
+        f"  adc-first qps uplift over promote-on-miss: "
+        f"{cold_codes['qps_ratio']:.2f}x"
+    )
     tiering = payload["suites"]["tiering"]
     lines.append("")
     lines.append(

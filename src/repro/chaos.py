@@ -92,18 +92,21 @@ CRASH_KINDS = (
     "tier_demote",
     "tier_promote",
     "tier_compact",
+    "cold_codes",
 )
 
 #: Families whose faults are absorbed inside the service (never surface as
 #: an ingest error): the dropped fsync is silent, preemption only yields,
 #: and every tier fault falls back to staying hot / rebuilding / keeping
-#: the old idx file — so ``fault`` legitimately stays ``None``.
+#: the old idx file (a torn code sidecar falls back to promote-on-miss) —
+#: so ``fault`` legitimately stays ``None``.
 _ABSORBED_KINDS = (
     "fsync_drop",
     "preemption",
     "tier_demote",
     "tier_promote",
     "tier_compact",
+    "cold_codes",
 )
 
 
@@ -121,6 +124,12 @@ class CrashScenario:
     #: Deliberately pathological — everything demotes — so the scenario
     #: exercises demotion, promotion, rebuild, and compaction constantly.
     memory_budget_mb: float | None = None
+    #: Whether the scenario runs with compressed cold-tier search on
+    #: (the ``cold_codes`` family): demotions try to write code sidecars
+    #: with ``tier.code_write`` faults armed throughout, so every
+    #: sidecar is torn or missing and queries must fall back to
+    #: promote-on-miss — bit-identically to the untiered reference.
+    cold_codes: bool = False
 
     def describe(self) -> str:
         """One-line human summary."""
@@ -180,6 +189,7 @@ def make_crash_scenario(seed: int) -> CrashScenario:
     fsync = "always"
     snapshot_every = 0
     memory_budget_mb: float | None = None
+    cold_codes = False
     points: dict[str, Action] = {}
     if kind == "torn_append":
         cut = int(rng.integers(1, record_bytes))
@@ -232,6 +242,22 @@ def make_crash_scenario(seed: int) -> CrashScenario:
             points["tier.promote_read"] = Action("raise", "io", times=-1)
         else:
             points["tier.compact_rename"] = Action("raise", "io", times=-1)
+    elif kind == "cold_codes":
+        # Compressed cold-tier search under a sidecar-hostile disk: the
+        # same pathological budget as the tier families, cold_codes on,
+        # and *every* code-sidecar write faulted — half the seeds abort
+        # the write cleanly (block demotes without codes), half tear the
+        # committed sidecar (first read fails, block promotes instead).
+        # Either way no sidecar ever serves, so answers must stay
+        # bit-identical to the untiered, never-crashed reference.
+        memory_budget_mb = 0.001
+        cold_codes = True
+        snapshot_every = int(rng.integers(8, 17))
+        if rng.random() < 0.5:
+            points["tier.code_write"] = Action("raise", "io", times=-1)
+        else:
+            cut = int(rng.integers(8, 512))
+            points["tier.code_write"] = Action("truncate", cut, times=-1)
     return CrashScenario(
         seed=seed,
         kind=kind,
@@ -240,6 +266,7 @@ def make_crash_scenario(seed: int) -> CrashScenario:
         snapshot_every=snapshot_every,
         failpoints=points,
         memory_budget_mb=memory_budget_mb,
+        cold_codes=cold_codes,
     )
 
 
@@ -276,6 +303,15 @@ def run_crash_scenario(
         # bit-identity invariant is unchanged.
         config = replace(
             config, search=replace(config.search, brute_force_threshold=4)
+        )
+    if scenario.cold_codes:
+        # The reference index shares this config but never enables
+        # tiering, so the flag is inert there — the ADC path only exists
+        # behind a tier manager.
+        config = replace(
+            config,
+            cold_codes=True,
+            search=replace(config.search, cold_adc_threshold=4),
         )
     data_dir = Path(data_dir)
     service = IndexService.open(
@@ -317,49 +353,63 @@ def run_crash_scenario(
     if scenario.failpoints and scenario.kind not in _ABSORBED_KINDS:
         _check(fault is not None, seed, "the scheduled fault never fired")
 
-    recovered = IndexService.open(
-        data_dir,
-        dim=DIM,
-        mbi_config=config,
-        config=ServiceConfig(
-            fsync="never", memory_budget_mb=scenario.memory_budget_mb
-        ),
+    # The cold_codes family keeps the hostile disk through recovery:
+    # sidecar writes still fail, so recovery-time demotions cannot mint a
+    # servable sidecar — every query must take the exact promote-on-miss
+    # fallback, which is what the bit-identity check below verifies.
+    recovery_points = (
+        {"tier.code_write": Action("raise", "io", times=-1)}
+        if scenario.cold_codes
+        else {}
     )
-    try:
-        n = recovered.applied_records
-        expected = _expected_recovered(scenario, acked, fault)
-        _check(
-            n in expected,
-            seed,
-            f"recovered {n} records, expected one of {sorted(expected)} "
-            f"(acked={acked}, kind={scenario.kind}, fault={fault})",
+    with failpoints.scope(recovery_points):
+        recovered = IndexService.open(
+            data_dir,
+            dim=DIM,
+            mbi_config=config,
+            config=ServiceConfig(
+                fsync="never", memory_budget_mb=scenario.memory_budget_mb
+            ),
         )
-        # The crown invariant: answers over the recovered prefix are
-        # bit-identical to a never-crashed reference.
-        reference = _reference_index(seed, n, config)
-        queries = np.random.default_rng([0x51EE, seed]).standard_normal(
-            (_QUERIES, DIM)
-        )
-        k = max(1, min(_K, n))
-        for qi, query in enumerate(queries):
-            got = recovered.search(query, k, rng=np.random.default_rng(qi))
-            want = reference.search(query, k, rng=np.random.default_rng(qi))
+        try:
+            n = recovered.applied_records
+            expected = _expected_recovered(scenario, acked, fault)
             _check(
-                np.array_equal(got.positions, want.positions)
-                and np.array_equal(got.distances, want.distances),
+                n in expected,
                 seed,
-                f"query {qi}: recovered answers diverge from the "
-                f"never-crashed reference over {n} records",
+                f"recovered {n} records, expected one of {sorted(expected)} "
+                f"(acked={acked}, kind={scenario.kind}, fault={fault})",
             )
-        # And the service keeps accepting writes where it left off.
-        recovered.ingest(stream_vector(seed, n), float(n))
-        _check(
-            recovered.applied_records == n + 1,
-            seed,
-            "recovered service did not resume ingesting",
-        )
-    finally:
-        recovered.close()
+            # The crown invariant: answers over the recovered prefix are
+            # bit-identical to a never-crashed reference.
+            reference = _reference_index(seed, n, config)
+            queries = np.random.default_rng([0x51EE, seed]).standard_normal(
+                (_QUERIES, DIM)
+            )
+            k = max(1, min(_K, n))
+            for qi, query in enumerate(queries):
+                got = recovered.search(
+                    query, k, rng=np.random.default_rng(qi)
+                )
+                want = reference.search(
+                    query, k, rng=np.random.default_rng(qi)
+                )
+                _check(
+                    np.array_equal(got.positions, want.positions)
+                    and np.array_equal(got.distances, want.distances),
+                    seed,
+                    f"query {qi}: recovered answers diverge from the "
+                    f"never-crashed reference over {n} records",
+                )
+            # And the service keeps accepting writes where it left off.
+            recovered.ingest(stream_vector(seed, n), float(n))
+            _check(
+                recovered.applied_records == n + 1,
+                seed,
+                "recovered service did not resume ingesting",
+            )
+        finally:
+            recovered.close()
     return CrashReport(
         scenario=scenario,
         acked=acked,
@@ -405,6 +455,9 @@ class DifferentialReport:
     queries_checked: int
     beam_recall: float
     greedy_recall: float
+    #: Aggregate recall of the cold_codes (ADC + exact rerank) engine,
+    #: measured on a fully-demoted tiered twin of the same workload.
+    adc_recall: float = 1.0
 
 
 def _assert_well_formed(
@@ -540,13 +593,26 @@ def run_differential_scenario(
     store = VectorStore(dim)
     index_seq = MultiLevelBlockIndex(dim, "euclidean", base)
     index_par = MultiLevelBlockIndex(dim, "euclidean", base)
+    # A tiered twin with compressed cold-tier search on: a pathological
+    # budget demotes every built block immediately (each demotion writes
+    # a code sidecar) and a zero ADC threshold answers every cold span
+    # from codes — the harshest setting for the ADC + exact-rerank path.
+    adc_config = replace(
+        base,
+        cold_codes=True,
+        search=replace(
+            base.search, cold_adc_threshold=0, cold_rerank_factor=3
+        ),
+    )
+    index_adc = MultiLevelBlockIndex(dim, "euclidean", adc_config)
+    index_adc.enable_tiering(memory_budget_mb=0.001)
     pending: list[list] = []  # deferred chains, one sub-list per index
     pool = QueryExecutor(3, name="repro-chaos-diff")
 
     inserts = 0
     queries_checked = 0
-    hits = {"beam": 0, "greedy": 0}
-    total = {"beam": 0, "greedy": 0}
+    hits = {"beam": 0, "greedy": 0, "adc": 0}
+    total = {"beam": 0, "greedy": 0, "adc": 0}
     next_ts = 0.0
 
     def _fail(message: str) -> None:
@@ -572,16 +638,18 @@ def run_differential_scenario(
                     store.append(vector, ts)
                     _, chain_a = index_seq.insert_deferred(vector, ts)
                     _, chain_b = index_par.insert_deferred(vector, ts)
-                    if chain_a or chain_b:
-                        pending.append([chain_a, chain_b])
+                    _, chain_c = index_adc.insert_deferred(vector, ts)
+                    if chain_a or chain_b or chain_c:
+                        pending.append([chain_a, chain_b, chain_c])
                     inserts += 1
                 # Build deferred chains at seeded points only, so queries
                 # regularly observe mixed built/unbuilt trees — but
                 # identically mixed across the compared indexes.
                 if pending and rng.random() < 0.5:
-                    chain_a, chain_b = pending.pop(0)
+                    chain_a, chain_b, chain_c = pending.pop(0)
                     index_seq.build_blocks(chain_a)
                     index_par.build_blocks(chain_b)
+                    index_adc.build_blocks(chain_c)
                 continue
 
             # ---- query step -------------------------------------------
@@ -650,6 +718,17 @@ def run_differential_scenario(
                 f"step {step} greedy",
             )
             total["greedy"] += len(oracle.positions)
+            # Compressed cold-tier search: every cold block answers from
+            # its code sidecar (ADC scan + exact rerank) — the answer
+            # must be structurally sound and keep recall with the rest.
+            res_adc = index_adc.search(
+                query, k, *window, rng=np.random.default_rng(qseed)
+            )
+            hits["adc"] += _assert_well_formed(
+                res_adc, oracle, store, query, window, seed,
+                f"step {step} adc",
+            )
+            total["adc"] += len(oracle.positions)
 
             # k-prefix consistency on the exact configuration.
             if k > 1:
@@ -706,7 +785,7 @@ def run_differential_scenario(
         pool.shutdown(wait=True)
 
     recalls = {}
-    for engine in ("beam", "greedy"):
+    for engine in ("beam", "greedy", "adc"):
         recalls[engine] = (
             hits[engine] / total[engine] if total[engine] else 1.0
         )
@@ -722,6 +801,7 @@ def run_differential_scenario(
         queries_checked=queries_checked,
         beam_recall=recalls["beam"],
         greedy_recall=recalls["greedy"],
+        adc_recall=recalls["adc"],
     )
 
 

@@ -377,6 +377,14 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         help="seconds between background compaction sweeps (requires "
         "--memory-budget-mb; default: compact only at checkpoints)",
     )
+    parser.add_argument(
+        "--cold-codes",
+        action="store_true",
+        help="compressed cold-tier search: demotions write PQ code "
+        "sidecars and wide cold-window queries answer with an ADC scan "
+        "+ exact memmap rerank instead of promoting (requires "
+        "--memory-budget-mb to matter; see docs/quantization.md)",
+    )
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -585,6 +593,7 @@ def _service_mbi_config(args: argparse.Namespace):
         tau=args.tau,
         # Small blocks build fastest through the exact builder.
         graph=GraphConfig(n_neighbors=8, exact_threshold=100_000),
+        cold_codes=getattr(args, "cold_codes", False),
     )
 
 
@@ -604,6 +613,8 @@ def _service_config(args: argparse.Namespace):
         extras["memory_budget_mb"] = args.memory_budget_mb
     if getattr(args, "compact_interval", None) is not None:
         extras["compact_interval"] = args.compact_interval
+    if getattr(args, "cold_codes", False):
+        extras["cold_codes"] = True
     return ServiceConfig(
         fsync=args.fsync,
         snapshot_every=args.snapshot_every,
@@ -874,6 +885,7 @@ def _cmd_tier(args: argparse.Namespace) -> int:
             row["vec_ref"] if row["vec_ref"] != row["index"] else "self",
             f"{row['idx_bytes'] / 1e3:.1f} KB",
             f"{row['vec_bytes'] / 1e3:.1f} KB" if row["vec_bytes"] else "-",
+            f"{row['pq_bytes'] / 1e3:.1f} KB" if row["pq_bytes"] else "-",
             "TORN" if row["torn"] else "ok",
         ]
         for row in rows
@@ -890,7 +902,7 @@ def _cmd_tier(args: argparse.Namespace) -> int:
     print()
     print(
         format_table(
-            ["block", "backend", "positions", "vec", "idx", "vectors", "state"],
+            ["block", "backend", "positions", "vec", "idx", "vectors", "pq", "state"],
             table,
         )
     )

@@ -157,6 +157,19 @@ class SearchParams:
             drop in-window nodes from its capped candidate set.  Set to 0
             for the paper's literal Algorithm 4 (graph search on every
             built block).
+        cold_adc_threshold: When ``MBIConfig.cold_codes`` is on and a cold
+            block's in-window span exceeds this many vectors, answer it
+            ADC-first from its resident code sidecar (compressed scan +
+            exact memmap re-rank, no promotion) instead of promoting the
+            whole block.  Spans at or below the threshold keep the cheap
+            exact paths (brute scan / promote) — for tiny spans the ADC
+            table build costs more than it saves.  Ignored when
+            ``cold_codes`` is off.
+        cold_rerank_factor: ADC candidates per requested neighbor that the
+            cold-tier compressed search re-ranks with exact memmap reads.
+            Higher values gather more rows for the exact pass: recall is
+            monotone non-decreasing in this factor (a property test pins
+            that), latency rises linearly in it.
     """
 
     epsilon: float = 1.1
@@ -165,6 +178,8 @@ class SearchParams:
     n_entries: int = 4
     beam_width: int = 32
     brute_force_threshold: int = 64
+    cold_adc_threshold: int = 64
+    cold_rerank_factor: int = 4
 
     def __post_init__(self) -> None:
         if self.epsilon < 1.0:
@@ -193,6 +208,16 @@ class SearchParams:
                 f"brute_force_threshold must be >= 0, "
                 f"got {self.brute_force_threshold}"
             )
+        if self.cold_adc_threshold < 0:
+            raise ConfigurationError(
+                f"cold_adc_threshold must be >= 0, "
+                f"got {self.cold_adc_threshold}"
+            )
+        if self.cold_rerank_factor < 1:
+            raise ConfigurationError(
+                f"cold_rerank_factor must be >= 1, "
+                f"got {self.cold_rerank_factor}"
+            )
 
     def with_epsilon(self, epsilon: float) -> "SearchParams":
         """Copy with a different ``epsilon`` (used by the evaluation sweep)."""
@@ -203,6 +228,8 @@ class SearchParams:
             n_entries=self.n_entries,
             beam_width=self.beam_width,
             brute_force_threshold=self.brute_force_threshold,
+            cold_adc_threshold=self.cold_adc_threshold,
+            cold_rerank_factor=self.cold_rerank_factor,
         )
 
 
@@ -305,6 +332,14 @@ class MBIConfig:
         tiering: Two-tier block lifecycle knobs (see :class:`TieringConfig`
             and ``docs/tiering.md``).  Disabled by default; answers are
             bit-identical with tiering on or off, for any budget.
+        cold_codes: Answer cold blocks ADC-first from resident PQ code
+            sidecars (compressed scan + exact memmap re-rank — see
+            ``docs/quantization.md``) instead of promoting them.  Off by
+            default: with ``cold_codes=False`` every answer stays
+            bit-identical to the untiered index; turning it on trades
+            exactness of the *candidate filter* (final distances are
+            always exact) for promotion-free cold reads.  Tuned by
+            ``SearchParams.cold_adc_threshold`` / ``cold_rerank_factor``.
         seed: Base seed for all randomness inside the index (NNDescent,
             entry sampling).
     """
@@ -325,6 +360,7 @@ class MBIConfig:
     query_workers: int | None = None
     parallel_min_blocks: int = 2
     tiering: TieringConfig = field(default_factory=TieringConfig)
+    cold_codes: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -374,5 +410,6 @@ class MBIConfig:
             query_workers=self.query_workers,
             parallel_min_blocks=self.parallel_min_blocks,
             tiering=self.tiering,
+            cold_codes=self.cold_codes,
             seed=self.seed,
         )

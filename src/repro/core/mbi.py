@@ -22,17 +22,20 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 import numpy as np
 
 from ..distances.fused import StoreNormCache
+from ..distances.kernels import top_k_smallest
 from ..distances.metrics import Metric, resolve_metric
 from ..exceptions import EmptyIndexError, InvalidQueryError
 from ..graph.knn_graph import NO_NEIGHBOR
 from ..graph.knn_graph import KnnGraph
 from ..observability.metrics import get_registry
 from ..observability.trace import QueryTrace
+from ..quantization.adc import adc_scan, adc_scan_batch
 from ..storage.timeline import TimeWindow
 from ..storage.vector_store import VectorStore
 from .backends import GraphBackend, get_builder
@@ -137,7 +140,12 @@ class MultiLevelBlockIndex:
         # via MBIConfig.tiering; the REPRO_MEMORY_BUDGET_MB environment
         # variable is a runtime-only switch (used by the CI tight-budget
         # smoke job) that never changes answers, only residency.
+        # REPRO_COLD_CODES likewise force-enables compressed cold-tier
+        # search (docs/quantization.md) so the same job drives the ADC
+        # path through the whole suite.
         self._tiering: "TierManager" | None = None
+        if not self._config.cold_codes and os.environ.get("REPRO_COLD_CODES"):
+            self._config = replace(self._config, cold_codes=True)
         if self._config.tiering.enabled:
             self.enable_tiering()
         else:
@@ -883,6 +891,19 @@ class MultiLevelBlockIndex:
         )
         span = local.stop - local.start
         backend = block.backend
+        if (
+            self._tiering is not None
+            and backend is None
+            and self._config.cold_codes
+            and span > params.cold_adc_threshold
+            and span > params.brute_force_threshold
+        ):
+            # Same eligibility rule as _search_block, so a batch and its
+            # per-query equivalent agree on which blocks answer from
+            # compressed codes.
+            view = self._tiering.resolve_compressed(block)
+            if view is not None:
+                return self._adc_topk_batch(view, queries, k, local, params)
         if self._tiering is not None and (
             backend is not None or span > params.brute_force_threshold
         ):
@@ -926,6 +947,84 @@ class MultiLevelBlockIndex:
             )
         return out
 
+    def _adc_topk(
+        self,
+        view,
+        query: np.ndarray,
+        k: int,
+        local: range,
+        params: SearchParams,
+    ) -> tuple[tuple[np.ndarray, np.ndarray], int]:
+        """Compressed TkNN of one cold block: ADC scan + exact memmap rerank.
+
+        ADC is a *candidate filter only*: the in-window code rows are
+        scored with one flat-gather lookup-sum, the best
+        ``cold_rerank_factor * k`` survive, and only those raw rows are
+        gathered from the memmap for exact distances — the returned
+        distances are always exact.  Returns ``(found, rerank_rows)``
+        with absolute store positions.
+        """
+        lo = view.positions.start
+        codes = view.codes[local.start - lo : local.stop - lo]
+        q = query
+        if self._metric.normalizes:
+            norm = float(np.linalg.norm(q))
+            if norm > 0:
+                q = q / norm
+        table = view.quantizer.adc_table(q)
+        scores = adc_scan(table, codes, view.offsets)
+        shortlist_size = min(len(codes), params.cold_rerank_factor * k)
+        best = top_k_smallest(scores, shortlist_size)
+        rows = view.source.slice(local.start, local.stop)[best]
+        exact = self._metric.batch(query, rows)
+        top = top_k_smallest(exact, k)
+        ids = (local.start + best[top]).astype(np.int64)
+        return (ids, exact[top]), shortlist_size
+
+    def _adc_topk_batch(
+        self,
+        view,
+        queries: np.ndarray,
+        k: int,
+        local: range,
+        params: SearchParams,
+    ) -> list[tuple[tuple[np.ndarray, np.ndarray], QueryStats]]:
+        """Batched :meth:`_adc_topk`: one multi-query LUT-sum over the block.
+
+        Tables are built per query but the scan is a single batched
+        flat-gather; per-query shortlists rerank independently so each
+        answer is bit-identical to its single-query equivalent.
+        """
+        lo = view.positions.start
+        span = local.stop - local.start
+        codes = view.codes[local.start - lo : local.stop - lo]
+        tables = []
+        for q in queries:
+            # Scalar normalisation, exactly as _adc_topk does it, so a
+            # batched answer is bit-identical to its per-query twin.
+            if self._metric.normalizes:
+                norm = float(np.linalg.norm(q))
+                if norm > 0:
+                    q = q / norm
+            tables.append(view.quantizer.adc_table(q))
+        tables = np.stack(tables)
+        scores = adc_scan_batch(tables, codes, view.offsets)
+        shortlist_size = min(len(codes), params.cold_rerank_factor * k)
+        window_rows = view.source.slice(local.start, local.stop)
+        out = []
+        for i in range(len(queries)):
+            best = top_k_smallest(scores[i], shortlist_size)
+            exact = self._metric.batch(queries[i], window_rows[best])
+            top = top_k_smallest(exact, k)
+            ids = (local.start + best[top]).astype(np.int64)
+            self._tiering.note_adc(shortlist_size)
+            stats = QueryStats.for_graph_search(
+                nodes_visited=0,
+                distance_evaluations=span + shortlist_size,
+            )
+            out.append(((ids, exact[top]), stats))
+        return out
+
     def _search_block(
         self,
         block: Block,
@@ -960,6 +1059,46 @@ class MultiLevelBlockIndex:
             block_started = time.perf_counter()
         backend = block.backend
         tier = "hot"
+        if (
+            self._tiering is not None
+            and backend is None
+            and self._config.cold_codes
+            and span > params.cold_adc_threshold
+            and span > params.brute_force_threshold
+        ):
+            # Compressed cold-tier search: scan the block's resident PQ
+            # codes (ADC) and exact-rerank a small shortlist from the
+            # memmap — no promotion, no budget churn.  Falls through to
+            # the promote path when the sidecar is missing or torn.
+            view = self._tiering.resolve_compressed(block)
+            if view is not None:
+                found, rerank_rows = self._adc_topk(view, query, k, local, params)
+                self._tiering.note_adc(rerank_rows)
+                stats = QueryStats.for_graph_search(
+                    nodes_visited=0,
+                    distance_evaluations=span + rerank_rows,
+                )
+                event = None
+                if record:
+                    event = dict(
+                        block_index=block.index,
+                        height=block.height,
+                        positions=(
+                            block.positions.start,
+                            block.positions.stop,
+                        ),
+                        window=(local.start, local.stop),
+                        built=True,
+                        strategy="adc",
+                        reason="cold-codes",
+                        nodes_visited=0,
+                        distance_evaluations=stats.distance_evaluations,
+                        seconds=time.perf_counter() - block_started,
+                        n_results=len(found[0]),
+                        started=block_started - t0,
+                        tier="cold",
+                    )
+                return found, stats, event
         if self._tiering is not None and (
             backend is not None or span > params.brute_force_threshold
         ):

@@ -223,5 +223,8 @@ def _config_from_dict(payload: dict) -> MBIConfig:
         # Absent in pre-tiering snapshots (and ignored by pre-tiering
         # readers, which pick header keys explicitly) — no version bump.
         tiering=TieringConfig(**payload.get("tiering", {})),
+        # Absent in snapshots written before compressed cold-tier search:
+        # default to the exact promote-on-miss path.
+        cold_codes=payload.get("cold_codes", False),
         seed=payload["seed"],
     )

@@ -72,10 +72,12 @@ class BlockSearchEvent:
         window: The store-position span actually searched (the block range
             clipped to the query window and the filled prefix).
         built: Whether the block had a built backend at query time.
-        strategy: ``"graph"`` or ``"brute"``.
+        strategy: ``"graph"``, ``"brute"``, or ``"adc"`` (compressed
+            cold-tier search: PQ code scan + exact memmap rerank).
         reason: Why that strategy — ``"built-block"`` (graph), ``"open-leaf"``
-            (no backend yet), or ``"short-window"`` (span at or below
-            ``SearchParams.brute_force_threshold``).
+            (no backend yet), ``"short-window"`` (span at or below
+            ``SearchParams.brute_force_threshold``), or ``"cold-codes"``
+            (a demoted block answered from its resident code sidecar).
         nodes_visited: Graph nodes popped (0 for brute force).
         distance_evaluations: Distance computations charged to this block
             (see the convention in :mod:`repro.core.results`).
@@ -328,11 +330,13 @@ class QueryTrace:
         """Aggregate numbers for reporting (one trace's row)."""
         n_graph = sum(1 for e in self.blocks if e.strategy == "graph")
         n_brute = sum(1 for e in self.blocks if e.strategy == "brute")
+        n_adc = sum(1 for e in self.blocks if e.strategy == "adc")
         return {
             "window_size": float(self.window_size),
             "blocks_searched": float(len(self.blocks)),
             "graph_blocks": float(n_graph),
             "brute_blocks": float(n_brute),
+            "adc_blocks": float(n_adc),
             "nodes_visited": float(sum(e.nodes_visited for e in self.blocks)),
             "distance_evaluations": float(
                 sum(e.distance_evaluations for e in self.blocks)

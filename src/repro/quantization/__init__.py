@@ -1,6 +1,7 @@
 """Quantization-based indexing: k-means, IVF-Flat, PQ/ADC, and IVF-PQ."""
 
 from ..core.config import IVFPQConfig
+from .adc import adc_scan, adc_scan_batch, adc_table, subspace_offsets
 from .config import IVFConfig
 from .ivf import IVFBackend, build_ivf_backend
 from .ivfpq import IVFPQBackend, build_ivfpq_backend
@@ -15,8 +16,12 @@ __all__ = [
     "KMeansResult",
     "PQParams",
     "ProductQuantizer",
+    "adc_scan",
+    "adc_scan_batch",
+    "adc_table",
     "build_ivf_backend",
     "build_ivfpq_backend",
     "kmeans",
     "kmeans_plus_plus",
+    "subspace_offsets",
 ]

@@ -1,0 +1,118 @@
+"""Shared ADC (asymmetric distance computation) scan kernels.
+
+One query against many PQ codes decomposes into a per-query distance
+*table* — squared distances from each query subvector to every centroid
+of that subspace — followed by a lookup-sum over the codes.  The naive
+lookup (``table[np.arange(m)[None, :], codes]``) pays NumPy's general
+fancy-indexing machinery per row; the kernels here flatten the table to
+one contiguous ``(m * n_centroids,)`` float32 buffer and gather with
+:func:`np.take` using precomputed per-subspace code offsets, which is the
+memory-layout trick the ADC literature (kANNolo, arXiv:2501.06121) shows
+the scan lives or dies on.
+
+The kernels are shared verbatim by :class:`~repro.quantization.ivfpq.
+IVFPQBackend` (hot-tier IVFADC blocks) and the cold tier's compressed
+search path (:meth:`repro.tiering.manager.TierManager.resolve_compressed`).
+They are **bit-compatible** with the legacy scorer
+:meth:`ProductQuantizer.adc_distances`: the same float32 table entries are
+gathered and reduced along the same axis, so scores — and therefore
+candidate order — are bit-identical (pinned by
+``tests/test_quantization_ivfpq.py``).
+
+Everything accumulates in float32: ADC scores only ever *rank* candidates
+for an exact re-rank, so the half-ulp the float32 sum gives up buys a 2x
+smaller table in cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["adc_scan", "adc_scan_batch", "adc_table", "subspace_offsets"]
+
+
+def subspace_offsets(n_subspaces: int, n_centroids: int) -> np.ndarray:
+    """Flat-table index offsets, one per subspace.
+
+    Entry ``sub`` of the flattened ``(m * n_centroids,)`` table that code
+    ``c`` addresses is ``sub * n_centroids + c``; precompute the first
+    term once per quantizer and reuse it across every scan.
+    """
+    return np.arange(n_subspaces, dtype=np.intp) * n_centroids
+
+
+def adc_table(codebooks: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Per-subspace squared distances from ``query`` to every centroid.
+
+    Args:
+        codebooks: ``(m, n_centroids, sub_dim)`` float32 PQ codebooks.
+        query: The (unpadded) query vector; zero-padded to ``m * sub_dim``
+            exactly like :meth:`ProductQuantizer.encode` pads the data, so
+            the padding contributes identically to both sides.
+
+    Returns:
+        ``(m, n_centroids)`` float32 table; one table serves any number
+        of codes.
+    """
+    codebooks = np.asarray(codebooks, dtype=np.float32)
+    m, n_centroids, sub_dim = codebooks.shape
+    query = np.asarray(query, dtype=np.float64).reshape(-1)
+    padded = np.zeros(m * sub_dim, dtype=np.float64)
+    padded[: query.shape[0]] = query
+    table = np.empty((m, n_centroids), dtype=np.float32)
+    for sub in range(m):
+        chunk = padded[sub * sub_dim : (sub + 1) * sub_dim]
+        diff = codebooks[sub] - chunk.astype(np.float32)
+        table[sub] = np.einsum("kd,kd->k", diff, diff)
+    return table
+
+
+def adc_scan(
+    table: np.ndarray,
+    codes: np.ndarray,
+    offsets: np.ndarray | None = None,
+) -> np.ndarray:
+    """Approximate squared distances of ``codes`` under one query's table.
+
+    Args:
+        table: ``(m, n_centroids)`` float32 table from :func:`adc_table`.
+        codes: ``(n, m)`` uint8 PQ codes.
+        offsets: Precomputed :func:`subspace_offsets`; derived from the
+            table shape when omitted.
+
+    Returns:
+        ``(n,)`` float32 scores (same values, same order as the legacy
+        per-row fancy-indexing scorer).
+    """
+    table = np.ascontiguousarray(table, dtype=np.float32)
+    m, n_centroids = table.shape
+    if offsets is None:
+        offsets = subspace_offsets(m, n_centroids)
+    flat = table.reshape(-1)
+    indices = codes.astype(np.intp) + offsets[None, :]
+    return np.take(flat, indices).sum(axis=1)
+
+
+def adc_scan_batch(
+    tables: np.ndarray,
+    codes: np.ndarray,
+    offsets: np.ndarray | None = None,
+) -> np.ndarray:
+    """Many queries' tables against one code matrix in a single gather.
+
+    Args:
+        tables: ``(q, m, n_centroids)`` float32 stacked per-query tables.
+        codes: ``(n, m)`` uint8 PQ codes shared by every query.
+        offsets: Precomputed :func:`subspace_offsets`.
+
+    Returns:
+        ``(q, n)`` float32 scores; row ``i`` equals
+        ``adc_scan(tables[i], codes)`` bit for bit.
+    """
+    tables = np.ascontiguousarray(tables, dtype=np.float32)
+    q, m, n_centroids = tables.shape
+    if offsets is None:
+        offsets = subspace_offsets(m, n_centroids)
+    flat = tables.reshape(q, m * n_centroids)
+    indices = codes.astype(np.intp) + offsets[None, :]
+    return np.take(flat, indices, axis=1).sum(axis=2)

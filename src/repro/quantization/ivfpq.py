@@ -28,6 +28,7 @@ from ..core.config import IVFPQConfig, SearchParams
 from ..distances.kernels import top_k_smallest
 from ..distances.metrics import Metric
 from ..storage.vector_store import VectorStore
+from .adc import adc_scan, subspace_offsets
 from .ivf import _EPSILON_FULL_PROBE
 from .kmeans import kmeans
 from .pq import PQParams, ProductQuantizer
@@ -71,6 +72,10 @@ class IVFPQBackend(BlockBackend):
         self._store = store
         self._positions = positions
         self._metric = metric
+        # Flat-gather offsets for the shared ADC kernel, computed once.
+        self._adc_offsets = subspace_offsets(
+            quantizer.n_subspaces, quantizer.n_centroids
+        )
 
     @property
     def n_lists(self) -> int:
@@ -118,9 +123,10 @@ class IVFPQBackend(BlockBackend):
                 distance_evaluations=evaluations,
             )
 
-        # ADC pass over the compressed codes: one table, lookup-sum scores.
+        # ADC pass over the compressed codes: one table, one flat-gather
+        # lookup-sum (bit-identical to the legacy scorer — see adc.py).
         table = self.quantizer.adc_table(self._normalised(query))
-        scores = self.quantizer.adc_distances(table, self.codes[candidates])
+        scores = adc_scan(table, self.codes[candidates], self._adc_offsets)
         evaluations += len(candidates)
         shortlist_size = min(len(candidates), self.rerank_factor * k)
         shortlist = candidates[top_k_smallest(scores, shortlist_size)]

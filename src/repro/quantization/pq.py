@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..distances.kernels import squared_euclidean_cross
+from .adc import adc_table as _adc_table
 from .kmeans import kmeans
 
 
@@ -108,9 +109,14 @@ class ProductQuantizer:
     ) -> "ProductQuantizer":
         """Fit per-subspace codebooks on training vectors.
 
+        When fewer than ``params.n_centroids`` training vectors are given,
+        the per-subspace codebook size is clamped to ``n`` — k-means with
+        more centroids than points is meaningless, and small or non-full
+        leaf blocks must still quantize (the cold tier trains a quantizer
+        on every demoted block, whatever its fill).
+
         Args:
-            points: ``(n, d)`` training matrix; ``n`` must be at least
-                ``params.n_centroids``.
+            points: ``(n, d)`` training matrix, ``n >= 1``.
             params: Quantizer parameters.
             rng: Randomness for k-means seeding.
         """
@@ -120,22 +126,20 @@ class ProductQuantizer:
             rng = np.random.default_rng(0)
         points = np.asarray(points, dtype=np.float64)
         n, dim = points.shape
-        if n < params.n_centroids:
-            raise ValueError(
-                f"need at least n_centroids={params.n_centroids} training "
-                f"vectors, got {n}"
-            )
+        if n < 1:
+            raise ValueError("need at least one training vector")
+        n_centroids = min(params.n_centroids, n)
         padded = cls._pad(points, params.n_subspaces)
         sub_dim = padded.shape[1] // params.n_subspaces
         codebooks = np.empty(
-            (params.n_subspaces, params.n_centroids, sub_dim),
+            (params.n_subspaces, n_centroids, sub_dim),
             dtype=np.float32,
         )
         for sub in range(params.n_subspaces):
             chunk = padded[:, sub * sub_dim : (sub + 1) * sub_dim]
             result = kmeans(
                 chunk,
-                params.n_centroids,
+                n_centroids,
                 rng=rng,
                 max_iters=params.kmeans_iters,
             )
@@ -188,24 +192,20 @@ class ProductQuantizer:
         """Per-subspace squared distances from ``query`` to every centroid.
 
         Returns a ``(m, n_centroids)`` float32 table; one table serves any
-        number of codes.
+        number of codes.  Delegates to the shared kernel in
+        :mod:`repro.quantization.adc`.
         """
-        query = self._pad(
-            np.asarray(query, dtype=np.float64)[None, :], self.n_subspaces
-        )[0]
-        table = np.empty(
-            (self.n_subspaces, self.n_centroids), dtype=np.float32
-        )
-        for sub in range(self.n_subspaces):
-            chunk = query[sub * self.sub_dim : (sub + 1) * self.sub_dim]
-            diff = self.codebooks[sub] - chunk.astype(np.float32)
-            table[sub] = np.einsum("kd,kd->k", diff, diff)
-        return table
+        return _adc_table(self.codebooks, query)
 
     def adc_distances(
         self, table: np.ndarray, codes: np.ndarray
     ) -> np.ndarray:
-        """Approximate squared distances of codes given a query's ADC table."""
+        """Approximate squared distances of codes given a query's ADC table.
+
+        The legacy per-row fancy-indexing scorer, kept as the reference
+        implementation: :func:`repro.quantization.adc.adc_scan` is the
+        production kernel, and the parity tests pin the two bit-identical.
+        """
         # Gather one table entry per (vector, subspace) and sum rows.
         gathered = table[np.arange(self.n_subspaces)[None, :], codes]
         return gathered.sum(axis=1)

@@ -41,7 +41,7 @@ import re
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -159,6 +159,11 @@ class ServiceConfig:
             passes, on top of the on-checkpoint pass.  ``None`` (the
             default) compacts only at checkpoints, which keeps recovery
             scenarios deterministic.  Ignored without a memory budget.
+        cold_codes: Enable compressed cold-tier search: demotions write a
+            PQ code sidecar beside each cold file and queries answer
+            wide cold windows with an ADC scan + exact memmap rerank
+            instead of promoting (see ``docs/quantization.md``).  Off by
+            default; ignored without a memory budget.
     """
 
     fsync: str = "always"
@@ -171,6 +176,7 @@ class ServiceConfig:
     build_workers: int = 1
     memory_budget_mb: float | None = None
     compact_interval: float | None = None
+    cold_codes: bool = False
 
     def __post_init__(self) -> None:
         """Validate the configured policies."""
@@ -291,6 +297,12 @@ class IndexService:
         # they survive restarts) and attaches a compactor that runs after
         # every checkpoint — plus on a timer when compact_interval is set.
         self._compactor: "Compactor | None" = None
+        if self._config.cold_codes and not index.config.cold_codes:
+            # The index config owns the query-path switch; a snapshot
+            # written before cold codes (or without them) upgrades in
+            # place — the flag only adds sidecars, it never changes the
+            # store or block layout.
+            index._config = replace(index._config, cold_codes=True)
         if self._config.memory_budget_mb is not None and index.tiering is None:
             index.enable_tiering(
                 memory_budget_mb=self._config.memory_budget_mb,

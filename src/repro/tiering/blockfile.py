@@ -25,13 +25,26 @@ covers both children's position ranges, so a child's idx can be
 *retargeted* at the parent file (``vec_ref``) and its own vector file
 deleted — the paper's merge rule applied to the cold tier.
 
+A cold block may carry a third, strictly optional file:
+
+* ``block-<i>.pq.npz`` — a PQ **code sidecar**: the per-block
+  :class:`~repro.quantization.pq.ProductQuantizer` codebooks plus one
+  uint8 code row per vector, written at demotion when
+  ``MBIConfig.cold_codes`` is on.  Sidecars let queries answer the cold
+  block compressed (ADC scan + exact memmap re-rank — see
+  ``docs/quantization.md``) without promoting it.  The idx rename stays
+  the commit point: a missing or torn sidecar merely disables the
+  compressed path for that block (it promotes on miss, exactly as
+  before), never changes an answer.
+
 Failpoints (``repro.faultinject``): ``tier.demote_write`` fires before a
 demotion writes (``truncate`` tears the committed idx file, modelling
-page-cache loss), ``tier.promote_read`` before a promotion reads, and
-``tier.compact_rename`` before a retarget publishes.  The chaos harness
-(:mod:`repro.chaos`) drives all three and asserts answers stay
-bit-identical — torn or missing cold files degrade to a deterministic
-rebuild, never to a wrong answer.
+page-cache loss), ``tier.promote_read`` before a promotion reads,
+``tier.code_write`` before a code sidecar writes (``truncate`` tears the
+committed sidecar), and ``tier.compact_rename`` before a retarget
+publishes.  The chaos harness (:mod:`repro.chaos`) drives all four and
+asserts answers stay bit-identical — torn or missing cold files degrade
+to a deterministic rebuild or promote-on-miss, never to a wrong answer.
 """
 
 from __future__ import annotations
@@ -178,9 +191,17 @@ class ColdBlockStore:
         """The idx (commit-point) file of block ``index``."""
         return self.directory / f"block-{index:08d}.idx.npz"
 
+    def pq_path(self, index: int) -> Path:
+        """The optional PQ code sidecar of block ``index``."""
+        return self.directory / f"block-{index:08d}.pq.npz"
+
     def has(self, index: int) -> bool:
         """Whether block ``index`` is committed cold (its idx file exists)."""
         return self.idx_path(index).exists()
+
+    def has_codes(self, index: int) -> bool:
+        """Whether block ``index`` has a (possibly torn) code sidecar."""
+        return self.pq_path(index).exists()
 
     def indices(self) -> list[int]:
         """Sorted block ids committed in this directory."""
@@ -273,6 +294,66 @@ class ColdBlockStore:
                 f"could not demote block {index} to {self.directory}: {error}"
             ) from None
 
+    def write_codes(
+        self,
+        index: int,
+        positions: range,
+        quantizer_arrays: dict[str, np.ndarray],
+        codes: np.ndarray,
+    ) -> None:
+        """Commit block ``index``'s PQ code sidecar (idempotent, atomic).
+
+        ``quantizer_arrays`` is the quantizer's
+        :meth:`~repro.quantization.pq.ProductQuantizer.to_arrays` payload;
+        ``codes`` is the ``(n, m)`` uint8 code matrix, one row per vector
+        of ``positions``.  The sidecar is published with a temp name +
+        ``os.replace`` like every other cold file, but it is *not* a
+        commit point: the block is cold with or without it.  The
+        ``tier.code_write`` failpoint fires before any byte is written
+        (``raise`` aborts cleanly — the block demotes without codes) and
+        its ``truncate`` action tears the committed sidecar before
+        raising, modelling page-cache loss after the rename.
+        """
+        if len(codes) != positions.stop - positions.start:
+            raise PersistenceError(
+                f"block {index} code sidecar got {len(codes)} codes for "
+                f"positions [{positions.start}, {positions.stop})"
+            )
+        try:
+            act = failpoint("tier.code_write")
+            meta = {
+                "index": int(index),
+                "lo": positions.start,
+                "hi": positions.stop,
+                "dim": self._dim,
+            }
+            payload: dict[str, np.ndarray] = {
+                "meta": np.frombuffer(
+                    json.dumps(meta).encode("utf-8"), dtype=np.uint8
+                ),
+                "codes": np.ascontiguousarray(codes, dtype=np.uint8),
+            }
+            for key, array in quantizer_arrays.items():
+                payload[_ARR_PREFIX + key] = array
+            pq = self.pq_path(index)
+            tmp = pq.with_suffix(".tmp")
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp, pq)
+            if act is not None and act.kind == "truncate":
+                size = pq.stat().st_size
+                with open(pq, "r+b") as handle:
+                    handle.truncate(max(0, size - int(act.arg)))
+                raise OSError(
+                    f"failpoint tier.code_write: torn code sidecar "
+                    f"({act.arg} bytes lost) at {pq}"
+                )
+        except OSError as error:
+            raise PersistenceError(
+                f"could not write code sidecar of block {index} to "
+                f"{self.directory}: {error}"
+            ) from None
+
     # ------------------------------------------------------------------- read
 
     def read(
@@ -359,6 +440,58 @@ class ColdBlockStore:
             vec_lo=int(meta_raw["vec_lo"]),
         )
 
+    def read_codes(
+        self, index: int, positions: range
+    ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """Load block ``index``'s PQ code sidecar.
+
+        Returns ``(quantizer_arrays, codes)`` — the
+        :meth:`~repro.quantization.pq.ProductQuantizer.from_arrays`
+        payload and the ``(n, m)`` uint8 code matrix.
+
+        Raises:
+            PersistenceError: On a missing, torn, or inconsistent sidecar
+                — the caller falls back to promote-on-miss.
+        """
+        pq = self.pq_path(index)
+        try:
+            with _HEADER_LOCK, np.load(pq) as archive:
+                meta_raw = json.loads(bytes(archive["meta"]).decode("utf-8"))
+                codes = np.asarray(archive["codes"], dtype=np.uint8)
+                arrays = {
+                    name[len(_ARR_PREFIX) :]: archive[name]
+                    for name in archive.files
+                    if name.startswith(_ARR_PREFIX)
+                }
+        except FileNotFoundError:
+            raise PersistenceError(
+                f"cold block {index} has no code sidecar at {pq}"
+            ) from None
+        except _TORN_IDX_ERRORS as error:
+            raise PersistenceError(
+                f"cold block {index} code sidecar {pq} is unreadable: {error}"
+            ) from None
+        if (
+            int(meta_raw["index"]),
+            int(meta_raw["lo"]),
+            int(meta_raw["hi"]),
+        ) != (index, positions.start, positions.stop):
+            raise PersistenceError(
+                f"cold block {index} code sidecar describes block "
+                f"{meta_raw['index']} [{meta_raw['lo']}, {meta_raw['hi']}), "
+                f"expected [{positions.start}, {positions.stop})"
+            )
+        if len(codes) != positions.stop - positions.start:
+            raise PersistenceError(
+                f"cold block {index} code sidecar holds {len(codes)} codes "
+                f"for positions [{positions.start}, {positions.stop})"
+            )
+        return arrays, codes
+
+    def drop_codes(self, index: int) -> None:
+        """Delete block ``index``'s code sidecar (fallback cleanup)."""
+        self.pq_path(index).unlink(missing_ok=True)
+
     # -------------------------------------------------------------- compaction
 
     def retarget(self, index: int, vec_ref: int, vec_lo: int) -> None:
@@ -403,6 +536,8 @@ class ColdBlockStore:
             idx_bytes = self.idx_path(index).stat().st_size
             vec = self.vec_path(index)
             vec_bytes = vec.stat().st_size if vec.exists() else 0
+            pq = self.pq_path(index)
+            pq_bytes = pq.stat().st_size if pq.exists() else 0
             rows.append(
                 {
                     "index": index,
@@ -412,6 +547,7 @@ class ColdBlockStore:
                     "vec_ref": meta.vec_ref if meta else -1,
                     "idx_bytes": int(idx_bytes),
                     "vec_bytes": int(vec_bytes),
+                    "pq_bytes": int(pq_bytes),
                     "torn": meta is None,
                 }
             )

@@ -61,6 +61,8 @@ class BlockCache:
         self._lock = threading.Lock()
         self._handles: dict[int, BlockHandle] = {}
         self._resident = 0
+        self._code_bytes: dict[int, int] = {}
+        self._code_resident = 0
         self._tick = itertools.count(1)
         self._generation = 0
 
@@ -78,8 +80,13 @@ class BlockCache:
 
     @property
     def resident_bytes(self) -> int:
-        """Bytes currently attributed to hot blocks."""
-        return self._resident
+        """Bytes currently attributed to hot blocks and resident codes."""
+        return self._resident + self._code_resident
+
+    @property
+    def code_resident_bytes(self) -> int:
+        """Bytes currently attributed to resident PQ code sidecars."""
+        return self._code_resident
 
     def __len__(self) -> int:
         return len(self._handles)
@@ -112,6 +119,25 @@ class BlockCache:
                 return 0
             self._resident -= handle.nbytes
             return handle.nbytes
+
+    def add_code_bytes(self, index: int, nbytes: int) -> None:
+        """Account block ``index``'s resident PQ codes against the budget.
+
+        Code sidecars loaded for compressed (ADC) search are real RAM —
+        codebooks plus one code row per vector — so they share the same
+        budget as hot blocks.  Re-adding updates the size.
+        """
+        with self._lock:
+            self._code_resident -= self._code_bytes.get(index, 0)
+            self._code_bytes[index] = int(nbytes)
+            self._code_resident += int(nbytes)
+
+    def remove_code_bytes(self, index: int) -> int:
+        """Stop accounting block ``index``'s codes; returns bytes freed."""
+        with self._lock:
+            freed = self._code_bytes.pop(index, 0)
+            self._code_resident -= freed
+            return freed
 
     def note_use(self, index: int) -> None:
         """Bump recency of block ``index`` (cache hit)."""
@@ -150,7 +176,12 @@ class BlockCache:
         with self._lock:
             if self._budget is None:
                 return []
-            over = self._resident + int(incoming) - self._budget
+            over = (
+                self._resident
+                + self._code_resident
+                + int(incoming)
+                - self._budget
+            )
             if over <= 0:
                 return []
             plan: list["Block"] = []

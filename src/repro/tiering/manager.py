@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import tempfile
 import threading
+from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
@@ -47,8 +48,10 @@ from ..distances.fused import NormCache
 from ..exceptions import PersistenceError
 from ..graph.knn_graph import NO_NEIGHBOR, KnnGraph
 from ..observability import get_registry
+from ..quantization.adc import subspace_offsets
+from ..quantization.pq import PQParams, ProductQuantizer
 from ..service.locks import RWLock
-from .blockfile import ColdBlockStore
+from .blockfile import ColdBlockStore, MemmapVectorSource
 from .cache import BlockCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -86,6 +89,59 @@ _RESIDENT = _REGISTRY.gauge(
 _COLD_BYTES = _REGISTRY.gauge(
     "tier_cold_bytes", "Bytes of cold block files on disk"
 )
+_ADC_SEARCHES = _REGISTRY.counter(
+    "tier_adc_searches_total",
+    "Cold blocks answered compressed (ADC scan + exact re-rank)",
+)
+_ADC_RERANK_ROWS = _REGISTRY.counter(
+    "tier_adc_rerank_rows_total",
+    "Raw vector rows gathered from memmaps for ADC exact re-ranks",
+)
+_CODE_BYTES = _REGISTRY.gauge(
+    "tier_code_resident_bytes",
+    "Bytes of resident PQ code sidecars (codebooks + codes)",
+)
+
+
+class CompressedBlockView:
+    """A cold block opened for compressed (ADC) search — no promotion.
+
+    The lightweight alternative to promoting a cold block: its PQ
+    quantizer and uint8 code matrix resident in RAM (a few bytes per
+    vector instead of the full backend), plus a memmap over the cold
+    vector file so the exact re-rank gathers only the shortlisted rows
+    from the page cache.  Built blocks are immutable, so a view never
+    goes stale; it is dropped (not rewritten) when compaction retargets
+    the block's vector file.
+
+    Attributes:
+        positions: The block's absolute position range.
+        quantizer: The sidecar's trained product quantizer.
+        codes: ``(n, m)`` uint8 codes, one row per position.
+        offsets: Precomputed flat-gather offsets for the ADC kernel.
+        source: Memmap over the block's cold vector file (exact re-rank).
+    """
+
+    __slots__ = ("positions", "quantizer", "codes", "offsets", "source")
+
+    def __init__(
+        self,
+        positions: range,
+        quantizer: ProductQuantizer,
+        codes: np.ndarray,
+        source: MemmapVectorSource,
+    ) -> None:
+        self.positions = positions
+        self.quantizer = quantizer
+        self.codes = codes
+        self.offsets = subspace_offsets(
+            quantizer.n_subspaces, quantizer.n_centroids
+        )
+        self.source = source
+
+    def nbytes(self) -> int:
+        """Resident bytes of the view (codes + codebooks; memmap is free)."""
+        return int(self.codes.nbytes) + self.quantizer.nbytes()
 
 
 class TierManager:
@@ -119,6 +175,12 @@ class TierManager:
         # otherwise write-once: built blocks are immutable.
         self._dirty: set[int] = set()
         self._known_cold: set[int] = set(self._cold.indices())
+        # LRU cache of compressed views (cold_codes): code bytes are
+        # accounted against the budget and shed before blocks demote.
+        self._views: OrderedDict[int, CompressedBlockView] = OrderedDict()
+        # Blocks whose sidecar read failed (torn file): queries stop
+        # retrying the read and promote on miss instead.
+        self._bad_codes: set[int] = set()
         self.sync()
 
     # -------------------------------------------------------------- plumbing
@@ -242,25 +304,117 @@ class TierManager:
         _MISSES.inc()
         return self._promote(block), "promoted"
 
+    def resolve_compressed(self, block: "Block") -> CompressedBlockView | None:
+        """A compressed (ADC) view of a cold block, *without* promoting it.
+
+        Returns ``None`` when the block has no committed, readable code
+        sidecar — the caller falls back to :meth:`resolve`, which
+        promotes on miss exactly as before (a torn sidecar can slow a
+        query down, never change its answer).  Loaded views are cached
+        LRU and their code bytes accounted against the memory budget.
+        """
+        with self._lock:
+            view = self._views.get(block.index)
+            if view is not None:
+                self._views.move_to_end(block.index)
+                return view
+            if block.index in self._bad_codes:
+                return None
+        if not self.is_cold(block) or not self._cold.has_codes(block.index):
+            return None
+        try:
+            arrays, codes = self._cold.read_codes(block.index, block.positions)
+            quantizer = ProductQuantizer.from_arrays(arrays)
+            meta = self._cold.read_meta(block.index)
+            if meta is None:
+                raise PersistenceError(
+                    f"cold block {block.index} idx file is unreadable"
+                )
+            source = MemmapVectorSource(
+                self._cold.vec_path(meta.vec_ref),
+                meta.vec_lo,
+                self._index.dim,
+                needed_hi=block.positions.stop,
+            )
+        except (PersistenceError, KeyError, ValueError):
+            with self._lock:
+                self._bad_codes.add(block.index)
+            return None
+        view = CompressedBlockView(block.positions, quantizer, codes, source)
+        nbytes = view.nbytes()
+        self._evict_for(nbytes)
+        with self._lock:
+            self._views[block.index] = view
+        self._cache.add_code_bytes(block.index, nbytes)
+        _CODE_BYTES.set(self._cache.code_resident_bytes)
+        self._publish_resident()
+        return view
+
+    def note_adc(self, rerank_rows: int) -> None:
+        """Record one compressed block search and its re-ranked row count."""
+        _ADC_SEARCHES.inc()
+        _ADC_RERANK_ROWS.inc(int(rerank_rows))
+
+    def _drop_view(self, index: int) -> None:
+        """Forget a cached compressed view and release its code bytes."""
+        with self._lock:
+            self._views.pop(index, None)
+        self._cache.remove_code_bytes(index)
+        _CODE_BYTES.set(self._cache.code_resident_bytes)
+        self._publish_resident()
+
+    def _shed_views(self, incoming: int) -> None:
+        """Drop LRU compressed views until ``incoming`` bytes fit the budget.
+
+        Views are shed before any block demotes: reloading a sidecar is
+        one small read, re-promoting a block is not.
+        """
+        budget = self._cache.budget_bytes
+        if budget is None:
+            return
+        shed = False
+        while self._cache.resident_bytes + int(incoming) > budget:
+            with self._lock:
+                if not self._views:
+                    break
+                index, _ = self._views.popitem(last=False)
+            self._cache.remove_code_bytes(index)
+            shed = True
+        if shed:
+            _CODE_BYTES.set(self._cache.code_resident_bytes)
+            self._publish_resident()
+
     def note_selection(self, blocks: Iterable["Block"]) -> None:
         """Pin the blocks a query window selected; prefetch cold ones.
 
         Called by block selection before fan-out: pinned blocks survive
         eviction while the query is in flight, and (with
         ``prefetch_selected``) cold selected blocks are promoted up
-        front so parallel fan-out never stalls mid-search.
+        front so parallel fan-out never stalls mid-search.  Blocks the
+        query can answer compressed (``cold_codes`` on, sidecar present,
+        span above ``cold_adc_threshold``) are *not* prefetched —
+        promoting them would defeat the ADC path.
         """
         blocks = list(blocks)
         self._cache.pin(b.index for b in blocks)
         if not self._config.prefetch_selected:
             return
         threshold = self._index._config.search.brute_force_threshold
+        cold_codes = self._index._config.cold_codes
+        adc_threshold = self._index._config.search.cold_adc_threshold
         for block in blocks:
             if (
                 block.backend is None
                 and block.capacity > threshold
                 and self.is_cold(block)
             ):
+                if (
+                    cold_codes
+                    and block.capacity > adc_threshold
+                    and block.index not in self._bad_codes
+                    and self._cold.has_codes(block.index)
+                ):
+                    continue
                 self._promote(block)
 
     def note_built(self, block: "Block") -> None:
@@ -410,6 +564,18 @@ class TierManager:
             with self._lock:
                 self._dirty.discard(block.index)
                 self._known_cold.add(block.index)
+        if self._index._config.cold_codes and not self._cold.has_codes(
+            block.index
+        ):
+            try:
+                with self._rwlock.read():
+                    self._write_code_sidecar(block)
+            except PersistenceError:
+                # The block still demotes — it just promotes on miss
+                # instead of serving compressed.  A torn sidecar left
+                # behind fails its first read and is remembered, so the
+                # fallback costs one extra read, never a wrong answer.
+                _ERRORS.inc()
         with self._rwlock.write():
             if block.backend is None:
                 return False
@@ -419,6 +585,38 @@ class TierManager:
         self._publish_resident()
         _COLD_BYTES.set(self._cold.disk_bytes())
         return True
+
+    def _write_code_sidecar(self, block: "Block") -> None:
+        """Train a per-block PQ and commit its code sidecar.
+
+        Deterministic: seeded ``[config.seed, block.index]`` like every
+        other per-block build, and trained on the block's own (metric-
+        normalised) vectors with the IVF-PQ knobs from the config, so
+        two demotions of the same block write byte-identical sidecars.
+        """
+        config = self._index._config
+        metric = self._index._metric
+        points = np.asarray(
+            self._index._store.slice(
+                block.positions.start, block.positions.stop
+            ),
+            dtype=np.float64,
+        )
+        if metric.normalizes:
+            norms = np.linalg.norm(points, axis=1, keepdims=True)
+            norms[norms == 0.0] = 1.0
+            points = points / norms
+        params = PQParams(
+            n_subspaces=config.ivfpq.pq_subspaces,
+            n_centroids=min(config.ivfpq.pq_centroids, max(2, len(points))),
+            kmeans_iters=config.ivfpq.pq_iters,
+        )
+        rng = np.random.default_rng([config.seed, block.index])
+        quantizer = ProductQuantizer.train(points, params, rng)
+        codes = quantizer.encode(points)
+        self._cold.write_codes(
+            block.index, block.positions, quantizer.to_arrays(), codes
+        )
 
     def enforce_budget(self) -> int:
         """Demote LRU unpinned blocks until resident bytes fit the budget.
@@ -433,6 +631,7 @@ class TierManager:
     def _evict_for(self, incoming: int) -> int:
         """Demote per the cache's plan, leaving room for ``incoming`` bytes."""
         demoted = 0
+        self._shed_views(incoming)
         for block in self._cache.eviction_candidates(incoming):
             try:
                 if self.demote(block):
@@ -503,6 +702,9 @@ class TierManager:
                         continue
                     metas[index] = self._cold.read_meta(index) or meta
                     retargeted += 1
+                    # The view's memmap points at the old vector file —
+                    # drop it; the next compressed search reattaches.
+                    self._drop_view(index)
             # Drop vector files nobody references any more.
             referenced = {m.vec_ref for m in metas.values()}
             for index in list(self_vec):
@@ -532,4 +734,8 @@ class TierManager:
             "demotions": _DEMOTIONS.value,
             "rebuilds": _REBUILDS.value,
             "compactions": _COMPACTIONS.value,
+            "code_views": len(self._views),
+            "code_resident_bytes": self._cache.code_resident_bytes,
+            "adc_searches": _ADC_SEARCHES.value,
+            "adc_rerank_rows": _ADC_RERANK_ROWS.value,
         }

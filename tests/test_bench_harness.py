@@ -112,6 +112,29 @@ class TestHarnessRun:
         # The backfill window is cold: promotions must dent its hit rate.
         assert rows["tiered-backfill"]["tier_hit_rate"] < 1.0
 
+    def test_cold_codes_suite_pits_both_methods(self, payload):
+        suite = payload["suites"]["cold_codes"]
+        rows = {r["method"]: r for r in suite["rows"]}
+        assert set(rows) == {"promote-on-miss", "adc-first"}
+        assert suite["budget_bytes"] > 0
+        assert suite["hot_window_vectors"] > 0
+        assert set(suite["mix"]) == set(suite["windows"])
+        assert suite["qps_ratio"] > 0
+        for row in rows.values():
+            assert row["within_budget"] is True
+            assert row["peak_resident_bytes"] <= suite["budget_bytes"]
+            assert row["cold_blocks"] > 0
+
+    def test_cold_codes_adc_row_reranks_within_recall_gate(self, payload):
+        rows = {
+            r["method"]: r for r in payload["suites"]["cold_codes"]["rows"]
+        }
+        adc = rows["adc-first"]
+        assert adc["recall_at_k"] >= 0.99
+        assert adc["rerank_rows_per_query"] > 0
+        # With cold_codes off the ADC path must never have run.
+        assert rows["promote-on-miss"]["rerank_rows_per_query"] == 0
+
     def test_sharding_suite_gates_bit_identity(self, payload):
         suite = payload["suites"]["sharding"]
         counts = [r["shard_count"] for r in suite["rows"]]
@@ -135,6 +158,8 @@ class TestHarnessRun:
         assert "graph kernels" in out
         assert "sharding" in out
         assert "qps uplift over 1-shard" in out
+        assert "cold codes" in out
+        assert "qps uplift over promote-on-miss" in out
         assert "tiering" in out
         assert "recall@k" in out
         assert "hit rate" in out
@@ -245,6 +270,60 @@ class TestValidateBench:
         bad = copy.deepcopy(payload)
         bad["suites"]["tiering"]["rows"][0]["tier_hit_rate"] = 1.5
         with pytest.raises(ValueError, match="tier_hit_rate"):
+            validate_bench(bad)
+
+    def test_rejects_missing_cold_codes_suite(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["suites"]["cold_codes"]
+        with pytest.raises(ValueError, match="missing cold_codes rows"):
+            validate_bench(bad)
+
+    def test_rejects_cold_codes_without_adc_row(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["cold_codes"]["rows"] = [
+            r
+            for r in bad["suites"]["cold_codes"]["rows"]
+            if r["method"] != "adc-first"
+        ]
+        with pytest.raises(ValueError, match="promote-on-miss and adc-first"):
+            validate_bench(bad)
+
+    def test_rejects_low_adc_recall(self, payload):
+        bad = copy.deepcopy(payload)
+        for row in bad["suites"]["cold_codes"]["rows"]:
+            if row["method"] == "adc-first":
+                row["recall_at_k"] = 0.5
+        with pytest.raises(ValueError, match="0.99 gate"):
+            validate_bench(bad)
+
+    def test_rejects_over_budget_cold_codes_row(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["cold_codes"]["rows"][0]["within_budget"] = False
+        with pytest.raises(
+            ValueError, match="cold_codes query-phase peak"
+        ):
+            validate_bench(bad)
+
+    def test_rejects_adc_row_that_never_reranked(self, payload):
+        bad = copy.deepcopy(payload)
+        for row in bad["suites"]["cold_codes"]["rows"]:
+            if row["method"] == "adc-first":
+                row["rerank_rows_per_query"] = 0
+        with pytest.raises(ValueError, match="re-ranked no rows"):
+            validate_bench(bad)
+
+    def test_rejects_rerank_on_the_promote_baseline(self, payload):
+        bad = copy.deepcopy(payload)
+        for row in bad["suites"]["cold_codes"]["rows"]:
+            if row["method"] == "promote-on-miss":
+                row["rerank_rows_per_query"] = 5.0
+        with pytest.raises(ValueError, match="cold_codes off"):
+            validate_bench(bad)
+
+    def test_rejects_cold_codes_row_without_cold_blocks(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suites"]["cold_codes"]["rows"][0]["cold_blocks"] = 0
+        with pytest.raises(ValueError, match="no cold blocks"):
             validate_bench(bad)
 
     def test_rejects_divergent_sharded_answers(self, payload):

@@ -19,6 +19,14 @@ from repro.graph import NNDescentParams
 from .conftest import small_mbi_config
 
 
+@pytest.fixture(autouse=True)
+def _pin_cold_codes(monkeypatch):
+    """Round-trip tests compare snapshots against literal configs; the
+    process-wide ``REPRO_COLD_CODES`` override (CI tight-budget job)
+    would flip ``cold_codes`` between construction and comparison."""
+    monkeypatch.delenv("REPRO_COLD_CODES", raising=False)
+
+
 def build_index(n=80, dim=8, leaf_size=16):
     index = MultiLevelBlockIndex(
         dim, "angular", small_mbi_config(leaf_size=leaf_size)

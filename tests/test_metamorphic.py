@@ -12,12 +12,23 @@ workload so the assertions are deterministic:
 * **Window shrinking** — shrinking the query window never *adds* a
   neighbor: every member of the wide-window top-``k`` that survives the
   narrower window is in the narrow window's top-``k``.
+
+ISSUE 9 satellite adds two relations for the compressed cold tier:
+
+* **Lossless-codes ordering** — when every subspace's codebook contains
+  one centroid per distinct sub-vector, PQ reconstruction is exact and
+  the ADC candidate order equals the exact distance order.
+* **Rerank monotonicity** — cold-tier recall@k is non-decreasing in
+  ``cold_rerank_factor`` (a larger shortlist is a superset, and the
+  exact rerank of a superset never loses a true neighbor).
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro import (
     GraphConfig,
@@ -27,6 +38,7 @@ from repro import (
 )
 from repro.baselines import exact_tknn
 from repro.distances.metrics import resolve_metric
+from repro.quantization import ProductQuantizer, adc_scan
 from repro.storage.vector_store import VectorStore
 
 DIM = 8
@@ -174,6 +186,117 @@ class TestKPrefixConsistency:
                 np.testing.assert_array_equal(
                     small.distances, big.distances[: len(small)]
                 )
+
+
+@st.composite
+def _lossless_workload(draw):
+    """Integer-valued points whose sub-vectors a codebook can hold exactly.
+
+    Entries are small integers, so every float32 table entry and score is
+    exact — bitwise assertions are legitimate.
+    """
+    m = draw(st.sampled_from([2, 4]))
+    sub_dim = draw(st.sampled_from([1, 2]))
+    n = draw(st.integers(4, 64))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    dim = m * sub_dim
+    points = rng.integers(-2, 3, (n, dim)).astype(np.float64)
+    query = rng.integers(-2, 3, dim).astype(np.float64)
+    return points, query, m, sub_dim
+
+
+class TestLosslessADCOrdering:
+    @given(_lossless_workload())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_adc_order_equals_exact_order_when_codes_are_lossless(
+        self, workload
+    ):
+        points, query, m, sub_dim = workload
+        dim = m * sub_dim
+        # One centroid per distinct sub-vector, padded (by repeating the
+        # first row) so every subspace shares a codebook size.
+        subs = [
+            np.unique(points[:, j * sub_dim : (j + 1) * sub_dim], axis=0)
+            for j in range(m)
+        ]
+        width = max(len(s) for s in subs)
+        codebooks = np.stack(
+            [
+                np.concatenate([s, np.repeat(s[:1], width - len(s), axis=0)])
+                for s in subs
+            ]
+        )
+        pq = ProductQuantizer(codebooks, dim=dim)
+        codes = pq.encode(points)
+        np.testing.assert_array_equal(pq.decode(codes), points)
+
+        scores = adc_scan(pq.adc_table(query), codes)
+        true_sq = ((points - query) ** 2).sum(axis=1)
+        np.testing.assert_array_equal(
+            np.asarray(scores, dtype=np.float64), true_sq
+        )
+        np.testing.assert_array_equal(
+            np.argsort(scores, kind="stable"),
+            np.argsort(true_sq, kind="stable"),
+        )
+
+
+@pytest.fixture(scope="module")
+def cold_index(tmp_path_factory):
+    """The pinned workload, fully cold, with PQ code sidecars armed."""
+    config = MBIConfig(
+        leaf_size=64,
+        tau=0.5,
+        graph=GraphConfig(n_neighbors=8, exact_threshold=100_000),
+        search=SearchParams(
+            epsilon=1.1,
+            max_candidates=48,
+            beam_width=8,
+            brute_force_threshold=0,
+            cold_adc_threshold=0,
+        ),
+        cold_codes=True,
+    )
+    idx = MultiLevelBlockIndex(DIM, "euclidean", config)
+    idx.extend(VECTORS, TIMESTAMPS)
+    manager = idx.enable_tiering(
+        memory_budget_mb=1e-4,
+        directory=tmp_path_factory.mktemp("cold-codes-tiers"),
+    )
+    # Re-pin the budget in case an ambient REPRO_MEMORY_BUDGET_MB enabled
+    # tiering first (enable_tiering is first-config-wins).
+    manager.reconfigure(memory_budget_mb=1e-4)
+    return idx
+
+
+class TestColdRerankMonotonicity:
+    def test_rerank_factor_sweep_is_non_decreasing(
+        self, cold_index, oracle_sets
+    ):
+        def params(factor):
+            return SearchParams(
+                epsilon=1.1,
+                max_candidates=48,
+                beam_width=8,
+                brute_force_threshold=0,
+                cold_adc_threshold=0,
+                cold_rerank_factor=factor,
+            )
+
+        recalls = [
+            _recall(cold_index, params(factor), oracle_sets)
+            for factor in (1, 2, 4, 8, 16)
+        ]
+        for lo, hi in zip(recalls, recalls[1:]):
+            assert hi >= lo - SLACK, f"rerank sweep regressed: {recalls}"
+        assert recalls[-1] >= recalls[0]
+        # factor 16 covers whole leaves: the shortlist *is* the block.
+        assert recalls[-1] >= 0.99
 
 
 class TestWindowShrinking:

@@ -134,6 +134,33 @@ class TestSearch:
         assert (np.diff(outcome.dists) >= -1e-9).all()
 
 
+class TestKernelParity:
+    def test_backend_scores_match_legacy_scorer_bitwise(self):
+        # The backend now scores candidates through the shared
+        # flat-gather ADC kernel; its tables and scores must stay
+        # bit-identical to the legacy per-row scorer it replaced.
+        from repro.quantization import adc_scan
+
+        backend, store, metric, _ = make_backend()
+        rng = np.random.default_rng(11)
+        candidates = np.arange(len(backend.codes), dtype=np.int32)
+        for _ in range(5):
+            query = rng.standard_normal(16)
+            table = backend.quantizer.adc_table(query)
+            fast = adc_scan(
+                table, backend.codes[candidates], backend._adc_offsets
+            )
+            legacy = backend.quantizer.adc_distances(
+                table, backend.codes[candidates]
+            )
+            np.testing.assert_array_equal(fast, legacy)
+            # Identical scores force identical candidate order.
+            np.testing.assert_array_equal(
+                np.argsort(fast, kind="stable"),
+                np.argsort(legacy, kind="stable"),
+            )
+
+
 class TestSerializationAndMBI:
     def test_backend_round_trip(self):
         backend, store, metric, _ = make_backend()

@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.quantization import PQParams, ProductQuantizer
+from repro.quantization import (
+    PQParams,
+    ProductQuantizer,
+    adc_scan,
+    adc_scan_batch,
+    adc_table,
+    subspace_offsets,
+)
 
 
 def training_data(n=600, dim=16, seed=0):
@@ -45,10 +52,21 @@ class TestTrainEncode:
         assert codes.shape == (600, 4)
         assert codes.dtype == np.uint8
 
-    def test_rejects_too_few_training_vectors(self):
+    def test_clamps_codebook_to_training_size(self):
+        # Small blocks (non-full leaves demoted cold) must still quantize:
+        # the per-subspace codebook clamps to the training-set size
+        # instead of refusing to train.
+        points = training_data(n=10)
+        pq = ProductQuantizer.train(points, PQParams(n_centroids=64))
+        assert pq.n_centroids == 10
+        codes = pq.encode(points)
+        assert codes.shape == (10, pq.n_subspaces)
+        assert pq.decode(codes).shape == points.shape
+
+    def test_rejects_empty_training_set(self):
         with pytest.raises(ValueError):
             ProductQuantizer.train(
-                training_data(n=10), PQParams(n_centroids=64)
+                np.empty((0, 16), dtype=np.float64), PQParams()
             )
 
     def test_padding_for_indivisible_dim(self):
@@ -133,6 +151,66 @@ class TestADC:
         )
         table = pq.adc_table(np.zeros(16))
         assert table.shape == (4, 32)
+
+
+class TestADCKernel:
+    """The shared flat-gather kernel vs the legacy per-row scorer."""
+
+    def _quantizer(self, n=400, m=4, k=32):
+        points = training_data(n=n)
+        return points, ProductQuantizer.train(
+            points, PQParams(n_subspaces=m, n_centroids=k)
+        )
+
+    def test_offsets(self):
+        assert subspace_offsets(4, 32).tolist() == [0, 32, 64, 96]
+        assert subspace_offsets(1, 256).tolist() == [0]
+
+    def test_module_table_bit_identical_to_method(self):
+        _, pq = self._quantizer()
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            query = rng.standard_normal(16)
+            np.testing.assert_array_equal(
+                adc_table(pq.codebooks, query), pq.adc_table(query)
+            )
+
+    def test_scan_bit_identical_to_legacy_scorer(self):
+        # The flat-gather scan gathers the very same float32 table cells
+        # and reduces along the same axis as the legacy fancy-indexing
+        # scorer, so scores (and therefore candidate order) are bitwise
+        # equal — pinned here so neither implementation can drift.
+        points, pq = self._quantizer()
+        codes = pq.encode(points)
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            table = pq.adc_table(rng.standard_normal(16))
+            np.testing.assert_array_equal(
+                adc_scan(table, codes), pq.adc_distances(table, codes)
+            )
+
+    def test_scan_accepts_precomputed_offsets(self):
+        points, pq = self._quantizer()
+        codes = pq.encode(points)
+        table = pq.adc_table(np.ones(16))
+        offsets = subspace_offsets(pq.n_subspaces, pq.n_centroids)
+        np.testing.assert_array_equal(
+            adc_scan(table, codes, offsets), adc_scan(table, codes)
+        )
+
+    def test_batch_bit_identical_to_single(self):
+        points, pq = self._quantizer()
+        codes = pq.encode(points)
+        rng = np.random.default_rng(7)
+        tables = np.stack(
+            [pq.adc_table(rng.standard_normal(16)) for _ in range(6)]
+        )
+        batch = adc_scan_batch(tables, codes)
+        assert batch.shape == (6, len(points))
+        for i in range(6):
+            np.testing.assert_array_equal(
+                batch[i], adc_scan(tables[i], codes)
+            )
 
 
 class TestSerialization:

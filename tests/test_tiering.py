@@ -14,6 +14,8 @@ import threading
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro import MultiLevelBlockIndex, SearchParams, TieringConfig
 from repro.core.executor import QueryExecutor
@@ -28,9 +30,33 @@ from repro.tiering.blockfile import ColdBlockStore, MemmapVectorSource
 
 from .conftest import small_mbi_config
 
+@pytest.fixture(autouse=True)
+def _pin_cold_codes(monkeypatch):
+    """This file constructs *both* ``cold_codes`` settings explicitly.
+
+    The process-wide ``REPRO_COLD_CODES`` override (the CI tight-budget
+    job arms it for the rest of tier-1) must not flip the deliberately
+    pinned defaults under test here — the bit-identity and default-off
+    assertions are about the exact promote-on-miss path by construction.
+    """
+    monkeypatch.delenv("REPRO_COLD_CODES", raising=False)
+
+
 # Small leaves + a low brute-force threshold: spans above 4 walk block
 # graphs, so searches exercise promotion instead of brute-forcing spans.
 _SEARCH = SearchParams(epsilon=1.2, max_candidates=64, brute_force_threshold=4)
+
+# Same shape, but with the compressed cold-tier path armed: any cold span
+# above 4 vectors answers ADC-first from its code sidecar.  The generous
+# rerank factor makes the shortlist cover whole leaf blocks, so the ADC
+# answers are effectively exact on this workload.
+_ADC_SEARCH = SearchParams(
+    epsilon=1.2,
+    max_candidates=64,
+    brute_force_threshold=4,
+    cold_adc_threshold=4,
+    cold_rerank_factor=16,
+)
 
 _WINDOWS = [
     (-np.inf, np.inf),
@@ -477,6 +503,224 @@ class TestEnablement:
 
         manager.reconfigure()  # no-op: every knob left at the sentinel
         assert manager.config.memory_budget_mb == 1e-4
+
+
+def _build_cold_codes(vectors, timestamps) -> MultiLevelBlockIndex:
+    config = small_mbi_config(
+        leaf_size=100, search=_ADC_SEARCH, cold_codes=True
+    )
+    index = MultiLevelBlockIndex(vectors.shape[1], "euclidean", config)
+    index.extend(vectors, timestamps)
+    return index
+
+
+class TestColdCodes:
+    """Compressed cold-tier search: sidecars, ADC scan, exact rerank."""
+
+    def test_demotion_writes_code_sidecars(self, clustered_data, tmp_path):
+        vectors, timestamps, _ = clustered_data
+        tiered = _build_cold_codes(vectors, timestamps)
+        manager = _enable(
+            tiered, memory_budget_mb=1e-4, directory=tmp_path / "tiers"
+        )
+        indices = manager.cold_store.indices()
+        assert indices
+        assert all(manager.cold_store.has_codes(i) for i in indices)
+        assert any(
+            row["pq_bytes"] > 0 for row in manager.cold_store.describe()
+        )
+
+    def test_env_switch_force_enables_cold_codes(
+        self, clustered_data, tmp_path, monkeypatch
+    ):
+        # The CI tight-budget job arms REPRO_COLD_CODES=1 to drive the
+        # ADC path through all of tier-1 without touching configs.
+        monkeypatch.setenv("REPRO_COLD_CODES", "1")
+        vectors, timestamps, _ = clustered_data
+        index = _build(vectors, timestamps)
+        assert index._config.cold_codes is True
+        manager = _enable(
+            index, memory_budget_mb=1e-4, directory=tmp_path / "tiers"
+        )
+        indices = manager.cold_store.indices()
+        assert indices
+        assert all(manager.cold_store.has_codes(i) for i in indices)
+
+    def test_adc_search_is_traced_and_skips_promotion(
+        self, clustered_data, tmp_path
+    ):
+        vectors, timestamps, queries = clustered_data
+        tiered = _build_cold_codes(vectors, timestamps)
+        manager = _enable(
+            tiered, memory_budget_mb=1e-4, directory=tmp_path / "tiers"
+        )
+        promotions_before = manager.stats()["promotions"]
+        trace = tiered.explain(
+            queries[0], 10, 0.0, 30.0, rng=np.random.default_rng(0)
+        )
+        adc_events = [e for e in trace.blocks if e.strategy == "adc"]
+        assert adc_events
+        assert all(e.tier == "cold" for e in adc_events)
+        assert all(e.reason == "cold-codes" for e in adc_events)
+        assert trace.summary()["adc_blocks"] == len(adc_events)
+        stats = manager.stats()
+        # The oldest third of the data answered without promoting a
+        # single block — that is the whole point of the sidecars.
+        assert stats["promotions"] == promotions_before
+        assert stats["adc_searches"] >= len(adc_events)
+        assert stats["adc_rerank_rows"] > 0
+
+    def test_adc_answers_are_near_exact_with_exact_distances(
+        self, clustered_data, tmp_path
+    ):
+        vectors, timestamps, queries = clustered_data
+        baseline = _build(vectors, timestamps)
+        tiered = _build_cold_codes(vectors, timestamps)
+        _enable(
+            tiered, memory_budget_mb=1e-4, directory=tmp_path / "tiers"
+        )
+        hits = total = 0
+        for qi, query in enumerate(queries[:6]):
+            want = baseline.search(
+                query, 10, 0.0, 30.0, rng=np.random.default_rng(qi)
+            )
+            got = tiered.search(
+                query, 10, 0.0, 30.0, rng=np.random.default_rng(qi)
+            )
+            hits += len(
+                set(map(int, got.positions)) & set(map(int, want.positions))
+            )
+            total += len(want.positions)
+            # ADC is a candidate filter only: every returned distance is
+            # the exact metric distance to the stored vector.
+            expected = tiered.metric.batch(
+                query, tiered.store.vectors[got.positions]
+            )
+            np.testing.assert_allclose(got.distances, expected, rtol=1e-6)
+            assert (np.diff(got.distances) >= 0).all()
+        assert hits / total >= 0.9
+
+    def test_torn_sidecar_falls_back_to_promote_bit_identically(
+        self, clustered_data, tmp_path
+    ):
+        vectors, timestamps, queries = clustered_data
+        baseline = _build(vectors, timestamps)
+        want = _answers(baseline, queries[:4])
+
+        tiered = _build_cold_codes(vectors, timestamps)
+        with get_failpoints().scope(
+            {"tier.code_write": Action("truncate", 64, times=-1)}
+        ):
+            manager = _enable(
+                tiered, memory_budget_mb=1e-4, directory=tmp_path / "tiers"
+            )
+        # Every sidecar on disk is torn; the first read of each is
+        # remembered, the block promotes instead, and — because demote
+        # never overwrites an existing sidecar — no servable codes can
+        # appear later.  Answers stay bit-identical to the untiered index.
+        assert any(
+            manager.cold_store.has_codes(i)
+            for i in manager.cold_store.indices()
+        )
+        # adc_searches is a process-wide counter (session-scoped fixtures
+        # elsewhere may have moved it before our snapshot) — assert the
+        # *delta* across this manager's queries is zero.
+        adc_before = manager.stats()["adc_searches"]
+        assert _answers(tiered, queries[:4]) == want
+        assert manager.stats()["adc_searches"] == adc_before
+        assert manager.stats()["promotions"] > 0
+
+    def test_code_views_count_against_the_resident_budget(
+        self, clustered_data, tmp_path
+    ):
+        vectors, timestamps, queries = clustered_data
+        tiered = _build_cold_codes(vectors, timestamps)
+        manager = _enable(
+            tiered, memory_budget_mb=0.05, directory=tmp_path / "tiers"
+        )
+        manager.enforce_budget()
+        tiered.search(
+            queries[0], 10, 0.0, 30.0, rng=np.random.default_rng(0)
+        )
+        stats = manager.stats()
+        assert stats["code_views"] > 0
+        assert stats["code_resident_bytes"] > 0
+        assert manager.cache.code_resident_bytes == stats["code_resident_bytes"]
+        # Resident accounting is the sum of block bytes and code bytes.
+        assert manager.cache.resident_bytes >= stats["code_resident_bytes"]
+
+    def test_default_off_writes_no_sidecars_and_never_scans(
+        self, clustered_data, tmp_path
+    ):
+        vectors, timestamps, queries = clustered_data
+        tiered = _build(vectors, timestamps)  # cold_codes=False (default)
+        manager = _enable(
+            tiered, memory_budget_mb=1e-4, directory=tmp_path / "tiers"
+        )
+        adc_before = manager.stats()["adc_searches"]
+        _answers(tiered, queries[:4])
+        assert all(
+            not manager.cold_store.has_codes(i)
+            for i in manager.cold_store.indices()
+        )
+        assert manager.stats()["adc_searches"] == adc_before
+        assert manager.stats()["code_views"] == 0
+
+
+@pytest.fixture(scope="module")
+def adc_index(clustered_data, tmp_path_factory):
+    vectors, timestamps, _ = clustered_data
+    index = _build_cold_codes(vectors, timestamps)
+    manager = index.enable_tiering(
+        memory_budget_mb=1e-4,
+        directory=tmp_path_factory.mktemp("adc-tiers"),
+    )
+    manager.reconfigure(memory_budget_mb=1e-4)
+    return index
+
+
+@st.composite
+def _window_budget_splits(draw):
+    a = draw(st.floats(0.0, 100.0, allow_nan=False))
+    b = draw(st.floats(0.0, 100.0, allow_nan=False))
+    t0, t1 = sorted((a, b))
+    k = draw(st.integers(1, 15))
+    qi = draw(st.integers(0, 19))
+    budget_mb = draw(st.sampled_from([1e-4, 1e-3, 5e-2]))
+    return t0, t1, k, qi, budget_mb
+
+
+class TestColdCodesProperties:
+    @given(_window_budget_splits())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_adc_answers_are_well_formed_under_random_splits(
+        self, adc_index, clustered_data, split
+    ):
+        """Any window/budget split yields a sorted, deduplicated,
+        correctly-sized answer whose distances are exact."""
+        t0, t1, k, qi, budget_mb = split
+        _, timestamps, queries = clustered_data
+        adc_index.tiering.reconfigure(memory_budget_mb=budget_mb)
+        query = queries[qi]
+        result = adc_index.search(
+            query, k, t0, t1, rng=np.random.default_rng(qi)
+        )
+        positions = list(map(int, result.positions))
+        assert len(positions) == len(set(positions))
+        in_window = int(np.count_nonzero((timestamps >= t0) & (timestamps < t1)))
+        assert len(positions) == min(k, in_window)
+        assert (np.diff(result.distances) >= 0).all()
+        for ts in result.timestamps:
+            assert t0 <= float(ts) < t1
+        if positions:
+            expected = adc_index.metric.batch(
+                query, adc_index.store.vectors[result.positions]
+            )
+            np.testing.assert_allclose(result.distances, expected, rtol=1e-6)
 
 
 class TestService:
