@@ -75,8 +75,13 @@ from .graph import GraphConfig, NNDescentParams
 from .observability import (
     MetricsRegistry,
     QueryTrace,
+    StitchedTrace,
+    TelemetryConfig,
+    TraceContext,
     TraceSummary,
+    configure_telemetry,
     get_registry,
+    get_telemetry,
     summarize_traces,
 )
 from .service import IndexService, ServiceConfig, WriteAheadLog
@@ -136,11 +141,14 @@ __all__ = [
     "ShardRouter",
     "ShardUnavailableError",
     "ShardedResult",
+    "StitchedTrace",
     "TauTuner",
+    "TelemetryConfig",
     "TierManager",
     "TieringConfig",
     "TimeWindow",
     "TimestampOrderError",
+    "TraceContext",
     "TraceSummary",
     "UnknownMetricError",
     "VectorInputError",
@@ -148,10 +156,12 @@ __all__ = [
     "WalCorruptionError",
     "WriteAheadLog",
     "available_metrics",
+    "configure_telemetry",
     "failpoint",
     "get_default_executor",
     "get_failpoints",
     "get_registry",
+    "get_telemetry",
     "load_index",
     "resolve_metric",
     "save_index",

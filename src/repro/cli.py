@@ -12,6 +12,8 @@ Subcommands::
     repro serve --data-dir DIR --shards N  sharded scatter-gather serving
     repro shard stats --data-dir DIR       inspect a sharded data directory
     repro tier stats --data-dir DIR        inspect the cold block tier
+    repro tier stats --url URL             scrape a live server's metrics
+    repro slow --url URL                   render a server's slow-query log
     repro bench [--smoke]                  run the perf harness -> BENCH_<date>.json
     repro bench --paper                    how to regenerate the paper's tables
     repro chaos                            seeded fault-injection smoke sweep
@@ -226,6 +228,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="degrade to partial results (with the `partial` flag set) "
         "instead of failing queries when a shard stays down",
     )
+    serve.add_argument(
+        "--sample-rate",
+        type=float,
+        default=0.01,
+        help="fraction of queries that record a full trace into "
+        "/debug/trace/recent (head sampling, rate-limited; 0 disables)",
+    )
+    serve.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=0.25,
+        help="seconds above which a query is captured in /debug/slow "
+        "(negative disables the slow-query log)",
+    )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable sampled tracing and the slow-query log entirely "
+        "(/metrics stays on; it is passive counters)",
+    )
 
     shard = commands.add_parser(
         "shard",
@@ -259,7 +281,34 @@ def build_parser() -> argparse.ArgumentParser:
         "(one row per committed cold file, plus totals)",
     )
     tier_stats.add_argument(
-        "--data-dir", required=True, help="service state directory"
+        "--data-dir", default=None, help="service state directory"
+    )
+    tier_stats.add_argument(
+        "--url",
+        default=None,
+        help="scrape a running server's /metrics/json instead of reading "
+        "a data directory (against a router this shows the fleet view)",
+    )
+
+    slow = commands.add_parser(
+        "slow",
+        help="fetch and render a running server's slow-query log (or its "
+        "recently sampled traces) over HTTP",
+    )
+    slow.add_argument(
+        "--url",
+        required=True,
+        help="server base URL, e.g. http://127.0.0.1:8780 (single-shard "
+        "frontend or sharded router)",
+    )
+    slow.add_argument(
+        "--recent",
+        action="store_true",
+        help="show /debug/trace/recent (the sampled-trace ring buffer) "
+        "instead of /debug/slow",
+    )
+    slow.add_argument(
+        "-n", type=int, default=10, help="records to show (newest first)"
     )
 
     bench = commands.add_parser(
@@ -597,6 +646,24 @@ def _service_mbi_config(args: argparse.Namespace):
     )
 
 
+def _telemetry_config(args: argparse.Namespace):
+    """The :class:`TelemetryConfig` the serve flags describe (or None)."""
+    from .observability.telemetry import TelemetryConfig
+
+    rate = getattr(args, "sample_rate", None)
+    slow = getattr(args, "slow_threshold", None)
+    if rate is None and slow is None:
+        # Commands without the serve flags (ingest) leave the
+        # process-wide default (disarmed) untouched.
+        return None
+    if getattr(args, "no_telemetry", False):
+        return TelemetryConfig(sample_rate=0.0, slow_threshold=None)
+    return TelemetryConfig(
+        sample_rate=min(1.0, max(0.0, rate or 0.0)),
+        slow_threshold=(slow if slow is not None and slow >= 0 else None),
+    )
+
+
 def _service_config(args: argparse.Namespace):
     from .service import ServiceConfig
 
@@ -615,6 +682,9 @@ def _service_config(args: argparse.Namespace):
         extras["compact_interval"] = args.compact_interval
     if getattr(args, "cold_codes", False):
         extras["cold_codes"] = True
+    telemetry = _telemetry_config(args)
+    if telemetry is not None:
+        extras["telemetry"] = telemetry
     return ServiceConfig(
         fsync=args.fsync,
         snapshot_every=args.snapshot_every,
@@ -710,7 +780,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"serving {service.applied_records:,} records "
         f"(dim {service.index.dim}) on http://{host}:{port} — "
-        "endpoints: /healthz /metrics /query /ingest /checkpoint"
+        "endpoints: /healthz /metrics /query /ingest /checkpoint "
+        "/debug/trace/recent /debug/slow"
     )
 
     def _shutdown(signum: int, _frame: object) -> None:
@@ -738,6 +809,7 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
     """``repro serve --shards N``: workers + scatter-gather router."""
     import signal
 
+    from .observability.telemetry import configure_telemetry
     from .sharding import (
         RouterConfig,
         ShardCluster,
@@ -745,6 +817,12 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         make_router_server,
     )
 
+    # Workers arm through the pickled service config; the router process
+    # holds no IndexService, so arm its sampler explicitly (it mints the
+    # cluster-wide trace ids and owns the stitched slow-query log).
+    telemetry = _telemetry_config(args)
+    if telemetry is not None:
+        configure_telemetry(telemetry)
     cluster = ShardCluster(
         args.data_dir,
         args.shards,
@@ -780,7 +858,7 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         f"{args.shards} shards on http://{host}:{port} "
         f"(workers on ports {args.port + 1}..{args.port + args.shards}) — "
         "endpoints: /healthz /metrics /query /ingest /checkpoint "
-        "/shard/stats"
+        "/shard/stats /debug/trace/recent /debug/slow"
     )
 
     def _shutdown(signum: int, _frame: object) -> None:
@@ -858,11 +936,76 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_json(url: str, timeout: float = 30.0):
+    """GET ``url`` and decode the JSON body (stdlib only)."""
+    import json
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _tier_stats_from_url(url: str) -> int:
+    """``repro tier stats --url``: render a live server's tier metrics.
+
+    Scrapes ``/metrics/json`` (against a router this is the merged fleet
+    state) and prints the tier counters/gauges plus a latency-quantile
+    table for every histogram in the registry.
+    """
+    from .observability.metrics import quantile_from_buckets
+
+    state = _fetch_json(f"{url.rstrip('/')}/metrics/json")
+    scalars = []
+    histograms = []
+    for name in sorted(state):
+        entry = state[name]
+        if entry["kind"] == "histogram":
+            total = int(entry["count"])
+            mean = entry["sum"] / total if total else float("nan")
+            quantiles = [
+                quantile_from_buckets(entry["bounds"], entry["counts"], q)
+                for q in (0.5, 0.95, 0.99)
+            ]
+            # Latency histograms read best in milliseconds; leave
+            # unit-less ones (batch sizes) on their native scale.
+            scale = 1e3 if name.endswith("_seconds") else 1.0
+            shown = name + (" (ms)" if scale != 1.0 else "")
+            histograms.append(
+                [shown, f"{total:,}", f"{mean * scale:.2f}" if total else "-"]
+                + [f"{q * scale:.2f}" if total else "-" for q in quantiles]
+            )
+        elif name.startswith("tier_"):
+            value = entry["value"]
+            scalars.append([name, entry["kind"], f"{value:,g}"])
+    print(f"metrics source  : {url.rstrip('/')}/metrics/json")
+    if scalars:
+        print()
+        print(format_table(["tier metric", "kind", "value"], scalars))
+    else:
+        print("no tier counters yet (tiering disabled, or no activity)")
+    if histograms:
+        print()
+        print(
+            format_table(
+                ["histogram", "count", "mean", "p50", "p95", "p99"],
+                histograms,
+            )
+        )
+    return 0
+
+
 def _cmd_tier(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .tiering.blockfile import ColdBlockStore
 
+    if args.url is not None:
+        return _tier_stats_from_url(args.url)
+    if args.data_dir is None:
+        print(
+            "error: one of --data-dir or --url is required", file=sys.stderr
+        )
+        return 2
     tiers = Path(args.data_dir) / "tiers"
     if not tiers.is_dir():
         print(
@@ -906,6 +1049,50 @@ def _cmd_tier(args: argparse.Namespace) -> int:
             table,
         )
     )
+    return 0
+
+
+def _cmd_slow(args: argparse.Namespace) -> int:
+    """``repro slow``: render a server's captured traces over HTTP."""
+    from .observability.telemetry import record_from_wire
+
+    base = args.url.rstrip("/")
+    path = "/debug/trace/recent" if args.recent else "/debug/slow"
+    payload = _fetch_json(f"{base}{path}?n={max(1, args.n)}")
+    records = [record_from_wire(raw) for raw in payload.get("records", [])]
+    label = "sampled traces" if args.recent else "slow queries"
+    if not records:
+        print(f"no {label} captured at {base}{path}")
+        return 0
+    dropped = payload.get("dropped", 0)
+    print(
+        f"{len(records)} {label} from {base}{path} (newest first"
+        f"{f'; {dropped} older records evicted' if dropped else ''})"
+    )
+    print()
+    for record in records:
+        flags = [flag for flag, on in (("SLOW", record.slow),
+                                       ("sampled", record.sampled)) if on]
+        when = (
+            time.strftime("%H:%M:%S", time.localtime(record.unix_time))
+            if record.unix_time
+            else "--:--:--"
+        )
+        print(
+            f"{record.trace_id[:16]}  {when}  {record.source:<7} "
+            f"{record.seconds * 1e3:8.1f} ms  k={record.k}  "
+            f"window=[{record.t_start:.6g}, {record.t_end:.6g}]"
+            f"{'  [' + ' '.join(flags) + ']' if flags else ''}"
+        )
+        detail = None
+        if record.stitched is not None:
+            detail = record.stitched.render()
+        elif record.trace is not None:
+            detail = record.trace.render()
+        if detail is not None:
+            for line in detail.splitlines():
+                print(f"    {line}")
+        print()
     return 0
 
 
@@ -1018,6 +1205,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "shard": _cmd_shard,
     "tier": _cmd_tier,
+    "slow": _cmd_slow,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
 }

@@ -572,6 +572,10 @@ class MultiLevelBlockIndex:
 
         if positions.start >= positions.stop:
             _SEARCH_QUERIES.inc()
+            # Empty windows still answer a query: observe their latency so
+            # service_query/search histograms (and the quantiles built on
+            # them) describe every query, not just non-empty ones.
+            _SEARCH_SECONDS.observe(time.perf_counter() - started)
             if trace is not None:
                 trace.stats = QueryStats()
                 trace.seconds = time.perf_counter() - started

@@ -38,7 +38,7 @@ from __future__ import annotations
 import math
 import re
 import threading
-from typing import Iterable
+from typing import Iterable, Sequence
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 
@@ -61,6 +61,48 @@ def _validate_name(name: str) -> str:
             "(lowercase snake_case, starting with a letter)"
         )
     return name
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    ``bounds`` are the ascending finite upper bounds; ``counts`` are the
+    **per-bucket** (non-cumulative) counts with one extra trailing entry
+    for the implicit ``+inf`` overflow bucket.  The estimate linearly
+    interpolates within the bucket the quantile falls into, assuming
+    observations are uniformly spread across it (the same convention as
+    Prometheus's ``histogram_quantile``).  The first bucket's lower edge
+    is taken as 0; a quantile landing in the overflow bucket collapses to
+    the highest finite bound, since the bucket has no upper edge to
+    interpolate toward.  An empty histogram yields NaN.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]; got {q}")
+    if len(counts) != len(bounds) + 1:
+        raise ValueError(
+            f"expected {len(bounds) + 1} bucket counts "
+            f"(finite bounds + overflow), got {len(counts)}"
+        )
+    total = sum(counts)
+    if total == 0:
+        return math.nan
+    rank = q * total
+    cumulative = 0
+    for i, n in enumerate(counts):
+        prev = cumulative
+        cumulative += n
+        if cumulative >= rank:
+            if i == len(bounds):
+                # Overflow bucket: no upper edge to interpolate toward.
+                return bounds[-1]
+            hi = bounds[i]
+            lo = bounds[i - 1] if i > 0 else min(0.0, hi)
+            if n == 0:
+                return hi
+            return lo + (hi - lo) * (rank - prev) / n
+    return bounds[-1]  # pragma: no cover - cumulative >= rank always hits
 
 
 class Counter:
@@ -247,6 +289,17 @@ class Histogram:
             cumulative[bound] = running
         return cumulative
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (see :func:`quantile_from_buckets`).
+
+        NaN when the histogram is empty; observations past the last finite
+        bound collapse to that bound — fixed buckets cannot resolve the
+        tail beyond them.
+        """
+        with self._lock:
+            counts = list(self._counts)
+        return quantile_from_buckets(self.bounds, counts, q)
+
     def _reset(self) -> None:
         with self._lock:
             self._counts = [0] * (len(self.bounds) + 1)
@@ -384,6 +437,46 @@ class MetricsRegistry:
             else:
                 metric._reset()
 
+    def export_state(self) -> dict[str, dict[str, object]]:
+        """JSON-safe wire dump of every metric, for cross-process scraping.
+
+        Unlike :meth:`dump_state` (whose values are opaque Python tuples
+        meant to round-trip through :meth:`restore_state` in the same
+        process), the returned mapping is self-describing — each entry
+        carries its ``kind``, ``help`` text, and full state using only
+        JSON types — so a router can scrape worker registries over HTTP
+        and merge them with :func:`repro.observability.aggregate_states`.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, dict[str, object]] = {}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Counter):
+                out[name] = {
+                    "kind": "counter",
+                    "help": metric.help,
+                    "value": metric.value,
+                }
+            elif isinstance(metric, Gauge):
+                value, peak = metric._dump()
+                out[name] = {
+                    "kind": "gauge",
+                    "help": metric.help,
+                    "value": value,
+                    "peak": peak,
+                }
+            else:
+                counts, total, count = metric._dump()
+                out[name] = {
+                    "kind": "histogram",
+                    "help": metric.help,
+                    "bounds": list(metric.bounds),
+                    "counts": counts,
+                    "sum": total,
+                    "count": count,
+                }
+        return out
+
     def render(self) -> str:
         """Human-readable dump, one metric per line (histograms multi-line)."""
         lines: list[str] = []
@@ -401,6 +494,58 @@ class MetricsRegistry:
             else:
                 lines.append(f"{name} {metric.value:g}")
         return "\n".join(lines)
+
+
+def _prom_float(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return f"{value:g}"
+
+
+def render_prometheus(state: dict[str, dict[str, object]]) -> str:
+    """Render an :meth:`MetricsRegistry.export_state` dump in Prometheus
+    text exposition format (version 0.0.4).
+
+    Counters and gauges become single samples with ``# HELP``/``# TYPE``
+    headers; histograms expand to cumulative ``_bucket{le="..."}`` series
+    (always ending in ``le="+Inf"``) plus ``_sum`` and ``_count``.  Gauge
+    peaks are a local extension and are **not** exported — Prometheus has
+    no such series type.  Works on both live registries and aggregated
+    fleet states, since both share the export-state schema.
+    """
+    lines: list[str] = []
+    for name in sorted(state):
+        entry = state[name]
+        kind = entry["kind"]
+        help_text = str(entry.get("help") or "").replace("\n", " ")
+        if kind == "counter":
+            lines.append(f"# HELP {name} {help_text}".rstrip())
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_float(float(entry['value']))}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {name} {help_text}".rstrip())
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_float(float(entry['value']))}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {name} {help_text}".rstrip())
+            lines.append(f"# TYPE {name} histogram")
+            bounds = [float(b) for b in entry["bounds"]]
+            counts = [int(c) for c in entry["counts"]]
+            running = 0
+            for bound, n in zip(bounds, counts):
+                running += n
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_float(bound)}"}} {running}'
+                )
+            running += counts[-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {running}')
+            lines.append(f"{name}_sum {_prom_float(float(entry['sum']))}")
+            lines.append(f"{name}_count {int(entry['count'])}")
+        else:
+            raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 _DEFAULT_REGISTRY = MetricsRegistry()

@@ -129,6 +129,10 @@ class ShardScatterEvent:
             is excluded from :meth:`QueryTrace.signature`.
         started: Offset in seconds from the start of the scatter to when
             this shard's task was submitted (also timing-only).
+        retries: Transport attempts beyond the first (0 when the first
+            try succeeded).  Retries depend on transient transport
+            weather, not on the query, so like the timing fields they
+            are excluded from :meth:`QueryTrace.signature`.
     """
 
     shard: int
@@ -138,6 +142,7 @@ class ShardScatterEvent:
     distance_evaluations: int
     seconds: float = 0.0
     started: float = 0.0
+    retries: int = 0
 
 
 @dataclass
@@ -259,6 +264,7 @@ class QueryTrace:
         distance_evaluations: int,
         seconds: float = 0.0,
         started: float = 0.0,
+        retries: int = 0,
     ) -> None:
         """Append one shard scatter span (called by ``ShardRouter``)."""
         self.shards.append(
@@ -270,6 +276,7 @@ class QueryTrace:
                 distance_evaluations=distance_evaluations,
                 seconds=seconds,
                 started=started,
+                retries=retries,
             )
         )
 
@@ -402,10 +409,11 @@ class QueryTrace:
                     status = "FAILED"
                 else:
                     status = "ok"
+                retries = f"  retries {s.retries}" if s.retries else ""
                 lines.append(
                     f"  shard {s.shard:>3} {status:<7} "
                     f"{s.n_results:>3} hits  dists {s.distance_evaluations:>6}  "
-                    f"@{s.started * 1e3:7.3f}+{s.seconds * 1e3:.3f} ms"
+                    f"@{s.started * 1e3:7.3f}+{s.seconds * 1e3:.3f} ms{retries}"
                 )
         lines.append("")
         kept = len(self.result_positions)
@@ -444,6 +452,10 @@ class TraceSummary:
         mean_nodes_visited: Mean graph nodes popped per query.
         mean_distance_evaluations: Mean distance computations per query.
         mean_seconds: Mean traced wall-clock seconds per query.
+        p50_seconds: Median traced latency (exact, from the per-trace
+            samples — not a bucketed estimate).  NaN when no traces.
+        p95_seconds: 95th-percentile traced latency.
+        p99_seconds: 99th-percentile traced latency.
     """
 
     n_queries: int
@@ -455,6 +467,9 @@ class TraceSummary:
     mean_nodes_visited: float
     mean_distance_evaluations: float
     mean_seconds: float
+    p50_seconds: float = math.nan
+    p95_seconds: float = math.nan
+    p99_seconds: float = math.nan
 
     def as_rows(self) -> list[tuple[str, float]]:
         """(name, value) rows for table rendering."""
@@ -468,7 +483,21 @@ class TraceSummary:
             ("mean nodes visited", self.mean_nodes_visited),
             ("mean distance evals", self.mean_distance_evaluations),
             ("mean seconds", self.mean_seconds),
+            ("p50 seconds", self.p50_seconds),
+            ("p95 seconds", self.p95_seconds),
+            ("p99 seconds", self.p99_seconds),
         ]
+
+
+def _sample_quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Exact ``q``-quantile of pre-sorted samples (linear interpolation)."""
+    if not sorted_values:
+        return math.nan
+    pos = q * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
 
 
 def summarize_traces(traces: Iterable[QueryTrace]) -> TraceSummary:
@@ -494,6 +523,7 @@ def summarize_traces(traces: Iterable[QueryTrace]) -> TraceSummary:
     total_blocks = sum(s["blocks_searched"] for s in summaries)
     total_graph = sum(s["graph_blocks"] for s in summaries)
     total_brute = sum(s["brute_blocks"] for s in summaries)
+    latencies = sorted(s["seconds"] for s in summaries)
     return TraceSummary(
         n_queries=n,
         mean_window_size=mean("window_size"),
@@ -508,6 +538,9 @@ def summarize_traces(traces: Iterable[QueryTrace]) -> TraceSummary:
         mean_nodes_visited=mean("nodes_visited"),
         mean_distance_evaluations=mean("distance_evaluations"),
         mean_seconds=mean("seconds"),
+        p50_seconds=_sample_quantile(latencies, 0.50),
+        p95_seconds=_sample_quantile(latencies, 0.95),
+        p99_seconds=_sample_quantile(latencies, 0.99),
     )
 
 

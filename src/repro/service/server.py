@@ -6,21 +6,31 @@ connection feeds the service's admission queue; the queue — not the HTTP
 layer — is the concurrency bottleneck by design, so overload turns into
 fast 429s instead of unbounded thread pile-ups.
 
-Endpoints (all JSON):
+Endpoints (all JSON unless noted):
 
-==========  =======  ====================================================
-path        method   behaviour
-==========  =======  ====================================================
-/healthz    GET      liveness + record/block counts
-/metrics    GET      the process metrics registry, text format
-/query      POST     ``{"query": [...], "k": 10, "t_start"?, "t_end"?,
-                     "timeout"?, "seed"?}`` → positions/distances/
-                     timestamps (``seed`` picks the synchronous
-                     deterministic path the shard router scatters on)
-/ingest     POST     ``{"vector": [...], "timestamp": 1.5}`` or
-                     ``{"vectors": [[...]], "timestamps": [...]}``
-/checkpoint POST     force a snapshot + WAL rotation
-==========  =======  ====================================================
+===================  =======  ==========================================
+path                 method   behaviour
+===================  =======  ==========================================
+/healthz             GET      liveness + record/block counts
+/metrics             GET      the process metrics registry, Prometheus
+                              text exposition format
+/metrics/json        GET      the registry's JSON export
+                              (``MetricsRegistry.export_state``), what
+                              the router scrapes for fleet aggregation
+/debug/trace/recent  GET      recently sampled traces (``?n=`` limits)
+/debug/slow          GET      the slow-query log (``?n=`` limits)
+/query               POST     ``{"query": [...], "k": 10, "t_start"?,
+                              "t_end"?, "timeout"?, "seed"?, "trace"?}``
+                              → positions/distances/timestamps
+                              (``seed`` picks the synchronous
+                              deterministic path the shard router
+                              scatters on; ``trace`` carries a
+                              propagated trace context and makes the
+                              reply carry the worker's local trace)
+/ingest              POST     ``{"vector": [...], "timestamp": 1.5}`` or
+                              ``{"vectors": [[...]], "timestamps": [...]}``
+/checkpoint          POST     force a snapshot + WAL rotation
+===================  =======  ==========================================
 
 Status codes: 400 malformed, 408 deadline expired, 429 queue full,
 503 draining/closed.
@@ -29,6 +39,8 @@ Status codes: 400 malformed, 408 deadline expired, 429 queue full,
 from __future__ import annotations
 
 import json
+import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -41,7 +53,10 @@ from ..exceptions import (
     ServiceClosedError,
 )
 from ..faultinject import failpoint
-from ..observability.metrics import get_registry
+from ..observability.metrics import get_registry, render_prometheus
+from ..observability.telemetry import get_telemetry, record_to_wire
+from ..observability.trace import QueryTrace
+from ..observability.tracing import TraceContext, trace_to_wire
 from .service import IndexService
 
 _MAX_BODY = 64 * 1024 * 1024
@@ -125,9 +140,34 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 },
             )
         elif self.path == "/metrics":
-            self._reply(200, get_registry().render() + "\n")
+            self._reply(200, render_prometheus(get_registry().export_state()))
+        elif self.path == "/metrics/json":
+            self._reply(200, get_registry().export_state())
+        elif self.path.startswith("/debug/trace/recent"):
+            self._reply_records(get_telemetry().recent)
+        elif self.path.startswith("/debug/slow"):
+            self._reply_records(get_telemetry().slow)
         else:
             self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def _reply_records(self, buffer) -> None:
+        """Serve one trace buffer as ``{"records": [...]}`` (``?n=`` limits)."""
+        query = urllib.parse.urlparse(self.path).query
+        params = urllib.parse.parse_qs(query)
+        try:
+            n = int(params["n"][0]) if "n" in params else None
+        except ValueError:
+            self._reply(400, {"error": f"bad n {params['n'][0]!r}"})
+            return
+        self._reply(
+            200,
+            {
+                "records": [
+                    record_to_wire(record) for record in buffer.recent(n)
+                ],
+                "dropped": buffer.dropped,
+            },
+        )
 
     # ------------------------------------------------------------------ POST
 
@@ -181,21 +221,63 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         ``np.random.default_rng(seed)`` instead — the deterministic path
         the shard router scatters on, so any two transports (or a
         recovered replica) answer bit-identically.
+
+        A ``"trace"`` key carries a propagated
+        :class:`~repro.observability.TraceContext` (the router sampled
+        this query): the worker then records a full local
+        :class:`QueryTrace`, attaches it to the reply as ``"trace"``
+        plus an echoing ``"span"``, and files the query in its own
+        telemetry buffers under the cluster-wide trace id.
         """
         payload = self._read_json()
         query = np.asarray(payload["query"], dtype=np.float64)
         k = int(payload.get("k", 10))
         t_start = float(payload.get("t_start", float("-inf")))
         t_end = float(payload.get("t_end", float("inf")))
+        telemetry = get_telemetry()
+        ctx = (
+            TraceContext.from_wire(payload["trace"])
+            if "trace" in payload
+            else None
+        )
+        extra: dict[str, Any] = {}
         if "seed" in payload:
+            trace = QueryTrace() if ctx is not None else None
+            started = time.perf_counter()
             result = self.service.search(
                 query,
                 k,
                 t_start,
                 t_end,
                 rng=np.random.default_rng(int(payload["seed"])),
+                trace=trace,
             )
+            if ctx is not None and trace is not None:
+                seconds = time.perf_counter() - started
+                telemetry.record(
+                    source="service",
+                    seconds=seconds,
+                    k=k,
+                    t_start=t_start,
+                    t_end=t_end,
+                    trace=trace,
+                    trace_id=ctx.trace_id,
+                )
+                extra["trace"] = trace_to_wire(trace)
+                extra["span"] = {
+                    "trace_id": ctx.trace_id,
+                    "span_id": ctx.span_id,
+                    "parent_id": ctx.parent_id,
+                    "seconds": seconds,
+                }
         else:
+            # Head-sample at admission; the service's worker loop records
+            # the trace (and any slow query) when the answer lands.
+            trace = (
+                QueryTrace()
+                if telemetry.armed and telemetry.should_sample()
+                else None
+            )
             result = self.service.query(
                 query,
                 k,
@@ -206,6 +288,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                     if "timeout" in payload
                     else None
                 ),
+                trace=trace,
             )
         self._reply(
             200,
@@ -218,6 +301,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 "nodes_visited": result.stats.nodes_visited,
                 "distance_evaluations": result.stats.distance_evaluations,
                 "window_size": result.stats.window_size,
+                **extra,
             },
         )
 

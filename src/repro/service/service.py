@@ -65,6 +65,11 @@ from ..exceptions import (
 )
 from ..faultinject import failpoint
 from ..observability.metrics import get_registry
+from ..observability.telemetry import (
+    TelemetryConfig,
+    configure_telemetry,
+    get_telemetry,
+)
 from ..observability.trace import QueryTrace
 from .admission import AdmissionQueue, QueryRequest
 from .locks import RWLock
@@ -164,6 +169,17 @@ class ServiceConfig:
             wide cold windows with an ADC scan + exact memmap rerank
             instead of promoting (see ``docs/quantization.md``).  Off by
             default; ignored without a memory budget.
+        telemetry: Sampled-tracing and slow-query policy
+            (:class:`~repro.observability.TelemetryConfig`) to arm the
+            **process-wide** telemetry with when the service opens.
+            ``None`` (the default) leaves the current process telemetry
+            untouched — disarmed unless something else armed it — so
+            library use and tests pay nothing.  Serving entry points
+            (``repro serve``, shard workers) pass one; the config
+            travels to worker processes inside the pickled
+            ``ServiceConfig``.  Sampling never changes answers: the
+            sampler draws from its own RNG stream, and traced queries
+            differ from untraced ones only in what gets recorded.
     """
 
     fsync: str = "always"
@@ -177,6 +193,7 @@ class ServiceConfig:
     memory_budget_mb: float | None = None
     compact_interval: float | None = None
     cold_codes: bool = False
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         """Validate the configured policies."""
@@ -254,6 +271,8 @@ class IndexService:
         self._data_dir = Path(data_dir)
         self._data_dir.mkdir(parents=True, exist_ok=True)
         self._config = config if config is not None else ServiceConfig()
+        if self._config.telemetry is not None:
+            configure_telemetry(self._config.telemetry)
         self._applied = (
             len(index) if applied_records is None else int(applied_records)
         )
@@ -590,15 +609,38 @@ class IndexService:
         private :class:`~repro.core.executor.QueryExecutor` — results are
         bit-identical to a sequential run (see
         :meth:`repro.core.MultiLevelBlockIndex.search`).
+
+        When the process telemetry is armed and no explicit ``trace`` is
+        given, the query may be head-sampled into a fresh
+        :class:`QueryTrace` and/or captured by the slow-query log; both
+        only observe — answers stay bit-identical either way, because
+        entry-sampling randomness comes from ``rng`` alone.
         """
         if rng is None:
             rng = self._spawn_rng()
+        telemetry = get_telemetry()
+        sampled: QueryTrace | None = None
+        if trace is None and telemetry.armed and telemetry.should_sample():
+            sampled = QueryTrace()
+        started = time.perf_counter()
+        failpoint("service.search")
         with self._rwlock.read():
-            return self._index.search(
+            result = self._index.search(
                 query, k, t_start, t_end,
-                params=params, tau=tau, rng=rng, trace=trace,
+                params=params, tau=tau, rng=rng,
+                trace=trace if trace is not None else sampled,
                 executor=self._executor,
             )
+        if trace is None and telemetry.armed:
+            telemetry.record(
+                source="service",
+                seconds=time.perf_counter() - started,
+                k=int(k),
+                t_start=float(t_start),
+                t_end=float(t_end),
+                trace=sampled,
+            )
+        return result
 
     def submit(
         self,
@@ -703,10 +745,23 @@ class IndexService:
                     request.future.set_exception(error)
                 continue
             finish = time.monotonic()
+            telemetry = get_telemetry()
             for request, result in zip(live, results):
                 _INFLIGHT.inc(-1)
                 _ANSWERED.inc()
-                _QUERY_SECONDS.observe(finish - request.enqueued_at)
+                seconds = finish - request.enqueued_at
+                _QUERY_SECONDS.observe(seconds)
+                if telemetry.armed:
+                    # Queue+execution latency; the request's trace (when
+                    # the frontend sampled one at admission) rides along.
+                    telemetry.record(
+                        source="service",
+                        seconds=seconds,
+                        k=request.k,
+                        t_start=request.t_start,
+                        t_end=request.t_end,
+                        trace=request.trace,
+                    )
                 if request.future.set_running_or_notify_cancel():
                     request.future.set_result(result)
 

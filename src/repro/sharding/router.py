@@ -47,7 +47,9 @@ from ..exceptions import (
 )
 from ..faultinject import failpoint
 from ..observability.metrics import get_registry
+from ..observability.telemetry import aggregate_states, get_telemetry
 from ..observability.trace import QueryTrace
+from ..observability.tracing import Span, StitchedTrace, TraceContext
 from .transport import InProcessTransport, ShardReply, ShardTransport
 
 __all__ = ["RouterConfig", "ShardRouter", "ShardedResult"]
@@ -336,6 +338,26 @@ class ShardRouter:
             out.append(row)
         return out
 
+    def fleet_metrics_state(self) -> dict:
+        """One merged metrics view of the whole cluster.
+
+        The router's own registry export plus every reachable worker's
+        (scraped via :meth:`ShardTransport.metrics_state`), merged with
+        :func:`repro.observability.aggregate_states` — counters and
+        gauges summed, histograms merged bucket-wise.  In-process
+        transports return the ``None`` sentinel (their services already
+        report into the router's registry), so nothing double counts.
+        An unreachable worker is skipped — the merged view degrades to
+        the processes that answered rather than failing the scrape.
+        """
+        states: list[dict | None] = [get_registry().export_state()]
+        for state in self._shards:
+            try:
+                states.append(state.transport.metrics_state())
+            except Exception:  # noqa: BLE001 - scrape must not raise
+                states.append(None)
+        return aggregate_states(states)
+
     def stats(self) -> dict:
         """Topology + per-shard occupancy (what ``repro shard stats`` shows)."""
         return {
@@ -506,16 +528,31 @@ class ShardRouter:
         self._m_pruned.inc(len(pruned) * len(queries))
         self._m_fanout.observe(len(survivors))
 
+        # Head-sample for cluster-wide tracing.  The sampler draws from
+        # its own RNG stream and shard seeds are already fixed above, so
+        # sampling can never perturb answers.  One stitched trace covers
+        # the whole batch: the context rides on the batch's first query.
+        telemetry = get_telemetry()
+        ctx: TraceContext | None = (
+            TraceContext.root()
+            if telemetry.armed and telemetry.should_sample()
+            else None
+        )
+        child_ctx: dict[int, TraceContext] = {}
+
         failed: list[int] = []
         replies: dict[int, list[ShardReply]] = {}
         started = time.perf_counter()
         shard_started: dict[int, float] = {}
+        shard_retries: dict[int, int] = {}
         futures = {}
         for shard in survivors:
             state = self._shards[shard]
             if state.draining:
                 failed.append(shard)
                 continue
+            if ctx is not None:
+                child_ctx[shard] = ctx.child()
             shard_started[shard] = time.perf_counter() - started
             futures[shard] = self._pool.submit(
                 self._scatter_to_shard,
@@ -525,17 +562,20 @@ class ShardRouter:
                 t_start,
                 t_end,
                 shard_seeds[shard],
+                child_ctx.get(shard),
             )
         shard_seconds: dict[int, float] = {}
         for shard, future in futures.items():
             try:
-                replies[shard] = future.result(
+                replies[shard], shard_retries[shard] = future.result(
                     timeout=self.config.scatter_timeout
                 )
                 self._shards[shard].consecutive_failures = 0
             except (Exception, FutureTimeoutError) as error:  # noqa: BLE001
                 future.cancel()
                 failed.append(shard)
+                # The whole retry budget was spent before the task gave up.
+                shard_retries[shard] = self.config.retries
                 self._shards[shard].consecutive_failures += 1
                 self._m_failures.inc()
                 if not allow_partial:
@@ -563,23 +603,143 @@ class ShardRouter:
             for i in range(len(queries))
         ]
         self._m_merge.observe(time.perf_counter() - merge_started)
-        if trace is not None:
-            for shard in range(self.plan.n_shards):
-                evals = sum(
+        shard_events = [
+            {
+                "shard": shard,
+                "pruned": shard in pruned,
+                "failed": shard in failed,
+                "n_results": sum(
+                    len(r.positions) for r in replies.get(shard, [])
+                ),
+                "distance_evaluations": sum(
                     r.stats.distance_evaluations
                     for r in replies.get(shard, [])
+                ),
+                "seconds": shard_seconds.get(shard, 0.0),
+                "started": shard_started.get(shard, 0.0),
+                "retries": shard_retries.get(shard, 0),
+            }
+            for shard in range(self.plan.n_shards)
+        ]
+        if trace is not None:
+            for event in shard_events:
+                trace.record_shard(**event)
+        if telemetry.armed:
+            seconds = time.perf_counter() - started
+            stitched = (
+                self._stitch(
+                    ctx,
+                    k,
+                    t_start,
+                    t_end,
+                    n_queries=len(queries),
+                    seconds=seconds,
+                    child_ctx=child_ctx,
+                    shard_events=shard_events,
+                    replies=replies,
+                    results=results,
+                    partial=bool(failed),
                 )
-                n_results = sum(len(r.positions) for r in replies.get(shard, []))
-                trace.record_shard(
-                    shard=shard,
-                    pruned=shard in pruned,
-                    failed=shard in failed,
-                    n_results=n_results,
-                    distance_evaluations=evals,
-                    seconds=shard_seconds.get(shard, 0.0),
-                    started=shard_started.get(shard, 0.0),
-                )
+                if ctx is not None
+                else None
+            )
+            telemetry.record(
+                source="router",
+                seconds=seconds,
+                k=int(k),
+                t_start=float(t_start),
+                t_end=float(t_end),
+                stitched=stitched,
+            )
         return results
+
+    def _stitch(
+        self,
+        ctx: TraceContext,
+        k: int,
+        t_start: float,
+        t_end: float,
+        *,
+        n_queries: int,
+        seconds: float,
+        child_ctx: dict[int, TraceContext],
+        shard_events: list[dict],
+        replies: dict[int, list[ShardReply]],
+        results: list[ShardedResult],
+        partial: bool,
+    ) -> StitchedTrace:
+        """Assemble the cluster-wide trace of one sampled scatter.
+
+        The router's root span parents one child span per shard (ok /
+        pruned / FAILED, with scatter timing and retry counts); shards
+        that answered with a local trace contribute it under their span,
+        so the stitched trace reaches down to block spans, tier marks,
+        and ADC strategy inside each worker.
+        """
+        root = Span(
+            name="router.search",
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            seconds=seconds,
+            tags={
+                "k": int(k),
+                "t_start": float(t_start),
+                "t_end": float(t_end),
+                "queries": n_queries,
+                "fanout": len(child_ctx),
+                "partial": partial,
+            },
+        )
+        stitched = StitchedTrace(trace_id=ctx.trace_id, root=root)
+        router_trace = QueryTrace(
+            k=int(k),
+            t_start=float(t_start),
+            t_end=float(t_end),
+            seconds=seconds,
+        )
+        for event in shard_events:
+            shard = event["shard"]
+            child = child_ctx.get(shard)
+            if event["pruned"]:
+                status = "pruned"
+            elif event["failed"]:
+                status = "FAILED"
+            else:
+                status = "ok"
+            stitched.spans.append(
+                Span(
+                    name=f"shard[{shard}]",
+                    trace_id=ctx.trace_id,
+                    span_id=child.span_id if child is not None else "",
+                    parent_id=ctx.span_id,
+                    started=event["started"],
+                    seconds=event["seconds"],
+                    tags={
+                        "shard": shard,
+                        "status": status,
+                        "retries": event["retries"],
+                        "n_results": event["n_results"],
+                        "distance_evaluations": event[
+                            "distance_evaluations"
+                        ],
+                    },
+                )
+            )
+            shard_replies = replies.get(shard, [])
+            if shard_replies and shard_replies[0].trace is not None:
+                stitched.shard_traces[shard] = shard_replies[0].trace
+            router_trace.record_shard(**event)
+        if results:
+            head = results[0]
+            router_trace.stats = head.stats
+            router_trace.result_positions = tuple(
+                int(p) for p in head.positions
+            )
+            router_trace.result_distances = tuple(
+                float(d) for d in head.distances
+            )
+        stitched.router_trace = router_trace
+        return stitched
 
     def _scatter_to_shard(
         self,
@@ -589,12 +749,16 @@ class ShardRouter:
         t_start: float,
         t_end: float,
         seeds: np.ndarray,
-    ) -> list[ShardReply]:
+        trace_ctx: TraceContext | None = None,
+    ) -> tuple[list[ShardReply], int]:
         """One scatter task: answer the whole batch on one shard.
 
         Retries up to ``config.retries`` times; the ``shard.scatter``
         failpoint fires once per attempt, so chaos schedules can model
-        flaky (``raise``), slow (``delay``), and dead shards.
+        flaky (``raise``), slow (``delay``), and dead shards.  Returns
+        the replies plus the retries the task spent (0 = first try
+        landed).  A propagated ``trace_ctx`` rides on the batch's first
+        query only — one shard-local trace per stitched trace.
         """
         transport = self._shards[shard].transport
         last_error: Exception | None = None
@@ -606,10 +770,15 @@ class ShardRouter:
                 failpoint("shard.scatter")
                 return [
                     transport.search(
-                        query, k, t_start, t_end, seed=int(seeds[i])
+                        query,
+                        k,
+                        t_start,
+                        t_end,
+                        seed=int(seeds[i]),
+                        trace_ctx=trace_ctx if i == 0 else None,
                     )
                     for i, query in enumerate(queries)
-                ]
+                ], attempt
             except Exception as error:  # noqa: BLE001 - mapped by caller
                 last_error = error
         raise last_error  # type: ignore[misc]

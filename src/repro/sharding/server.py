@@ -6,17 +6,25 @@ endpoint surface mirrors the single-shard frontend
 ``partial`` flag on ``/query`` replies (degraded scatter-gather) and
 ``GET /shard/stats`` for topology.
 
-==============  =======  ==============================================
-path            method   behaviour
-==============  =======  ==============================================
-/healthz        GET      aggregate liveness + per-shard health rows
-/metrics        GET      the process metrics registry (``shard_*`` etc.)
-/query          POST     scatter-gather TkNN; reply carries ``partial``,
-                         ``queried_shards``, ``failed_shards``
-/ingest         POST     route to the owning shard (single or batch)
-/checkpoint     POST     snapshot + WAL rotation on every shard
-/shard/stats    GET      the router's topology/occupancy document
-==============  =======  ==============================================
+===================  =======  =========================================
+path                 method   behaviour
+===================  =======  =========================================
+/healthz             GET      aggregate liveness + per-shard health rows
+/metrics             GET      **fleet** metrics — the router's registry
+                              merged with every reachable worker's
+                              (counters/gauges summed, histograms merged
+                              bucket-wise), Prometheus text format
+/metrics/json        GET      the same merged fleet state as JSON
+/debug/trace/recent  GET      recently sampled stitched traces
+                              (``?n=`` limits)
+/debug/slow          GET      the router's slow-query log (``?n=``)
+/query               POST     scatter-gather TkNN; reply carries
+                              ``partial``, ``queried_shards``,
+                              ``failed_shards``
+/ingest              POST     route to the owning shard (single or batch)
+/checkpoint          POST     snapshot + WAL rotation on every shard
+/shard/stats         GET      the router's topology/occupancy document
+===================  =======  =========================================
 
 Status codes follow the single-shard frontend (400 malformed, 503
 draining) plus 503 for a failed required shard
@@ -27,13 +35,15 @@ draining) plus 503 for a failed required shard
 from __future__ import annotations
 
 import json
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 import numpy as np
 
 from ..exceptions import ReproError, ShardUnavailableError
-from ..observability.metrics import get_registry
+from ..observability.metrics import render_prometheus
+from ..observability.telemetry import get_telemetry, record_to_wire
 from .router import ShardRouter
 
 _MAX_BODY = 64 * 1024 * 1024
@@ -104,11 +114,38 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 },
             )
         elif self.path == "/metrics":
-            self._reply(200, get_registry().render() + "\n")
+            self._reply(
+                200, render_prometheus(self.router.fleet_metrics_state())
+            )
+        elif self.path == "/metrics/json":
+            self._reply(200, self.router.fleet_metrics_state())
+        elif self.path.startswith("/debug/trace/recent"):
+            self._reply_records(get_telemetry().recent)
+        elif self.path.startswith("/debug/slow"):
+            self._reply_records(get_telemetry().slow)
         elif self.path == "/shard/stats":
             self._reply(200, self.router.stats())
         else:
             self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def _reply_records(self, buffer) -> None:
+        """Serve one trace buffer as ``{"records": [...]}`` (``?n=`` limits)."""
+        query = urllib.parse.urlparse(self.path).query
+        params = urllib.parse.parse_qs(query)
+        try:
+            n = int(params["n"][0]) if "n" in params else None
+        except ValueError:
+            self._reply(400, {"error": f"bad n {params['n'][0]!r}"})
+            return
+        self._reply(
+            200,
+            {
+                "records": [
+                    record_to_wire(record) for record in buffer.recent(n)
+                ],
+                "dropped": buffer.dropped,
+            },
+        )
 
     def do_POST(self) -> None:  # noqa: N802
         """Serve ``/query``, ``/ingest``, and ``/checkpoint``."""

@@ -34,6 +34,8 @@ from typing import Callable
 import numpy as np
 
 from ..core.results import QueryStats
+from ..observability.trace import QueryTrace
+from ..observability.tracing import TraceContext, trace_from_wire
 from ..service.service import IndexService
 
 __all__ = [
@@ -55,12 +57,16 @@ class ShardReply:
         distances: Ascending distances, aligned with ``positions``.
         timestamps: Timestamps, aligned with ``positions``.
         stats: The shard's :class:`~repro.core.results.QueryStats`.
+        trace: The shard's local :class:`QueryTrace` (block spans, tier
+            marks, ADC strategy), present only when the router
+            propagated a trace context with the request.
     """
 
     positions: np.ndarray
     distances: np.ndarray
     timestamps: np.ndarray
     stats: QueryStats
+    trace: QueryTrace | None = None
 
 
 def shard_info(service: IndexService, stripe_size: int) -> dict:
@@ -110,8 +116,25 @@ class ShardTransport:
         t_end: float,
         *,
         seed: int,
+        trace_ctx: TraceContext | None = None,
     ) -> ShardReply:
-        """Answer one TkNN query deterministically under ``seed``."""
+        """Answer one TkNN query deterministically under ``seed``.
+
+        ``trace_ctx`` (when the router sampled this query) asks the
+        shard to record its local :class:`QueryTrace` and attach it to
+        the reply; it never changes the answer.
+        """
+        raise NotImplementedError
+
+    def metrics_state(self) -> dict | None:
+        """The worker's metrics registry export, for fleet aggregation.
+
+        Returns the :meth:`~repro.observability.MetricsRegistry.export_state`
+        document, or ``None`` when the worker shares the caller's
+        process-wide registry (the in-process transport) — the ``None``
+        sentinel keeps :func:`repro.observability.aggregate_states` from
+        double counting what the router's own registry already holds.
+        """
         raise NotImplementedError
 
     def healthz(self) -> dict:
@@ -164,21 +187,29 @@ class InProcessTransport(ShardTransport):
         t_end: float,
         *,
         seed: int,
+        trace_ctx: TraceContext | None = None,
     ) -> ShardReply:
         """Synchronous read-locked search with the derived seed."""
+        trace = QueryTrace() if trace_ctx is not None else None
         result = self.service.search(
             query,
             k,
             t_start,
             t_end,
             rng=np.random.default_rng(seed),
+            trace=trace,
         )
         return ShardReply(
             positions=np.asarray(result.positions, dtype=np.int64),
             distances=np.asarray(result.distances, dtype=np.float64),
             timestamps=np.asarray(result.timestamps, dtype=np.float64),
             stats=result.stats,
+            trace=trace,
         )
+
+    def metrics_state(self) -> None:
+        """``None``: the service reports into the caller's own registry."""
+        return None
 
     def healthz(self) -> dict:
         """Liveness from the wrapped service (no socket involved)."""
@@ -235,6 +266,11 @@ class HttpTransport(ShardTransport):
         self.port = port
         self.timeout = timeout
         self._local = threading.local()
+        # Every connection ever handed out, across threads: close() must
+        # reach the scatter-pool threads' keep-alive sockets too, not
+        # just the calling thread's.
+        self._conns: list[http.client.HTTPConnection] = []
+        self._conns_lock = threading.Lock()
 
     def _connection(self) -> http.client.HTTPConnection:
         conn = getattr(self._local, "conn", None)
@@ -243,6 +279,8 @@ class HttpTransport(ShardTransport):
                 self.host, self.port, timeout=self.timeout
             )
             self._local.conn = conn
+            with self._conns_lock:
+                self._conns.append(conn)
         return conn
 
     def _request(
@@ -300,24 +338,27 @@ class HttpTransport(ShardTransport):
         t_end: float,
         *,
         seed: int,
+        trace_ctx: TraceContext | None = None,
     ) -> ShardReply:
         """Seeded ``POST /query``; decodes the reply into a ShardReply.
 
         JSON round-trips Python floats exactly (shortest-repr encode,
         exact decode), so the reply is bit-identical to the in-process
-        answer over the same shard data.
+        answer over the same shard data.  A propagated ``trace_ctx``
+        rides in the payload's ``"trace"`` key; the worker's local trace
+        comes back in the reply and is decoded onto the ShardReply.
         """
-        reply = self._request(
-            "POST",
-            "/query",
-            {
-                "query": np.asarray(query, dtype=np.float64).tolist(),
-                "k": int(k),
-                "t_start": float(t_start),
-                "t_end": float(t_end),
-                "seed": int(seed),
-            },
-        )
+        payload = {
+            "query": np.asarray(query, dtype=np.float64).tolist(),
+            "k": int(k),
+            "t_start": float(t_start),
+            "t_end": float(t_end),
+            "seed": int(seed),
+        }
+        if trace_ctx is not None:
+            payload["trace"] = trace_ctx.to_wire()
+        reply = self._request("POST", "/query", payload)
+        remote_trace = reply.get("trace")
         return ShardReply(
             positions=np.asarray(reply["positions"], dtype=np.int64),
             distances=np.asarray(reply["distances"], dtype=np.float64),
@@ -331,7 +372,14 @@ class HttpTransport(ShardTransport):
                 ),
                 window_size=int(reply.get("window_size", 0)),
             ),
+            trace=(
+                None if remote_trace is None else trace_from_wire(remote_trace)
+            ),
         )
+
+    def metrics_state(self) -> dict:
+        """``GET /metrics/json``: the worker's registry export."""
+        return self._request("GET", "/metrics/json")
 
     def healthz(self) -> dict:
         """``GET /healthz`` (raises when the worker is unreachable)."""
@@ -342,11 +390,17 @@ class HttpTransport(ShardTransport):
         self._request("POST", "/checkpoint", {})
 
     def close(self) -> None:
-        """Close this thread's persistent connection (worker keeps running)."""
-        conn = getattr(self._local, "conn", None)
-        if conn is not None:
+        """Close every persistent connection (the worker keeps running).
+
+        Covers connections opened by other threads — the router's
+        scatter pool holds one keep-alive socket per worker thread, and
+        those threads are gone by the time the transport is closed.
+        """
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
             try:
                 conn.close()
             except (OSError, socket.error):  # pragma: no cover - best effort
                 pass
-            self._local.conn = None
+        self._local.conn = None

@@ -5,7 +5,16 @@ one shard's data directory (WAL + snapshots, optional tiering — exactly
 the single-node serving stack of :mod:`repro.service`) and serves the
 standard HTTP endpoints plus ``GET /shard/info``, the attach endpoint
 :class:`~repro.sharding.router.ShardRouter` uses to reconstruct routing
-state after a restart.
+state after a restart.  That inherited surface includes the telemetry
+endpoints (``/metrics`` in Prometheus format, ``/metrics/json`` — which
+the router scrapes into its fleet view — and the ``/debug/trace/recent``
+/ ``/debug/slow`` buffers); arm a worker's sampler by passing a
+:class:`~repro.observability.TelemetryConfig` inside ``service_config``
+(it travels to the worker process with the pickled config).  Because
+workers fork from the supervisor, per-worker fault injection for the
+telemetry smoke tests works by setting ``REPRO_FAILPOINTS`` in the
+parent's environment around ``start()``/``restart()`` of just that
+worker (e.g. ``service.search=delay:0.4``).
 
 :class:`ShardCluster` supervises N such processes from the parent: it
 spawns them (ephemeral or fixed ports), waits for readiness, hands out
@@ -27,6 +36,7 @@ from pathlib import Path
 
 from ..core.config import MBIConfig
 from ..core.shardmap import ShardPlan
+from ..faultinject import install_from_env
 from ..service.server import _ServiceHandler
 from ..service.service import IndexService, ServiceConfig
 from .transport import HttpTransport, shard_info
@@ -100,6 +110,11 @@ def run_worker(
     ``SIGINT`` — then drains the service and exits.  Run directly, or as
     a ``multiprocessing.Process`` target via :class:`ShardCluster`.
     """
+    # Forked children inherit the parent's env but not a fresh module
+    # import, so the import-time REPRO_FAILPOINTS parse has already run
+    # (empty) in the parent — re-arm here so per-worker env injection
+    # around start()/restart() works as documented above.
+    install_from_env()
     service = IndexService.open(
         data_dir,
         dim=dim,

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
@@ -100,6 +101,10 @@ _ADC_RERANK_ROWS = _REGISTRY.counter(
 _CODE_BYTES = _REGISTRY.gauge(
     "tier_code_resident_bytes",
     "Bytes of resident PQ code sidecars (codebooks + codes)",
+)
+_PROMOTE_SECONDS = _REGISTRY.histogram(
+    "tier_promote_seconds",
+    "Time bringing one cold block back to the hot tier",
 )
 
 
@@ -442,6 +447,7 @@ class TierManager:
             event.wait()
             if block.backend is not None:
                 return block.backend
+        started = time.perf_counter()
         try:
             with self._rwlock.read():
                 backend = self._load_or_rebuild(block)
@@ -455,6 +461,7 @@ class TierManager:
                 block.backend = backend
             self._cache.add(block, nbytes)
             _PROMOTIONS.inc()
+            _PROMOTE_SECONDS.observe(time.perf_counter() - started)
             self._publish_resident()
         finally:
             with self._lock:

@@ -23,6 +23,20 @@ def _failpoint_isolation():
 
 
 @pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """No test may leak an armed telemetry config (or its buffers).
+
+    Restoring the disarmed default after every test keeps the sampler's
+    single-float-compare fast path in force for suites that never arm
+    telemetry, and empties the trace buffers for those that do.
+    """
+    yield
+    from repro.observability.telemetry import configure_telemetry
+
+    configure_telemetry(None)
+
+
+@pytest.fixture(autouse=True)
 def _metrics_isolation():
     """Stop tests leaking process-metric state into each other.
 

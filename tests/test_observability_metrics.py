@@ -14,7 +14,10 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    quantile_from_buckets,
+    render_prometheus,
 )
+from repro.observability.telemetry import aggregate_states
 
 
 class TestCounter:
@@ -96,6 +99,210 @@ class TestHistogram:
             Histogram("x", buckets=())
 
 
+class TestQuantiles:
+    """ISSUE 10 satellite: bucket quantiles with linear interpolation."""
+
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(Histogram("x", buckets=(0.1, 1.0)).quantile(0.5))
+        assert math.isnan(quantile_from_buckets((0.1, 1.0), [0, 0, 0], 0.9))
+
+    def test_linear_interpolation_within_bucket(self):
+        # 2 observations in (0, 0.1], 2 in (0.1, 1.0], none past 1.0.
+        bounds, counts = (0.1, 1.0), [2, 2, 0]
+        # rank 2.0 lands exactly on the first bucket's upper edge.
+        assert quantile_from_buckets(bounds, counts, 0.5) == pytest.approx(0.1)
+        # rank 3.0 is halfway through the second bucket: 0.1 + 0.9/2.
+        assert quantile_from_buckets(bounds, counts, 0.75) == pytest.approx(
+            0.55
+        )
+        assert quantile_from_buckets(bounds, counts, 1.0) == pytest.approx(1.0)
+
+    def test_overflow_bucket_collapses_to_last_finite_bound(self):
+        # All mass past the last finite bound: fixed buckets cannot
+        # resolve the tail, so every quantile reports that bound.
+        assert quantile_from_buckets((0.1, 1.0), [0, 0, 5], 0.99) == 1.0
+        assert quantile_from_buckets((0.1, 1.0), [1, 0, 9], 0.99) == 1.0
+
+    def test_histogram_quantile_delegates(self):
+        h = Histogram("x_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        # rank 1.5: halfway through the (0.1, 1.0] bucket's single count.
+        assert h.quantile(0.5) == pytest.approx(0.55)
+        assert h.quantile(0.99) == 1.0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets((0.1,), [1, 1], 1.5)
+        with pytest.raises(ValueError):
+            quantile_from_buckets((0.1,), [1, 1], -0.1)
+        with pytest.raises(ValueError):
+            quantile_from_buckets((0.1, 1.0), [1, 1], 0.5)  # missing +inf
+
+
+class TestPrometheusRender:
+    """ISSUE 10 satellite: text exposition format 0.0.4 conformance."""
+
+    def _state(self):
+        r = MetricsRegistry()
+        r.counter("c_total", "a counter").inc(3)
+        r.gauge("g", "a gauge").set(1.5)
+        h = r.histogram("h_seconds", "a histogram", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        return r.export_state()
+
+    def test_help_and_type_headers(self):
+        text = render_prometheus(self._state())
+        assert "# HELP c_total a counter\n# TYPE c_total counter" in text
+        assert "# HELP g a gauge\n# TYPE g gauge" in text
+        assert (
+            "# HELP h_seconds a histogram\n# TYPE h_seconds histogram" in text
+        )
+
+    def test_scalar_samples(self):
+        text = render_prometheus(self._state())
+        assert "\nc_total 3\n" in text
+        assert "\ng 1.5\n" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_in_inf(self):
+        text = render_prometheus(self._state())
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="1"} 2' in text
+        assert 'h_seconds_bucket{le="+Inf"} 3' in text
+        assert "h_seconds_sum 5.55" in text
+        assert "h_seconds_count 3" in text
+        # +Inf is the last bucket line, before _sum and _count.
+        lines = text.splitlines()
+        bucket_lines = [i for i, l in enumerate(lines) if "_bucket" in l]
+        assert lines[bucket_lines[-1]].startswith('h_seconds_bucket{le="+Inf"')
+        assert lines[bucket_lines[-1] + 1].startswith("h_seconds_sum")
+        assert lines[bucket_lines[-1] + 2].startswith("h_seconds_count")
+
+    def test_every_line_is_comment_or_sample(self):
+        # Conformance: the exposition is line-oriented; each line is a
+        # `# HELP`/`# TYPE` comment or a `name{labels} value` sample.
+        text = render_prometheus(self._state())
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                name, value = line.rsplit(" ", 1)
+                assert name
+                float(value)  # every sample value parses as a float
+
+    def test_empty_state_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            render_prometheus({"x": {"kind": "summary", "value": 1}})
+
+
+class TestExportState:
+    def test_export_is_json_safe_and_self_describing(self):
+        import json
+
+        r = MetricsRegistry()
+        r.counter("c_total", "help c").inc(2)
+        r.gauge("g").set(7)
+        r.gauge("g").set(3)
+        r.histogram("h", buckets=(1.0,)).observe(0.5)
+        state = json.loads(json.dumps(r.export_state()))
+        assert state["c_total"] == {
+            "kind": "counter",
+            "help": "help c",
+            "value": 2.0,
+        }
+        assert state["g"]["kind"] == "gauge"
+        assert (state["g"]["value"], state["g"]["peak"]) == (3.0, 7.0)
+        assert state["h"] == {
+            "kind": "histogram",
+            "help": "",
+            "bounds": [1.0],
+            "counts": [1, 0],
+            "sum": 0.5,
+            "count": 1,
+        }
+
+
+class TestAggregateStates:
+    """ISSUE 10 tentpole: the router's fleet-metrics merge."""
+
+    def _worker_state(self, counter=1.0, gauge=2.0, observations=(0.5,)):
+        r = MetricsRegistry()
+        r.counter("c_total").inc(counter)
+        r.gauge("g").set(gauge)
+        h = r.histogram("h", buckets=(1.0, 2.0))
+        for v in observations:
+            h.observe(v)
+        return r.export_state()
+
+    def test_counters_and_gauges_sum(self):
+        merged = aggregate_states(
+            [self._worker_state(1.0, 2.0), self._worker_state(10.0, 20.0)]
+        )
+        assert merged["c_total"]["value"] == 11.0
+        assert merged["g"]["value"] == 22.0
+        assert merged["g"]["peak"] == 22.0
+
+    def test_histograms_merge_bucket_wise(self):
+        merged = aggregate_states(
+            [
+                self._worker_state(observations=(0.5, 1.5)),
+                self._worker_state(observations=(0.5, 5.0)),
+            ]
+        )
+        h = merged["h"]
+        assert h["counts"] == [2, 1, 1]
+        assert h["count"] == 4
+        assert h["sum"] == pytest.approx(7.5)
+
+    def test_none_sentinel_is_skipped(self):
+        # InProcessTransport.metrics_state() returns None because its
+        # "worker" already reports into the caller's registry; the merge
+        # must not double count (or crash on) such entries.
+        state = self._worker_state()
+        merged = aggregate_states([state, None, None])
+        assert merged["c_total"]["value"] == state["c_total"]["value"]
+
+    def test_mismatched_bounds_fold_into_overflow(self):
+        a = self._worker_state(observations=(0.5,))
+        b = MetricsRegistry()
+        hb = b.histogram("h", buckets=(10.0,))
+        hb.observe(3.0)
+        hb.observe(30.0)
+        merged = aggregate_states([a, b.export_state()])
+        h = merged["h"]
+        # First-seen bounds win; the stranger's 2 observations land in +inf.
+        assert h["bounds"] == [1.0, 2.0]
+        assert h["counts"] == [1, 0, 2]
+        assert h["count"] == 3
+        assert h["sum"] == pytest.approx(33.5)
+
+    def test_kind_conflict_raises(self):
+        a = MetricsRegistry()
+        a.counter("x_total").inc()
+        b = MetricsRegistry()
+        b.gauge("x_total").set(1)
+        with pytest.raises(ValueError):
+            aggregate_states([a.export_state(), b.export_state()])
+
+    def test_merge_of_nothing_is_empty(self):
+        assert aggregate_states([]) == {}
+        assert aggregate_states([None]) == {}
+
+    def test_aggregated_state_renders_as_prometheus(self):
+        merged = aggregate_states(
+            [self._worker_state(), self._worker_state()]
+        )
+        text = render_prometheus(merged)
+        assert "c_total 2" in text
+        assert 'h_bucket{le="+Inf"} 2' in text
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_object(self):
         r = MetricsRegistry()
@@ -108,6 +315,18 @@ class TestRegistry:
         r.counter("a_total")
         with pytest.raises(ValueError):
             r.gauge("a_total")
+
+    def test_every_kind_pair_collides(self):
+        """ISSUE 10 satellite: all six cross-kind registrations refuse."""
+        kinds = ("counter", "gauge", "histogram")
+        for first in kinds:
+            for second in kinds:
+                if first == second:
+                    continue
+                r = MetricsRegistry()
+                getattr(r, first)("x")
+                with pytest.raises(ValueError, match="registered as"):
+                    getattr(r, second)("x")
 
     def test_name_validation(self):
         r = MetricsRegistry()

@@ -224,6 +224,91 @@ class TestSummaries:
         )
 
 
+class TestShardRender:
+    """ISSUE 10 satellite: per-shard scatter spans with timing + retries."""
+
+    def _trace_with_shards(self) -> QueryTrace:
+        trace = QueryTrace(k=5, t_start=0.0, t_end=10.0)
+        trace.record_shard(
+            0, False, False, 5, 120, seconds=0.004, started=0.0
+        )
+        trace.record_shard(
+            1, False, False, 3, 80, seconds=0.012, started=0.001, retries=2
+        )
+        trace.record_shard(2, True, False, 0, 0)
+        trace.record_shard(3, False, True, 0, 0, retries=1)
+        return trace
+
+    def test_render_shows_timing_and_retries(self):
+        text = self._trace_with_shards().render()
+        assert "shard scatter:" in text
+        # Timing span @start+duration in ms, retries only when nonzero.
+        assert "shard   0 ok" in text
+        assert "@  0.000+4.000 ms" in text
+        assert "@  1.000+12.000 ms  retries 2" in text
+        assert "shard   2 pruned" in text
+        assert "shard   3 FAILED" in text
+        assert "retries 1" in text
+        # Regression: a clean shard renders no retries suffix.
+        ok_line = next(
+            line for line in text.splitlines() if "shard   0" in line
+        )
+        assert "retries" not in ok_line
+
+    def test_retries_are_excluded_from_signature(self):
+        a = self._trace_with_shards()
+        b = QueryTrace(k=5, t_start=0.0, t_end=10.0)
+        b.record_shard(0, False, False, 5, 120)
+        b.record_shard(1, False, False, 3, 80)
+        b.record_shard(2, True, False, 0, 0)
+        b.record_shard(3, False, True, 0, 0)
+        assert a.signature() == b.signature()
+
+
+class TestSummaryQuantiles:
+    """ISSUE 10 satellite: p50/p95/p99 over per-trace latency samples."""
+
+    def _traces(self, latencies):
+        traces = []
+        for seconds in latencies:
+            trace = QueryTrace(k=1, seconds=seconds)
+            traces.append(trace)
+        return traces
+
+    def test_quantiles_interpolate_order_statistics(self):
+        # 0.01..0.05: p50 is the middle sample; p95/p99 interpolate
+        # between the two largest.
+        summary = summarize_traces(
+            self._traces([0.05, 0.01, 0.03, 0.02, 0.04])
+        )
+        assert summary.p50_seconds == pytest.approx(0.03)
+        assert summary.p95_seconds == pytest.approx(0.048)
+        assert summary.p99_seconds == pytest.approx(0.0496)
+        assert (
+            summary.p50_seconds
+            <= summary.p95_seconds
+            <= summary.p99_seconds
+        )
+
+    def test_single_trace_quantiles_are_its_latency(self):
+        summary = summarize_traces(self._traces([0.25]))
+        assert summary.p50_seconds == 0.25
+        assert summary.p95_seconds == 0.25
+        assert summary.p99_seconds == 0.25
+
+    def test_empty_quantiles_are_nan(self):
+        summary = summarize_traces([])
+        assert math.isnan(summary.p50_seconds)
+        assert math.isnan(summary.p95_seconds)
+        assert math.isnan(summary.p99_seconds)
+
+    def test_as_rows_includes_quantiles(self):
+        rows = dict(summarize_traces(self._traces([0.1, 0.2])).as_rows())
+        assert rows["p50 seconds"] == pytest.approx(0.15)
+        assert rows["p95 seconds"] == pytest.approx(0.195)
+        assert rows["p99 seconds"] == pytest.approx(0.199)
+
+
 class TestEvents:
     def test_selection_events_are_frozen_and_comparable(self):
         a = SelectionEvent(1, 0, (0, 8), 4, 0.5, 0.5, "selected", "leaf")
